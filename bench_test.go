@@ -1,0 +1,243 @@
+// Bench targets for every reproduced table/figure (E1–E15) and ablation
+// (A1–A3): each BenchmarkExp* executes the corresponding experiment
+// pipeline end to end at reduced scale (Scale=1/32 ⇒ megabyte-sized
+// inputs; the flow structure is identical, only byte counts shrink).
+// Regenerate the full paper-scale tables with:
+//
+//	go run ./cmd/keddah-bench -exp all
+//
+// The Benchmark{Netsim,Stats,Pcap,…} targets below measure the toolchain
+// stages themselves (experiment E10's micro view).
+package keddah_test
+
+import (
+	"bytes"
+	"testing"
+
+	"keddah"
+	"keddah/internal/core"
+	"keddah/internal/experiments"
+	"keddah/internal/netsim"
+	"keddah/internal/pcap"
+	"keddah/internal/sim"
+	"keddah/internal/stats"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Scale: 1.0 / 32, Seed: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+func BenchmarkExpE1VolumeVsInput(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkExpE2FlowCounts(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkExpE3SizeCDFs(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkExpE4ReplicationSweep(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkExpE5BlockSizeSweep(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkExpE6ReducerSweep(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkExpE7ModelFit(b *testing.B)           { benchExperiment(b, "E7") }
+func BenchmarkExpE8Validation(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkExpE9FabricReplay(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkExpE10ToolchainOverhead(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkExpE11FailureTraffic(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkExpE12MultiTenantMix(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkExpE13Coflows(b *testing.B)           { benchExperiment(b, "E13") }
+func BenchmarkExpE14Utilization(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkExpE15ScalingValidation(b *testing.B) { benchExperiment(b, "E15") }
+func BenchmarkAblationA4Sampling(b *testing.B)      { benchExperiment(b, "A4") }
+func BenchmarkAblationA1Locality(b *testing.B)      { benchExperiment(b, "A1") }
+func BenchmarkAblationA2FairSharing(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkAblationA3FamilyLibrary(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkCaptureTerasort measures the full cluster-simulation capture
+// path (the toolchain's stage 1) for a 256 MiB terasort.
+func BenchmarkCaptureTerasort(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts, _, err := keddah.Capture(keddah.ClusterSpec{Workers: 16, Seed: int64(i + 1)},
+			[]keddah.RunSpec{{Profile: "terasort", InputBytes: 256 << 20}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts.Runs) != 1 {
+			b.Fatal("lost the run")
+		}
+	}
+}
+
+// BenchmarkNetsimFanIn measures flow-level simulation throughput: 512
+// flows converging on 16 hosts with max-min reallocation at every
+// arrival and departure.
+func BenchmarkNetsimFanIn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo, err := netsim.Star(17, netsim.Gbps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.New()
+		net := netsim.NewNetwork(eng, topo, netsim.Config{})
+		h := topo.Hosts()
+		for f := 0; f < 512; f++ {
+			src, dst := h[f%16], h[(f+1)%16+1]
+			delay := sim.Time(f) * 1_000_000
+			fl := f
+			eng.After(delay, func() {
+				if _, err := net.StartFlow(netsim.FlowSpec{
+					Src: src, Dst: dst, SrcPort: fl, DstPort: 80, SizeBytes: 10 << 20,
+				}); err != nil {
+					b.Error(err)
+				}
+			})
+		}
+		if _, err := eng.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+		if net.Completed() != 512 {
+			b.Fatalf("completed %d flows", net.Completed())
+		}
+	}
+}
+
+// BenchmarkFitSelection measures distribution model selection over a
+// 100k-sample flow-size population (E10's fitting-cost claim).
+func BenchmarkFitSelection(b *testing.B) {
+	rng := stats.NewRNG(1)
+	lgn, err := stats.NewLogNormal(17, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]float64, 100_000)
+	for i := range xs {
+		xs[i] = lgn.Sample(rng)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stats.SelectBest(xs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKSTwoSample measures the validation comparator on 10k-sample
+// pairs.
+func BenchmarkKSTwoSample(b *testing.B) {
+	rng := stats.NewRNG(2)
+	mk := func() []float64 {
+		out := make([]float64, 10_000)
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+		return out
+	}
+	x, y := mk(), mk()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats.KSStatistic2(x, y)
+	}
+}
+
+// BenchmarkTraceRoundTrip measures packet-trace IO (write + read back)
+// for 100k records.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	pkt := pcap.Packet{TsNs: 1, Src: pcap.HostAddr(1), Dst: pcap.HostAddr(2),
+		SrcPort: 1000, DstPort: 13562, Len: 1448, Proto: pcap.ProtoTCP, Flags: pcap.FlagACK}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, err := pcap.NewWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100_000; j++ {
+			if err := w.WritePacket(pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		r, err := pcap.NewReader(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != 100_000 {
+			b.Fatal("lost packets")
+		}
+	}
+}
+
+// BenchmarkGenerateSchedule measures synthetic-traffic generation from a
+// fitted model (stage 3), amortising the one-off capture+fit.
+func BenchmarkGenerateSchedule(b *testing.B) {
+	ts, _, err := keddah.Capture(keddah.ClusterSpec{Workers: 16, Seed: 5},
+		[]keddah.RunSpec{
+			{Profile: "terasort", InputBytes: 512 << 20, JobName: "a", InputPath: "/d"},
+			{Profile: "terasort", InputBytes: 512 << 20, JobName: "b", InputPath: "/d"},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := keddah.Fit(ts, keddah.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched, err := model.Generate(keddah.GenSpec{
+			Workload: "terasort", InputBytes: 8 << 30, Workers: 64, Jobs: 4, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sched) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkReplayFatTree measures schedule replay on a k=4 fat-tree
+// (stage 4).
+func BenchmarkReplayFatTree(b *testing.B) {
+	ts, _, err := keddah.Capture(keddah.ClusterSpec{Workers: 16, Seed: 6},
+		[]keddah.RunSpec{{Profile: "terasort", InputBytes: 512 << 20}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := keddah.Fit(ts, keddah.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := model.Generate(keddah.GenSpec{Workload: "terasort", Workers: 16, Jobs: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := core.Replay(sched, keddah.ClusterSpec{Topology: "fattree", FatTreeK: 4, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			b.Fatal("no flows replayed")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command keddah-bench reproduces the paper's evaluation tables and
+// figures. Each experiment (E1–E15) and ablation (A1–A3) prints the
+// series/rows the corresponding paper artefact reports.
+//
+// Usage:
+//
+//	keddah-bench -list
+//	keddah-bench -exp E1            # one experiment at full scale
+//	keddah-bench -exp all -scale 0.25
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"keddah/internal/experiments"
+)
+
+// writeTableCSV dumps one experiment table as <dir>/<id>.csv for plotting.
+func writeTableCSV(dir string, t experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, strings.ToLower(t.ID)+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "keddah-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (E1..E15, A1..A3) or 'all'")
+		scale  = flag.Float64("scale", 1, "input-size multiplier (1 = paper scale)")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Describe(id))
+		}
+		return nil
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: os.Stderr}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			if err := t.Fprint(os.Stdout); err != nil {
+				return err
+			}
+			if *csvDir != "" {
+				if err := writeTableCSV(*csvDir, t); err != nil {
+					return fmt.Errorf("%s csv: %w", t.ID, err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", id, time.Since(start).Seconds())
+	}
+	return nil
+}

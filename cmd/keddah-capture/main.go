@@ -1,0 +1,178 @@
+// Command keddah-capture runs MapReduce workloads on a simulated Hadoop
+// cluster, captures every flow, and writes the measurement corpus as a
+// JSON trace set (and optionally the raw packet trace).
+//
+// Usage:
+//
+//	keddah-capture -workloads terasort,wordcount -input-gb 4 -runs 3 \
+//	    -workers 16 -topology star -out traces.json -pcap packets.kdh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"keddah/internal/core"
+	"keddah/internal/flows"
+	"keddah/internal/pcap"
+	"keddah/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "keddah-capture:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloads  = flag.String("workloads", "terasort", "comma-separated workload profiles "+fmt.Sprint(workload.Names()))
+		inputGB    = flag.Float64("input-gb", 4, "input size per run in GiB")
+		runs       = flag.Int("runs", 3, "repetitions per workload")
+		workers    = flag.Int("workers", 16, "worker host count")
+		topology   = flag.String("topology", "star", "fabric: star | multirack | fattree")
+		racks      = flag.Int("racks", 2, "rack count (multirack)")
+		uplinkGbps = flag.Float64("uplink-gbps", 10, "rack uplink capacity (multirack)")
+		fatTreeK   = flag.Int("fattree-k", 4, "fat-tree arity (fattree)")
+		blockMB    = flag.Int64("block-mb", 128, "HDFS block size in MiB")
+		repl       = flag.Int("replication", 3, "HDFS replication factor")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		out        = flag.String("out", "traces.json", "trace-set output path")
+		pcapOut    = flag.String("pcap", "", "optional packet trace output path")
+		failWorker = flag.Int("fail-worker", -1, "worker index to kill mid-session (-1 = none)")
+		failAt     = flag.Float64("fail-at", 30, "failure time in seconds (with -fail-worker)")
+	)
+	flag.Parse()
+
+	spec := core.ClusterSpec{
+		Topology:    *topology,
+		Workers:     *workers,
+		Racks:       *racks,
+		UplinkGbps:  *uplinkGbps,
+		FatTreeK:    *fatTreeK,
+		BlockSize:   *blockMB << 20,
+		Replication: *repl,
+		Seed:        *seed,
+	}
+	var runSpecs []workload.RunSpec
+	for _, prof := range strings.Split(*workloads, ",") {
+		prof = strings.TrimSpace(prof)
+		if prof == "" {
+			continue
+		}
+		if _, err := workload.Get(prof); err != nil {
+			return err
+		}
+		for i := 0; i < *runs; i++ {
+			runSpecs = append(runSpecs, workload.RunSpec{
+				Profile:    prof,
+				InputBytes: int64(*inputGB * float64(1<<30)),
+				JobName:    fmt.Sprintf("%s-run%d", prof, i),
+				InputPath:  fmt.Sprintf("/data/%s", prof),
+			})
+		}
+	}
+	if len(runSpecs) == 0 {
+		return fmt.Errorf("no workloads requested")
+	}
+
+	fmt.Fprintf(os.Stderr, "capturing %d runs on %d workers (%s)...\n", len(runSpecs), *workers, *topology)
+	var opts core.CaptureOpts
+	if *failWorker >= 0 {
+		opts.Failures = []core.FailureSpec{{WorkerIndex: *failWorker, AtNs: int64(*failAt * 1e9)}}
+		fmt.Fprintf(os.Stderr, "injecting worker %d failure at %.1fs\n", *failWorker, *failAt)
+	}
+	ts, results, err := core.CaptureWith(spec, runSpecs, opts)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ts.WriteJSON(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if *pcapOut != "" {
+		if err := writePackets(spec, runSpecs, *pcapOut); err != nil {
+			return fmt.Errorf("packet trace: %w", err)
+		}
+	}
+
+	// Per-run summary to stderr.
+	for _, rr := range results {
+		for _, round := range rr.Rounds {
+			fmt.Fprintf(os.Stderr, "  %-22s in=%6.2fGB maps=%3d reds=%3d shuffle=%7.1fMB took %6.1fs\n",
+				round.Name, float64(round.InputBytes)/(1<<30), round.Maps, round.Reducers,
+				float64(round.ShuffleBytes)/(1<<20), float64(round.Duration())/1e9)
+		}
+	}
+	var totalFlows int
+	for _, r := range ts.Runs {
+		totalFlows += len(r.Records)
+	}
+	ds := flows.NewDataset(ts.Background)
+	fmt.Fprintf(os.Stderr, "wrote %s: %d runs, %d job flows, %d background flows\n",
+		*out, len(ts.Runs), totalFlows, ds.Len())
+	if ts.Stats.ReReplicatedBlocks > 0 || ts.Stats.LostContainers > 0 {
+		fmt.Fprintf(os.Stderr, "failure recovery: %d blocks re-replicated (%.1f MB), %d containers lost\n",
+			ts.Stats.ReReplicatedBlocks, float64(ts.Stats.ReReplicatedBytes)/(1<<20), ts.Stats.LostContainers)
+	}
+	return nil
+}
+
+// writePackets re-runs the capture with a streaming packet sink. Runs are
+// deterministic, so the packet trace corresponds exactly to the trace set.
+func writePackets(spec core.ClusterSpec, runSpecs []workload.RunSpec, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	cluster, err := spec.BuildCluster()
+	if err != nil {
+		return err
+	}
+	capture := pcap.NewStreamingCapture(w.WritePacket)
+	cluster.Net.AddTap(capture)
+	// Chain runs sequentially, mirroring core.Capture, so the packet
+	// trace corresponds to the trace set run for run.
+	var launch func(i int) error
+	launch = func(i int) error {
+		if i == len(runSpecs) {
+			return nil
+		}
+		return workload.Run(cluster, runSpecs[i], i, func(workload.RunResult) {
+			if err := launch(i + 1); err != nil {
+				fmt.Fprintln(os.Stderr, "keddah-capture: launch:", err)
+			}
+		})
+	}
+	if err := launch(0); err != nil {
+		return err
+	}
+	if _, err := cluster.RunToIdle(); err != nil {
+		return err
+	}
+	if capture.Err() != nil {
+		return capture.Err()
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d packet records\n", path, w.Count())
+	return f.Close()
+}

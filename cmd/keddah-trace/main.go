@@ -1,0 +1,171 @@
+// Command keddah-trace inspects a binary packet trace (written by
+// keddah-capture -pcap): it reassembles flows and prints capture-wide
+// statistics, the per-phase breakdown, and the top talkers — the
+// first-look analysis the measurement stage of the toolchain starts from.
+//
+// Usage:
+//
+//	keddah-trace -in packets.kdh
+//	keddah-trace -in packets.kdh -flows flows.csv -top 20
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+
+	"keddah/internal/flows"
+	"keddah/internal/pcap"
+	"keddah/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "keddah-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "packets.kdh", "packet trace input path")
+		top     = flag.Int("top", 10, "number of top talkers to print")
+		flowCSV = flag.String("flows", "", "optional per-flow CSV output path")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	ft := pcap.NewFlowTable(0)
+	var packets int64
+	var bytes int64
+	var firstNs, lastNs int64
+	for {
+		p, err := r.ReadPacket()
+		if err != nil {
+			break
+		}
+		if packets == 0 || p.TsNs < firstNs {
+			firstNs = p.TsNs
+		}
+		if p.TsNs > lastNs {
+			lastNs = p.TsNs
+		}
+		packets++
+		bytes += int64(p.Len)
+		ft.Add(p)
+	}
+	records := ft.Records()
+	ds := flows.NewDataset(records)
+
+	fmt.Printf("trace: %s\n", *in)
+	fmt.Printf("  packets: %d   bytes: %.1f MB   span: %.2fs   flows: %d\n",
+		packets, float64(bytes)/(1<<20), float64(lastNs-firstNs)/1e9, len(records))
+
+	// Per-phase breakdown.
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tflows\tMB\tshare\tmedian flow KB\tp99 flow KB")
+	allPhases := append(append([]flows.Phase{}, flows.AllPhases...), flows.PhaseOther)
+	for _, ph := range allPhases {
+		n := ds.Count(ph)
+		if n == 0 {
+			continue
+		}
+		sizes := ds.Sizes(ph)
+		e := stats.NewECDF(sizes)
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f%%\t%.1f\t%.1f\n",
+			ph, n, float64(ds.Volume(ph))/(1<<20),
+			100*float64(ds.Volume(ph))/float64(maxInt64(1, bytes)),
+			e.Quantile(0.5)/1024, e.Quantile(0.99)/1024)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Top talkers by bytes sent.
+	talkers := map[pcap.Addr]int64{}
+	for _, rec := range records {
+		talkers[rec.Key.Src] += rec.Bytes
+	}
+	type talker struct {
+		addr  pcap.Addr
+		bytes int64
+	}
+	list := make([]talker, 0, len(talkers))
+	for a, b := range talkers {
+		list = append(list, talker{a, b})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].bytes != list[j].bytes {
+			return list[i].bytes > list[j].bytes
+		}
+		return list[i].addr < list[j].addr
+	})
+	if len(list) > *top {
+		list = list[:*top]
+	}
+	fmt.Println("top talkers (bytes sent):")
+	for _, tk := range list {
+		fmt.Printf("  %-15s %10.1f MB\n", tk.addr, float64(tk.bytes)/(1<<20))
+	}
+
+	if *flowCSV != "" {
+		if err := writeFlowCSV(*flowCSV, ds); err != nil {
+			return fmt.Errorf("flow csv: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d flows\n", *flowCSV, len(records))
+	}
+	return nil
+}
+
+func writeFlowCSV(path string, ds *flows.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"first_s", "last_s", "src", "dst", "src_port", "dst_port", "bytes", "packets", "phase"}); err != nil {
+		return err
+	}
+	for i, rec := range ds.Records {
+		row := []string{
+			strconv.FormatFloat(float64(rec.FirstNs)/1e9, 'f', 6, 64),
+			strconv.FormatFloat(float64(rec.LastNs)/1e9, 'f', 6, 64),
+			rec.Key.Src.String(),
+			rec.Key.Dst.String(),
+			strconv.Itoa(int(rec.Key.SrcPort)),
+			strconv.Itoa(int(rec.Key.DstPort)),
+			strconv.FormatInt(rec.Bytes, 10),
+			strconv.FormatInt(rec.Packets, 10),
+			string(ds.Phase(i)),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module keddah
+
+go 1.22

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"keddah/internal/flows"
+)
+
+// This file provides external-simulator exports of synthetic schedules —
+// the role the original toolchain's ns-3 module plays. Two formats:
+//
+//   - CSV: one flow per row (start_s, src, dst, src_port, dst_port,
+//     bytes, phase, job). Trivially consumed by pandas/gnuplot or a
+//     custom simulator application.
+//   - NS3: a C++-ish command stream for a BulkSendApplication-style
+//     replay driver: one "flow" directive per line plus node-count
+//     metadata, matching the keddah-ns3 driver convention:
+//
+//     # keddah-ns3 v1
+//     nodes <workers+1>
+//     flow <start_s> <srcNode> <dstNode> <dstPort> <bytes> <tag>
+//
+// Host numbering in both formats: workers are 0..N-1 and the master is
+// node N (the last index), so a driver can allocate N+1 ns-3 nodes and
+// wire them to its chosen topology helper.
+
+// ExportCSV writes the schedule as CSV with a header row.
+func ExportCSV(w io.Writer, schedule []SynthFlow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_s", "src_host", "dst_host", "src_port", "dst_port", "bytes", "phase", "job"}); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	for _, sf := range schedule {
+		rec := []string{
+			strconv.FormatFloat(float64(sf.StartNs)/1e9, 'f', 9, 64),
+			strconv.Itoa(sf.SrcHost),
+			strconv.Itoa(sf.DstHost),
+			strconv.Itoa(sf.SrcPort),
+			strconv.Itoa(sf.DstPort),
+			strconv.FormatInt(sf.Bytes, 10),
+			string(sf.Phase),
+			sf.Job,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV reads a schedule previously written by ExportCSV.
+func ImportCSV(r io.Reader) ([]SynthFlow, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	if len(header) != 8 || header[0] != "start_s" {
+		return nil, fmt.Errorf("core: not a keddah schedule CSV (header %v)", header)
+	}
+	var out []SynthFlow
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+		}
+		startS, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: start: %w", line, err)
+		}
+		ints := make([]int, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(rec[1+i])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: field %d: %w", line, i+1, err)
+			}
+			ints[i] = v
+		}
+		bytes, err := strconv.ParseInt(rec[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bytes: %w", line, err)
+		}
+		out = append(out, SynthFlow{
+			StartNs: int64(startS * 1e9),
+			SrcHost: ints[0],
+			DstHost: ints[1],
+			SrcPort: ints[2],
+			DstPort: ints[3],
+			Bytes:   bytes,
+			Phase:   flows.Phase(rec[6]),
+			Job:     rec[7],
+		})
+	}
+}
+
+// ExportNS3 writes the schedule in the keddah-ns3 driver format for the
+// given worker count.
+func ExportNS3(w io.Writer, schedule []SynthFlow, workers int) error {
+	if workers <= 0 {
+		return fmt.Errorf("core: ns3 export needs a positive worker count")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# keddah-ns3 v1")
+	fmt.Fprintf(bw, "nodes %d\n", workers+1)
+	master := workers
+	node := func(h int) int {
+		if h < 0 {
+			return master
+		}
+		return h % workers
+	}
+	for _, sf := range schedule {
+		tag := string(sf.Phase)
+		if sf.Job != "" {
+			tag = sf.Job + ":" + tag
+		}
+		fmt.Fprintf(bw, "flow %.9f %d %d %d %d %s\n",
+			float64(sf.StartNs)/1e9, node(sf.SrcHost), node(sf.DstHost),
+			sf.DstPort, sf.Bytes, sanitizeTag(tag))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flush ns3 export: %w", err)
+	}
+	return nil
+}
+
+// sanitizeTag keeps driver lines single-token parseable.
+func sanitizeTag(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == ':', r == '-', r == '_', r == '.', r == '/':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"keddah/internal/flows"
+	"keddah/internal/pcap"
+)
+
+func sampleSchedule() []SynthFlow {
+	return []SynthFlow{
+		{StartNs: 1_500_000_000, SrcHost: 0, DstHost: 3, SrcPort: 13562, DstPort: 40001,
+			Bytes: 4 << 20, Phase: flows.PhaseShuffle, Job: "terasort-gen0"},
+		{StartNs: 2_000_000_000, SrcHost: 2, DstHost: -1, SrcPort: 40002, DstPort: 8031,
+			Bytes: 512, Phase: flows.PhaseControl, Job: "background"},
+		{StartNs: 2_250_000_000, SrcHost: 5, DstHost: 1, SrcPort: 40003, DstPort: 50010,
+			Bytes: 128 << 20, Phase: flows.PhaseHDFSWrite, Job: "terasort-gen0"},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	sched := sampleSchedule()
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, sched); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	back, err := ImportCSV(&buf)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if len(back) != len(sched) {
+		t.Fatalf("round trip lost flows: %d != %d", len(back), len(sched))
+	}
+	for i := range sched {
+		if back[i] != sched[i] {
+			t.Errorf("flow %d changed: %+v -> %+v", i, sched[i], back[i])
+		}
+	}
+}
+
+func TestImportCSVRejectsGarbage(t *testing.T) {
+	if _, err := ImportCSV(strings.NewReader("nope,nope\n1,2\n")); err == nil {
+		t.Error("garbage CSV accepted")
+	}
+	if _, err := ImportCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := "start_s,src_host,dst_host,src_port,dst_port,bytes,phase,job\nx,0,0,1,1,5,shuffle,j\n"
+	if _, err := ImportCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric start accepted")
+	}
+}
+
+func TestExportNS3Format(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportNS3(&buf, sampleSchedule(), 8); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "# keddah-ns3 v1" {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	if lines[1] != "nodes 9" {
+		t.Errorf("bad node count: %q", lines[1])
+	}
+	if len(lines) != 2+3 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	// Master (-1) maps to node index 8.
+	if !strings.Contains(lines[3], " 2 8 ") {
+		t.Errorf("master flow not remapped: %q", lines[3])
+	}
+	// Every flow line has exactly 7 tokens.
+	for _, l := range lines[2:] {
+		if got := len(strings.Fields(l)); got != 7 {
+			t.Errorf("flow line has %d tokens: %q", got, l)
+		}
+	}
+	if err := ExportNS3(&bytes.Buffer{}, nil, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestExportGeneratedSchedule(t *testing.T) {
+	ts := captureSmallCorpus(t)
+	model, err := Fit(ts, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := model.Generate(GenSpec{Workload: "terasort", Workers: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, sched); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The re-imported schedule replays identically.
+	r1, m1, err := Replay(sched, ClusterSpec{Workers: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, m2, err := Replay(back, ClusterSpec{Workers: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 || len(r1) != len(r2) {
+		t.Errorf("round-tripped schedule diverged: %v/%d vs %v/%d", m1, len(r1), m2, len(r2))
+	}
+}
+
+func TestScheduleFromRecordsTraceDrivenReplay(t *testing.T) {
+	ts := captureSmallCorpus(t)
+	var recs []pcap.FlowRecord
+	for _, r := range ts.Runs {
+		recs = append(recs, r.Records...)
+	}
+	sched := ScheduleFromRecords(recs)
+	if len(sched) != len(recs) {
+		t.Fatalf("schedule flows = %d, want %d", len(sched), len(recs))
+	}
+	// Time-shifted to zero and sorted.
+	if sched[0].StartNs != 0 {
+		t.Errorf("first flow starts at %d, want 0", sched[0].StartNs)
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i].StartNs < sched[i-1].StartNs {
+			t.Fatal("schedule not sorted")
+		}
+	}
+	// Phases and byte totals preserved.
+	var schedBytes, recBytes int64
+	for _, sf := range sched {
+		schedBytes += sf.Bytes
+	}
+	for _, r := range recs {
+		recBytes += r.Bytes
+	}
+	if schedBytes != recBytes {
+		t.Errorf("bytes: %d != %d", schedBytes, recBytes)
+	}
+	// Replays on a matching fabric.
+	out, makespan, err := Replay(sched, ClusterSpec{Workers: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(sched) || makespan <= 0 {
+		t.Errorf("replayed %d flows, makespan %v", len(out), makespan)
+	}
+	if ScheduleFromRecords(nil) != nil {
+		t.Error("empty records should yield nil schedule")
+	}
+}

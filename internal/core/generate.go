@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"keddah/internal/flows"
+	"keddah/internal/netsim"
+	"keddah/internal/pcap"
+	"keddah/internal/sim"
+	"keddah/internal/stats"
+)
+
+// SynthFlow is one synthetic transfer in a generated schedule. Host
+// indexes are worker ordinals (0-based); -1 addresses the master. A
+// schedule is simulator-agnostic: Replay runs it on the built-in netsim,
+// and the JSON form can feed an external simulator.
+type SynthFlow struct {
+	StartNs int64       `json:"startNs"`
+	SrcHost int         `json:"srcHost"`
+	DstHost int         `json:"dstHost"`
+	SrcPort int         `json:"srcPort"`
+	DstPort int         `json:"dstPort"`
+	Bytes   int64       `json:"bytes"`
+	Phase   flows.Phase `json:"phase"`
+	Job     string      `json:"job"`
+}
+
+// GenSpec parameterises traffic generation from a fitted model.
+type GenSpec struct {
+	// Workload selects the JobModel.
+	Workload string `json:"workload"`
+	// InputBytes scales the job (0 = the model's reference size).
+	InputBytes int64 `json:"inputBytes"`
+	// BlockSize (0 = model reference) sets the HDFS block size the
+	// synthetic job is assumed to run with.
+	BlockSize int64 `json:"blockSize"`
+	// Reducers (0 = scaled from the model reference) sets the reduce
+	// fan-in.
+	Reducers int `json:"reducers"`
+	// Workers is the worker host count traffic is spread over.
+	Workers int `json:"workers"`
+	// Jobs is how many job instances to generate (default 1).
+	Jobs int `json:"jobs"`
+	// Stagger spaces successive job starts as a fraction of the scaled
+	// job duration: 1 (default) is back-to-back, 0.25 overlaps four
+	// jobs — the multi-tenant scenario replays exist to study. Negative
+	// values are treated as 0 (all jobs start together).
+	Stagger float64 `json:"stagger"`
+	// IncludeBackground adds cluster heartbeat traffic from the
+	// background model.
+	IncludeBackground bool `json:"includeBackground"`
+	// Seed fixes generation randomness.
+	Seed int64 `json:"seed"`
+}
+
+func (g GenSpec) withDefaults(jm *JobModel) GenSpec {
+	if g.InputBytes <= 0 {
+		g.InputBytes = jm.RefInputBytes
+	}
+	if g.BlockSize <= 0 {
+		g.BlockSize = jm.RefBlockSize
+	}
+	if g.Workers <= 0 {
+		g.Workers = 16
+	}
+	if g.Reducers <= 0 {
+		scale := float64(g.InputBytes) / float64(jm.RefInputBytes)
+		g.Reducers = int(math.Max(1, math.Round(float64(jm.RefReducers)*scale)))
+	}
+	if g.Jobs <= 0 {
+		g.Jobs = 1
+	}
+	if g.Stagger == 0 {
+		g.Stagger = 1
+	} else if g.Stagger < 0 {
+		g.Stagger = 1e-9
+	}
+	return g
+}
+
+// phasePorts returns the (srcPort, dstPort) convention for synthetic
+// flows of a phase so that generated traffic classifies identically to
+// measured traffic.
+func phasePorts(ph flows.Phase, rng *stats.RNG) (int, int) {
+	eph := 32768 + rng.Intn(28232)
+	switch ph {
+	case flows.PhaseHDFSRead:
+		return flows.PortDataNodeData, eph
+	case flows.PhaseHDFSWrite:
+		return eph, flows.PortDataNodeData
+	case flows.PhaseShuffle:
+		return flows.PortShuffle, eph
+	default:
+		return eph, flows.PortRMTracker
+	}
+}
+
+// Generate builds a synthetic flow schedule for spec from the fitted
+// model — the toolchain's reproduction stage. Structural counts scale
+// with the requested input size and reducer fan-in; sizes, phase offsets
+// and arrival spacing are drawn from the fitted laws.
+func (m *Model) Generate(spec GenSpec) ([]SynthFlow, error) {
+	jm, ok := m.Jobs[spec.Workload]
+	if !ok {
+		return nil, fmt.Errorf("core: model has no workload %q", spec.Workload)
+	}
+	spec = spec.withDefaults(jm)
+	rng := stats.NewRNG(spec.Seed)
+
+	maps := int((spec.InputBytes + spec.BlockSize - 1) / spec.BlockSize)
+	if maps < 1 {
+		maps = 1
+	}
+	blocks := maps
+	durSecs := jm.DurationAt(spec.InputBytes)
+	if durSecs <= 0 {
+		durSecs = jm.DurationSecs
+	}
+
+	var schedule []SynthFlow
+	jobStart := 0.0
+	for job := 0; job < spec.Jobs; job++ {
+		jobName := fmt.Sprintf("%s-gen%d", spec.Workload, job)
+		// Assign task hosts round-robin with a random rotation, the way
+		// a busy scheduler spreads containers.
+		rot := rng.Intn(spec.Workers)
+		mapHost := func(i int) int { return (rot + i) % spec.Workers }
+		redHost := func(i int) int { return (rot + 7*i + 3) % spec.Workers }
+
+		for _, ph := range flows.AllPhases {
+			pm, ok := jm.Phases[ph]
+			if !ok {
+				continue
+			}
+			count := phaseCount(pm, maps, blocks, spec.Reducers, durSecs)
+			if count == 0 {
+				continue
+			}
+			sizeLaw, err := pm.Size.Build()
+			if err != nil {
+				return nil, fmt.Errorf("size law %s/%s: %w", spec.Workload, ph, err)
+			}
+			iaLaw, err := pm.InterArrival.Build()
+			if err != nil {
+				return nil, fmt.Errorf("inter-arrival law %s/%s: %w", spec.Workload, ph, err)
+			}
+			offLaw, err := pm.StartOffset.Build()
+			if err != nil {
+				return nil, fmt.Errorf("offset law %s/%s: %w", spec.Workload, ph, err)
+			}
+
+			// The size law lives in normalized space (shuffle sizes are
+			// fitted ×reducers); divide the normalizer back out for the
+			// target configuration.
+			denom := 1.0
+			if pm.SizeNormalizer == "reducers" && spec.Reducers > 0 {
+				denom = float64(spec.Reducers)
+			}
+			sampleSize := func() float64 {
+				r := rng.Float64()
+				acc := 0.0
+				for _, a := range pm.SizeAtoms {
+					acc += a.Weight
+					if r < acc {
+						return a.Value / denom
+					}
+				}
+				return winsorize(sizeLaw.Sample(rng), pm.SizeMin, pm.SizeMax) / denom
+			}
+
+			t := jobStart + math.Max(0, offLaw.Sample(rng))
+			for i := 0; i < count; i++ {
+				if i > 0 {
+					t += math.Max(0, iaLaw.Sample(rng))
+				}
+				size := int64(math.Max(1, sampleSize()))
+				src, dst := endpointsFor(ph, i, maps, spec.Reducers, spec.Workers, mapHost, redHost, rng)
+				sp, dp := phasePorts(ph, rng)
+				schedule = append(schedule, SynthFlow{
+					StartNs: int64(t * 1e9),
+					SrcHost: src,
+					DstHost: dst,
+					SrcPort: sp,
+					DstPort: dp,
+					Bytes:   size,
+					Phase:   ph,
+					Job:     jobName,
+				})
+			}
+		}
+		jobStart += durSecs * spec.Stagger
+	}
+
+	if spec.IncludeBackground && m.Background != nil {
+		bg, err := m.generateBackground(spec, jobStart, rng)
+		if err != nil {
+			return nil, err
+		}
+		schedule = append(schedule, bg...)
+	}
+
+	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].StartNs < schedule[j].StartNs })
+	return schedule, nil
+}
+
+// winsorize clamps a sampled size to the model's empirical support so
+// heavy-tailed fits cannot generate flows far larger than anything
+// measured. No-op when the support was not recorded.
+func winsorize(v, lo, hi float64) float64 {
+	if hi <= 0 {
+		return v
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// phaseCount applies the structural scaling rule.
+func phaseCount(pm *PhaseModel, maps, blocks, reducers int, durSecs float64) int {
+	var units float64
+	switch pm.Unit {
+	case "mapxreduce":
+		units = float64(maps * reducers)
+	case "block":
+		units = float64(blocks)
+	case "second":
+		units = durSecs
+	case "controlmix":
+		units = controlUnits(float64(maps), float64(reducers), durSecs)
+	case "hostsecond":
+		units = durSecs // caller multiplies by hosts
+	default:
+		units = 1
+	}
+	return int(math.Round(pm.CountPerUnit * units))
+}
+
+// endpointsFor picks a host pair matching the phase's communication
+// pattern.
+func endpointsFor(ph flows.Phase, i, maps, reducers, workers int, mapHost, redHost func(int) int, rng *stats.RNG) (int, int) {
+	switch ph {
+	case flows.PhaseShuffle:
+		// Enumerate (map, reducer) pairs as the real all-to-all does.
+		m := i % maxInt(1, maps)
+		r := (i / maxInt(1, maps)) % maxInt(1, reducers)
+		return mapHost(m), redHost(r)
+	case flows.PhaseHDFSRead:
+		// Replica host → mapper host.
+		return rng.Intn(workers), mapHost(i % maxInt(1, maps))
+	case flows.PhaseHDFSWrite:
+		// Writer (reducer or pipeline hop) → datanode.
+		src := redHost(i % maxInt(1, reducers))
+		dst := rng.Intn(workers)
+		return src, dst
+	default:
+		// Control: worker ↔ master (-1).
+		return rng.Intn(workers), -1
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// generateBackground emits heartbeat traffic over the job span.
+func (m *Model) generateBackground(spec GenSpec, spanSecs float64, rng *stats.RNG) ([]SynthFlow, error) {
+	pm := m.Background
+	sizeLaw, err := pm.Size.Build()
+	if err != nil {
+		return nil, fmt.Errorf("background size law: %w", err)
+	}
+	count := int(math.Round(pm.CountPerUnit * spanSecs * float64(spec.Workers)))
+	out := make([]SynthFlow, 0, count)
+	for i := 0; i < count; i++ {
+		t := rng.Float64() * spanSecs
+		sp, dp := phasePorts(flows.PhaseControl, rng)
+		size := sizeLaw.Sample(rng)
+		if len(pm.SizeAtoms) > 0 && rng.Float64() < pm.SizeAtoms[0].Weight {
+			size = pm.SizeAtoms[0].Value
+		}
+		out = append(out, SynthFlow{
+			StartNs: int64(t * 1e9),
+			SrcHost: rng.Intn(spec.Workers),
+			DstHost: -1,
+			SrcPort: sp,
+			DstPort: dp,
+			Bytes:   int64(math.Max(1, winsorize(size, pm.SizeMin, pm.SizeMax))),
+			Phase:   flows.PhaseControl,
+			Job:     "background",
+		})
+	}
+	return out, nil
+}
+
+// ScheduleFromRecords converts measured flow records into a replayable
+// schedule that preserves start times, endpoints, ports and sizes —
+// trace-driven simulation, the model-free alternative to Generate.
+// Record addresses must have been produced by the capture taps
+// (pcap.HostAddr over node ids); the first host maps to the master.
+func ScheduleFromRecords(records []pcap.FlowRecord) []SynthFlow {
+	if len(records) == 0 {
+		return nil
+	}
+	base := records[0].FirstNs
+	for _, r := range records {
+		if r.FirstNs < base {
+			base = r.FirstNs
+		}
+	}
+	out := make([]SynthFlow, 0, len(records))
+	for _, r := range records {
+		job := r.Label
+		if i := strings.IndexByte(job, '/'); i >= 0 {
+			job = job[:i]
+		}
+		out = append(out, SynthFlow{
+			StartNs: r.FirstNs - base,
+			// Node id 0 is conventionally the master host in the
+			// capture clusters; shift worker ids down by one and send
+			// master traffic to -1.
+			SrcHost: r.Key.Src.HostIndex() - 1,
+			DstHost: r.Key.Dst.HostIndex() - 1,
+			SrcPort: int(r.Key.SrcPort),
+			DstPort: int(r.Key.DstPort),
+			Bytes:   r.Bytes,
+			Phase:   flows.Classify(r),
+			Job:     job,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
+	return out
+}
+
+// Replay runs a synthetic schedule on a topology built from cluster and
+// returns the captured flow records plus the simulated makespan — the
+// "for use with network simulators" half of the toolchain.
+func Replay(schedule []SynthFlow, cluster ClusterSpec) ([]pcap.FlowRecord, sim.Time, error) {
+	topo, err := cluster.BuildTopology()
+	if err != nil {
+		return nil, 0, err
+	}
+	eng := sim.New()
+	net := netsim.NewNetwork(eng, topo, netsim.Config{})
+	capture := pcap.NewCapture()
+	net.AddTap(capture)
+
+	hosts := topo.Hosts()
+	if len(hosts) < 2 {
+		return nil, 0, fmt.Errorf("core: replay topology has %d hosts", len(hosts))
+	}
+	master, workers := hosts[0], hosts[1:]
+	resolve := func(h int) netsim.NodeID {
+		if h < 0 {
+			return master
+		}
+		return workers[h%len(workers)]
+	}
+
+	for _, sf := range schedule {
+		sf := sf
+		if _, err := eng.At(sim.Time(sf.StartNs), func() {
+			// Same-host pairs ride the loopback path, exactly as local
+			// shuffle fetches and node-local HDFS reads do on a real
+			// cluster (and in the measured captures).
+			src, dst := resolve(sf.SrcHost), resolve(sf.DstHost)
+			if _, err := net.StartFlow(netsim.FlowSpec{
+				Src:       src,
+				Dst:       dst,
+				SrcPort:   sf.SrcPort,
+				DstPort:   sf.DstPort,
+				SizeBytes: sf.Bytes,
+				Label:     sf.Job + "/" + string(sf.Phase),
+			}); err != nil {
+				panic(fmt.Sprintf("core: replay flow: %v", err))
+			}
+		}); err != nil {
+			return nil, 0, fmt.Errorf("schedule flow: %w", err)
+		}
+	}
+	end, err := eng.RunAll()
+	if err != nil {
+		return nil, 0, fmt.Errorf("replay: %w", err)
+	}
+	return capture.Truth(), end, nil
+}

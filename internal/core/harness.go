@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"keddah/internal/flows"
+	"keddah/internal/hadoop"
+	"keddah/internal/hadoop/hdfs"
+	"keddah/internal/hadoop/yarn"
+	"keddah/internal/netsim"
+	"keddah/internal/pcap"
+	"keddah/internal/sim"
+	"keddah/internal/workload"
+)
+
+// ClusterSpec describes the testbed a capture session runs on. It covers
+// the configuration axes the paper varies: cluster size, fabric shape and
+// capacity, HDFS block size and replication, and container slots.
+type ClusterSpec struct {
+	// Topology is "star", "multirack" or "fattree" (default "star").
+	Topology string `json:"topology"`
+	// Workers is the worker host count (star/multirack). One extra
+	// master host is always added.
+	Workers int `json:"workers"`
+	// Racks is the rack count for multirack (default 2).
+	Racks int `json:"racks"`
+	// HostGbps is the access-link capacity (default 1).
+	HostGbps float64 `json:"hostGbps"`
+	// UplinkGbps is the rack uplink capacity for multirack (default 10).
+	UplinkGbps float64 `json:"uplinkGbps"`
+	// FatTreeK is the fat-tree arity (hosts = k³/4; first host is the
+	// master).
+	FatTreeK int `json:"fatTreeK"`
+	// BlockSize / Replication / SlotsPerNode are Hadoop parameters
+	// (defaults 128 MiB, 3, 4).
+	BlockSize    int64 `json:"blockSize"`
+	Replication  int   `json:"replication"`
+	SlotsPerNode int   `json:"slotsPerNode"`
+	// LocalityWaitNs overrides the delay-scheduling window (0 = the
+	// YARN default of 3s; pass 1 to disable locality waiting — the A1
+	// ablation).
+	LocalityWaitNs int64 `json:"localityWaitNs"`
+	// Allocator selects the bandwidth sharing model: "" or "maxmin"
+	// (default), or "equalsplit" (the A2 ablation).
+	Allocator string `json:"allocator"`
+	// Seed fixes all randomness.
+	Seed int64 `json:"seed"`
+}
+
+func (s ClusterSpec) withDefaults() ClusterSpec {
+	if s.Topology == "" {
+		s.Topology = "star"
+	}
+	if s.Workers <= 0 {
+		s.Workers = 16
+	}
+	if s.Racks <= 0 {
+		s.Racks = 2
+	}
+	if s.HostGbps <= 0 {
+		s.HostGbps = 1
+	}
+	if s.UplinkGbps <= 0 {
+		s.UplinkGbps = 10
+	}
+	if s.FatTreeK <= 0 {
+		s.FatTreeK = 4
+	}
+	return s
+}
+
+// BuildTopology constructs the fabric described by the spec.
+func (s ClusterSpec) BuildTopology() (*netsim.Topology, error) {
+	s = s.withDefaults()
+	switch s.Topology {
+	case "star":
+		return netsim.Star(s.Workers+1, s.HostGbps*netsim.Gbps)
+	case "multirack":
+		total := s.Workers + 1
+		perRack := (total + s.Racks - 1) / s.Racks
+		return netsim.MultiRack(s.Racks, perRack, s.HostGbps*netsim.Gbps, s.UplinkGbps*netsim.Gbps)
+	case "fattree":
+		return netsim.FatTree(s.FatTreeK, s.HostGbps*netsim.Gbps)
+	default:
+		return nil, fmt.Errorf("core: unknown topology %q", s.Topology)
+	}
+}
+
+// BuildCluster assembles a Hadoop cluster on the spec's fabric.
+func (s ClusterSpec) BuildCluster() (*hadoop.Cluster, error) {
+	topo, err := s.BuildTopology()
+	if err != nil {
+		return nil, err
+	}
+	s = s.withDefaults()
+	var alloc netsim.Allocator
+	switch s.Allocator {
+	case "", "maxmin":
+		alloc = netsim.AllocMaxMin
+	case "equalsplit":
+		alloc = netsim.AllocEqualSplit
+	default:
+		return nil, fmt.Errorf("core: unknown allocator %q", s.Allocator)
+	}
+	return hadoop.New(topo, hadoop.Config{
+		HDFS: hdfs.Config{BlockSize: s.BlockSize, Replication: s.Replication},
+		YARN: yarn.Config{SlotsPerNode: s.SlotsPerNode, LocalityWait: sim.Time(s.LocalityWaitNs)},
+		Net:  netsim.Config{Allocator: alloc},
+		Seed: s.Seed,
+	})
+}
+
+// FailureSpec injects a whole-worker failure during a capture session.
+type FailureSpec struct {
+	// WorkerIndex selects the victim among the cluster's workers.
+	WorkerIndex int `json:"workerIndex"`
+	// AtNs is the simulated failure time.
+	AtNs int64 `json:"atNs"`
+}
+
+// CaptureOpts extends Capture with optional session behaviour.
+type CaptureOpts struct {
+	Failures []FailureSpec
+}
+
+// Capture runs the given workloads sequentially on a fresh cluster built
+// from spec, tapping every flow, and reduces the capture into a TraceSet:
+// one Run per MapReduce round, with cluster-wide heartbeat traffic in
+// Background. This is the toolchain's measurement stage.
+func Capture(spec ClusterSpec, runSpecs []workload.RunSpec) (*TraceSet, []workload.RunResult, error) {
+	return CaptureWith(spec, runSpecs, CaptureOpts{})
+}
+
+// CaptureWith is Capture with failure injection and other session options.
+func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts) (*TraceSet, []workload.RunResult, error) {
+	spec = spec.withDefaults()
+	cluster, err := spec.BuildCluster()
+	if err != nil {
+		return nil, nil, fmt.Errorf("build cluster: %w", err)
+	}
+	for _, f := range opts.Failures {
+		workers := cluster.Workers()
+		if f.WorkerIndex < 0 || f.WorkerIndex >= len(workers) {
+			return nil, nil, fmt.Errorf("core: failure worker index %d out of range", f.WorkerIndex)
+		}
+		if err := cluster.FailWorker(workers[f.WorkerIndex], sim.Time(f.AtNs)); err != nil {
+			return nil, nil, fmt.Errorf("schedule failure: %w", err)
+		}
+	}
+	capture := pcap.NewCapture()
+	cluster.Net.AddTap(capture)
+
+	results := make([]workload.RunResult, 0, len(runSpecs))
+	// Run workloads strictly one after another so each run's traffic is
+	// cleanly attributable (the paper isolates jobs the same way).
+	var launch func(i int) error
+	launch = func(i int) error {
+		if i == len(runSpecs) {
+			return nil
+		}
+		rs := runSpecs[i]
+		if rs.JobName == "" {
+			rs.JobName = fmt.Sprintf("%s%d", rs.Profile, i)
+		}
+		return workload.Run(cluster, rs, i, func(res workload.RunResult) {
+			results = append(results, res)
+			if err := launch(i + 1); err != nil {
+				panic(fmt.Sprintf("core: launch run %d: %v", i+1, err))
+			}
+		})
+	}
+	if err := launch(0); err != nil {
+		return nil, nil, fmt.Errorf("launch first run: %w", err)
+	}
+	if _, err := cluster.RunToIdle(); err != nil {
+		return nil, nil, fmt.Errorf("simulate: %w", err)
+	}
+
+	ts, err := reduceCapture(spec, capture.Truth(), results)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts.Stats = CaptureStats{
+		ReReplicatedBytes:  cluster.FS.ReReplicatedBytes,
+		ReReplicatedBlocks: cluster.FS.ReReplicatedBlocks,
+		LostContainers:     cluster.RM.LostContainers,
+		LostBlocks:         cluster.FS.LostBlocks,
+	}
+	return ts, results, nil
+}
+
+// reduceCapture groups ground-truth flow records into per-job Runs plus
+// cluster background traffic.
+func reduceCapture(spec ClusterSpec, records []pcap.FlowRecord, results []workload.RunResult) (*TraceSet, error) {
+	groups := flows.GroupByJob(records)
+	ts := &TraceSet{BackgroundHosts: spec.Workers}
+
+	// Background: cluster-wide heartbeats (yarn/*, hdfs/*).
+	for _, key := range []string{"yarn", "hdfs"} {
+		if g, ok := groups[key]; ok {
+			ts.Background = append(ts.Background, g.Records...)
+		}
+	}
+	if len(ts.Background) > 0 {
+		first, last := flows.NewDataset(ts.Background).Span()
+		ts.BackgroundSpanNs = last - first
+	}
+
+	for _, rr := range results {
+		for _, round := range rr.Rounds {
+			g, ok := groups[round.Name]
+			if !ok {
+				return nil, fmt.Errorf("core: no captured flows for job %s", round.Name)
+			}
+			ts.Runs = append(ts.Runs, &Run{
+				Workload:    rr.Spec.Profile,
+				JobName:     round.Name,
+				InputBytes:  round.InputBytes,
+				Maps:        round.Maps,
+				Reducers:    round.Reducers,
+				BlockSize:   blockSizeOr(spec.BlockSize),
+				Replication: replicationOr(spec.Replication),
+				Hosts:       spec.Workers,
+				StartNs:     int64(round.Submitted),
+				EndNs:       int64(round.Finished),
+				Records:     g.Records,
+			})
+		}
+	}
+	return ts, nil
+}
+
+func blockSizeOr(v int64) int64 {
+	if v <= 0 {
+		return 128 << 20
+	}
+	return v
+}
+
+func replicationOr(v int) int {
+	if v <= 0 {
+		return 3
+	}
+	return v
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"strings"
+
+	"keddah/internal/stats"
+)
+
+// MixSpec parameterises a multi-tenant scenario: jobs of several
+// workloads arriving as a Poisson process over a time window — the
+// "more realistic scenarios" the paper's abstract motivates. Each
+// arrival instantiates one job from the fitted model library.
+type MixSpec struct {
+	// Weights gives each workload's relative arrival frequency. Only
+	// workloads present in the model library are valid.
+	Weights map[string]float64 `json:"weights"`
+	// JobsPerMinute is the Poisson arrival rate (default 2).
+	JobsPerMinute float64 `json:"jobsPerMinute"`
+	// WindowSecs is the arrival window; jobs arriving near the end
+	// still run to completion (default 300).
+	WindowSecs float64 `json:"windowSecs"`
+	// InputScale multiplies each model's reference input size
+	// (default 1).
+	InputScale float64 `json:"inputScale"`
+	// Workers spreads traffic over this many hosts (default 16).
+	Workers int `json:"workers"`
+	// IncludeBackground adds cluster heartbeat traffic over the window.
+	IncludeBackground bool `json:"includeBackground"`
+	// Seed fixes arrivals and per-job generation.
+	Seed int64 `json:"seed"`
+}
+
+func (m MixSpec) withDefaults() MixSpec {
+	if m.JobsPerMinute <= 0 {
+		m.JobsPerMinute = 2
+	}
+	if m.WindowSecs <= 0 {
+		m.WindowSecs = 300
+	}
+	if m.InputScale <= 0 {
+		m.InputScale = 1
+	}
+	if m.Workers <= 0 {
+		m.Workers = 16
+	}
+	return m
+}
+
+// GenerateMix builds a synthetic multi-job schedule from the model
+// library. Arrivals are Poisson; workloads are drawn by weight; each
+// arrival's traffic is one Generate(Jobs=1) instance shifted to its
+// arrival time.
+func (m *Model) GenerateMix(spec MixSpec) ([]SynthFlow, error) {
+	spec = spec.withDefaults()
+	if len(spec.Weights) == 0 {
+		return nil, fmt.Errorf("core: mix needs at least one weighted workload")
+	}
+	// Deterministic weighted sampler over sorted names.
+	names := make([]string, 0, len(spec.Weights))
+	var total float64
+	for name, w := range spec.Weights {
+		if w < 0 {
+			return nil, fmt.Errorf("core: negative weight for %q", name)
+		}
+		if _, ok := m.Jobs[name]; !ok {
+			return nil, fmt.Errorf("core: model has no workload %q", name)
+		}
+		names = append(names, name)
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("core: mix weights sum to zero")
+	}
+	sort.Strings(names)
+
+	rng := stats.NewRNG(spec.Seed)
+	pick := func() string {
+		r := rng.Float64() * total
+		acc := 0.0
+		for _, n := range names {
+			acc += spec.Weights[n]
+			if r < acc {
+				return n
+			}
+		}
+		return names[len(names)-1]
+	}
+
+	var schedule []SynthFlow
+	meanGapSecs := 60 / spec.JobsPerMinute
+	t := rng.ExpFloat64() * meanGapSecs
+	arrival := 0
+	for t < spec.WindowSecs {
+		wl := pick()
+		jm := m.Jobs[wl]
+		job, err := m.Generate(GenSpec{
+			Workload:   wl,
+			InputBytes: int64(float64(jm.RefInputBytes) * spec.InputScale),
+			Workers:    spec.Workers,
+			Jobs:       1,
+			Seed:       spec.Seed + int64(arrival)*7919,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mix arrival %d (%s): %w", arrival, wl, err)
+		}
+		shift := int64(t * 1e9)
+		label := fmt.Sprintf("%s-mix%d", wl, arrival)
+		for _, sf := range job {
+			sf.StartNs += shift
+			sf.Job = label
+			schedule = append(schedule, sf)
+		}
+		arrival++
+		t += rng.ExpFloat64() * meanGapSecs
+	}
+
+	if spec.IncludeBackground && m.Background != nil {
+		// Cover arrivals plus the tail of the last job.
+		span := spec.WindowSecs
+		for _, sf := range schedule {
+			if end := float64(sf.StartNs) / 1e9; end > span {
+				span = end
+			}
+		}
+		bg, err := m.generateBackground(GenSpec{Workers: spec.Workers}, span, rng)
+		if err != nil {
+			return nil, err
+		}
+		schedule = append(schedule, bg...)
+	}
+
+	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].StartNs < schedule[j].StartNs })
+	return schedule, nil
+}
+
+// MixSummary reports per-workload composition of a mix schedule.
+type MixSummary struct {
+	Arrivals map[string]int   `json:"arrivals"`
+	Bytes    map[string]int64 `json:"bytes"`
+	Flows    int              `json:"flows"`
+	SpanSecs float64          `json:"spanSecs"`
+}
+
+// SummarizeMix aggregates a generated mix schedule by workload (job
+// labels have the form "<workload>-mix<N>").
+func SummarizeMix(schedule []SynthFlow) MixSummary {
+	s := MixSummary{Arrivals: map[string]int{}, Bytes: map[string]int64{}}
+	seen := map[string]bool{}
+	var minNs, maxNs int64 = math.MaxInt64, 0
+	for _, sf := range schedule {
+		wl := sf.Job
+		if i := strings.LastIndex(wl, "-mix"); i >= 0 {
+			wl = wl[:i]
+		}
+		if !seen[sf.Job] && sf.Job != "background" {
+			seen[sf.Job] = true
+			s.Arrivals[wl]++
+		}
+		s.Bytes[wl] += sf.Bytes
+		s.Flows++
+		if sf.StartNs < minNs {
+			minNs = sf.StartNs
+		}
+		if sf.StartNs > maxNs {
+			maxNs = sf.StartNs
+		}
+	}
+	if s.Flows > 0 {
+		s.SpanSecs = float64(maxNs-minNs) / 1e9
+	}
+	return s
+}

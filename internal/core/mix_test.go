@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"keddah/internal/workload"
+)
+
+// mixModel fits a two-workload model for mix tests.
+func mixModel(t *testing.T) *Model {
+	t.Helper()
+	ts, _, err := Capture(ClusterSpec{Workers: 8, Seed: 13}, []workload.RunSpec{
+		{Profile: "terasort", InputBytes: 512 << 20, JobName: "t0", InputPath: "/d/t"},
+		{Profile: "terasort", InputBytes: 512 << 20, JobName: "t1", InputPath: "/d/t"},
+		{Profile: "wordcount", InputBytes: 512 << 20, JobName: "w0", InputPath: "/d/w"},
+		{Profile: "wordcount", InputBytes: 512 << 20, JobName: "w1", InputPath: "/d/w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Fit(ts, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestGenerateMixComposition(t *testing.T) {
+	model := mixModel(t)
+	sched, err := model.GenerateMix(MixSpec{
+		Weights:       map[string]float64{"terasort": 3, "wordcount": 1},
+		JobsPerMinute: 6,
+		WindowSecs:    600,
+		Workers:       8,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeMix(sched)
+	totalJobs := sum.Arrivals["terasort"] + sum.Arrivals["wordcount"]
+	// 6/min over 10 min ≈ 60 arrivals; Poisson spread allows slack.
+	if totalJobs < 35 || totalJobs > 90 {
+		t.Errorf("arrivals = %d, want ≈60", totalJobs)
+	}
+	// 3:1 weighting within sampling noise.
+	ratio := float64(sum.Arrivals["terasort"]) / float64(sum.Arrivals["wordcount"]+1)
+	if ratio < 1.5 || ratio > 6 {
+		t.Errorf("terasort:wordcount ratio = %.2f, want ≈3", ratio)
+	}
+	if sum.Flows != len(sched) {
+		t.Errorf("summary flows = %d, schedule = %d", sum.Flows, len(sched))
+	}
+	// Arrivals spread across the window.
+	if sum.SpanSecs < 300 {
+		t.Errorf("span = %.1fs, want most of the 600s window", sum.SpanSecs)
+	}
+	// Schedule is time sorted.
+	for i := 1; i < len(sched); i++ {
+		if sched[i].StartNs < sched[i-1].StartNs {
+			t.Fatal("mix schedule not sorted")
+		}
+	}
+}
+
+func TestGenerateMixDeterministic(t *testing.T) {
+	model := mixModel(t)
+	spec := MixSpec{Weights: map[string]float64{"terasort": 1}, JobsPerMinute: 4, WindowSecs: 120, Workers: 8, Seed: 9}
+	a, err := model.GenerateMix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.GenerateMix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+}
+
+func TestGenerateMixValidation(t *testing.T) {
+	model := mixModel(t)
+	if _, err := model.GenerateMix(MixSpec{}); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := model.GenerateMix(MixSpec{Weights: map[string]float64{"bogus": 1}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := model.GenerateMix(MixSpec{Weights: map[string]float64{"terasort": -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := model.GenerateMix(MixSpec{Weights: map[string]float64{"terasort": 0}}); err == nil {
+		t.Error("zero-sum weights accepted")
+	}
+}
+
+func TestGenerateMixReplays(t *testing.T) {
+	model := mixModel(t)
+	sched, err := model.GenerateMix(MixSpec{
+		Weights:       map[string]float64{"terasort": 1, "wordcount": 1},
+		JobsPerMinute: 10,
+		WindowSecs:    60,
+		Workers:       8,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, makespan, err := Replay(sched, ClusterSpec{Workers: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sched) {
+		t.Errorf("replayed %d of %d flows", len(recs), len(sched))
+	}
+	if makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}

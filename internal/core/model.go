@@ -1,0 +1,579 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"keddah/internal/flows"
+	"keddah/internal/stats"
+)
+
+// PhaseModel is the fitted empirical model of one Hadoop traffic
+// component within one workload: how many flows appear, how big each is,
+// when the component begins relative to job start, and how flow arrivals
+// are spaced. Counts carry structural scaling rules (flows-per-task /
+// flows-per-block) so a model fitted at one input size generates traffic
+// for another — the parameterised reuse the paper's toolchain provides.
+type PhaseModel struct {
+	// Size is the per-flow byte law for the continuous component.
+	Size stats.DistSpec `json:"size"`
+	// SizeAtoms are point masses drawn before the continuous law: with
+	// probability Weight a flow has exactly Value bytes.
+	SizeAtoms []Atom `json:"sizeAtoms,omitempty"`
+	// SizeMin / SizeMax bound the observed (normalized) per-flow sizes;
+	// generation winsorizes samples to this support so a heavy-tailed
+	// fit cannot extrapolate far beyond anything actually measured.
+	SizeMin float64 `json:"sizeMin"`
+	SizeMax float64 `json:"sizeMax"`
+	// SizeNormalizer names the per-run factor divided out of flow sizes
+	// before fitting (and multiplied back at generation):
+	// "reducers" for the shuffle — a shuffle flow is one map's output ÷
+	// reducer count, so the law must be fitted on reducer-normalized
+	// sizes or it cannot transfer across configurations. Empty for
+	// phases whose sizes are already scale-free (block-structured HDFS
+	// flows, fixed-size RPCs).
+	SizeNormalizer string `json:"sizeNormalizer,omitempty"`
+	// InterArrival is the seconds-between-flow-starts law.
+	InterArrival stats.DistSpec `json:"interArrival"`
+	// StartOffset is the law of (phase start − job start) in seconds.
+	StartOffset stats.DistSpec `json:"startOffset"`
+	// CountPerUnit scales flow counts: flows per structural unit
+	// (see Unit).
+	CountPerUnit float64 `json:"countPerUnit"`
+	// Unit names the structural count driver: "map", "mapxreduce",
+	// "block", "hostsecond".
+	Unit string `json:"unit"`
+	// VolumeShare is this phase's fraction of total job bytes (for
+	// reporting and sanity checks).
+	VolumeShare float64 `json:"volumeShare"`
+	// SizeGoF records goodness of fit of the chosen size law.
+	SizeGoF stats.GoFReport `json:"sizeGoF"`
+	// Candidates summarises the per-family model selection for the size
+	// law (family → AIC), best first.
+	Candidates []CandidateFit `json:"candidates,omitempty"`
+	// Samples is the number of flows the phase was fitted from.
+	Samples int `json:"samples"`
+}
+
+// CandidateFit records one family considered during model selection.
+type CandidateFit struct {
+	Family stats.Family `json:"family"`
+	AIC    float64      `json:"aic"`
+	KS     float64      `json:"ks"`
+	Failed bool         `json:"failed,omitempty"`
+}
+
+// Atom is a point mass in a spike-and-slab size model. HDFS traffic is
+// dominated by flows of exactly one block (the spike); the continuous law
+// models the remainder (partial blocks, small files).
+type Atom struct {
+	Value  float64 `json:"value"`
+	Weight float64 `json:"weight"`
+}
+
+// JobModel is the complete fitted model of one workload's traffic.
+type JobModel struct {
+	Workload string `json:"workload"`
+	// Reference parameters the model was fitted at.
+	RefInputBytes  int64   `json:"refInputBytes"`
+	RefMaps        int     `json:"refMaps"`
+	RefReducers    int     `json:"refReducers"`
+	RefBlockSize   int64   `json:"refBlockSize"`
+	RefReplication int     `json:"refReplication"`
+	RefRuns        int     `json:"refRuns"`
+	DurationSecs   float64 `json:"durationSecs"`
+	// DurIntercept/DurSecsPerByte model job duration as a linear
+	// function of input size, fitted by least squares when the corpus
+	// spans multiple sizes. Parallel clusters absorb input growth until
+	// slots saturate, so duration is affine — not proportional — in
+	// input; generation at other scales depends on getting this right.
+	DurIntercept   float64 `json:"durIntercept"`
+	DurSecsPerByte float64 `json:"durSecsPerByte"`
+	// Phases maps each traffic component to its model.
+	Phases map[flows.Phase]*PhaseModel `json:"phases"`
+	// BytesPerInputByte is total job traffic per input byte — the
+	// headline volume scaling factor.
+	BytesPerInputByte float64 `json:"bytesPerInputByte"`
+}
+
+// Model is a fitted Keddah model library: one JobModel per workload plus
+// the cluster background control-traffic model.
+type Model struct {
+	// Jobs maps workload name to its model.
+	Jobs map[string]*JobModel `json:"jobs"`
+	// Background models cluster-wide heartbeat traffic: flows per host
+	// per second with the fitted size law.
+	Background *PhaseModel `json:"background,omitempty"`
+}
+
+// FitOptions tunes the modelling stage.
+type FitOptions struct {
+	// Candidates restricts the distribution families considered
+	// (default stats.DefaultCandidates).
+	Candidates []stats.Family
+	// MinSamples is the minimum flow count to fit a law from
+	// (default 8); smaller samples fall back to a Constant at the mean.
+	MinSamples int
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.MinSamples <= 0 {
+		o.MinSamples = 8
+	}
+	return o
+}
+
+// Fit builds the empirical traffic model from a measurement corpus:
+// for every workload × phase it pools flows across runs, selects the
+// best-fitting distribution family by AIC for sizes, inter-arrivals and
+// phase start offsets, and derives the structural count scaling.
+func Fit(ts *TraceSet, opts FitOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	if len(ts.Runs) == 0 {
+		return nil, fmt.Errorf("core: trace set has no runs")
+	}
+	model := &Model{Jobs: make(map[string]*JobModel)}
+
+	for _, name := range ts.Workloads() {
+		runs := ts.ByWorkload()[name]
+		jm, err := fitWorkload(name, runs, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fit %s: %w", name, err)
+		}
+		model.Jobs[name] = jm
+	}
+
+	if len(ts.Background) > 0 && ts.BackgroundSpanNs > 0 && ts.BackgroundHosts > 0 {
+		bg, err := fitBackground(ts, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fit background: %w", err)
+		}
+		model.Background = bg
+	}
+	return model, nil
+}
+
+// fitWorkload pools a workload's runs and fits every phase.
+func fitWorkload(name string, runs []*Run, opts FitOptions) (*JobModel, error) {
+	jm := &JobModel{
+		Workload: name,
+		Phases:   make(map[flows.Phase]*PhaseModel, len(flows.AllPhases)),
+		RefRuns:  len(runs),
+	}
+	var totalBytes, totalInput, totalDur float64
+	for _, r := range runs {
+		jm.RefInputBytes += r.InputBytes
+		jm.RefMaps += r.Maps
+		jm.RefReducers += r.Reducers
+		jm.RefBlockSize = r.BlockSize
+		jm.RefReplication = r.Replication
+		totalInput += float64(r.InputBytes)
+		totalDur += r.DurationSeconds()
+	}
+	n := len(runs)
+	jm.RefInputBytes /= int64(n)
+	jm.RefMaps /= n
+	jm.RefReducers /= n
+	jm.DurationSecs = totalDur / float64(n)
+	jm.DurIntercept, jm.DurSecsPerByte = fitDurationLine(runs)
+
+	// Pool per-phase samples across runs. Start offsets, inter-arrivals
+	// and count/unit ratios are computed per run (relative to that run's
+	// own start and configuration) before pooling; shuffle flow sizes
+	// are normalized by the run's reducer count so the fitted law
+	// transfers across configurations.
+	sizes := make(map[flows.Phase][]float64)
+	inter := make(map[flows.Phase][]float64)
+	offsets := make(map[flows.Phase][]float64)
+	unitRatios := make(map[flows.Phase][]float64)
+	counts := make(map[flows.Phase]float64)
+	volumes := make(map[flows.Phase]float64)
+
+	for _, r := range runs {
+		ds := r.Dataset()
+		for _, ph := range flows.AllPhases {
+			sub := ds.ByPhase(ph)
+			if sub.Len() == 0 {
+				continue
+			}
+			norm := sizeNormFactor(ph, r)
+			for _, sz := range sub.Sizes("") {
+				sizes[ph] = append(sizes[ph], sz*norm)
+			}
+			inter[ph] = append(inter[ph], sub.InterArrivals("")...)
+			first, _ := sub.Span()
+			offsets[ph] = append(offsets[ph], float64(first-r.StartNs)/1e9)
+			if units := countUnits(ph, r); units > 0 {
+				unitRatios[ph] = append(unitRatios[ph], float64(sub.Len())/units)
+			}
+			counts[ph] += float64(sub.Len())
+			volumes[ph] += float64(sub.Volume(""))
+		}
+		totalBytes += float64(ds.Volume(""))
+	}
+
+	for _, ph := range flows.AllPhases {
+		if counts[ph] == 0 {
+			continue
+		}
+		pm := &PhaseModel{Samples: len(sizes[ph]), SizeNormalizer: sizeNormName(ph)}
+		pm.SizeMin, pm.SizeMax = sampleRange(sizes[ph])
+		atoms, rest := extractAtoms(sizes[ph])
+		pm.SizeAtoms = atoms
+		var err error
+		pm.Size, pm.SizeGoF, pm.Candidates, err = fitLaw(rest, opts)
+		if err != nil {
+			return nil, fmt.Errorf("phase %s sizes: %w", ph, err)
+		}
+		pm.InterArrival, _, _, err = fitLaw(inter[ph], opts)
+		if err != nil {
+			return nil, fmt.Errorf("phase %s inter-arrivals: %w", ph, err)
+		}
+		pm.StartOffset, _, _, err = fitLaw(offsets[ph], opts)
+		if err != nil {
+			return nil, fmt.Errorf("phase %s offsets: %w", ph, err)
+		}
+		if totalBytes > 0 {
+			pm.VolumeShare = volumes[ph] / totalBytes
+		}
+		pm.Unit = unitName(ph)
+		pm.CountPerUnit = meanOf(unitRatios[ph])
+		if pm.CountPerUnit == 0 {
+			pm.Unit = "job"
+			pm.CountPerUnit = counts[ph] / float64(n)
+		}
+		jm.Phases[ph] = pm
+	}
+	if totalInput > 0 {
+		jm.BytesPerInputByte = totalBytes / totalInput
+	}
+	return jm, nil
+}
+
+// fitDurationLine least-squares-fits duration = a + b·input over the
+// corpus runs. When the corpus does not span enough size variation to
+// identify a slope (relative spread < 5%), it falls back to the
+// proportional model (a=0, b=meanDur/meanInput).
+func fitDurationLine(runs []*Run) (a, b float64) {
+	n := float64(len(runs))
+	var sx, sy, sxx, sxy float64
+	for _, r := range runs {
+		x := float64(r.InputBytes)
+		y := r.DurationSeconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	meanX := sx / n
+	meanY := sy / n
+	varX := sxx/n - meanX*meanX
+	if meanX <= 0 || varX < (0.05*meanX)*(0.05*meanX) {
+		if meanX > 0 {
+			return 0, meanY / meanX
+		}
+		return meanY, 0
+	}
+	b = (sxy/n - meanX*meanY) / varX
+	a = meanY - b*meanX
+	// Clamp to sane territory: durations never shrink with input.
+	if b < 0 {
+		b = 0
+		a = meanY
+	}
+	if a < 0 {
+		a = 0
+		b = meanY / meanX
+	}
+	return a, b
+}
+
+// DurationAt predicts the job duration for an input size using the
+// fitted affine model (falling back to proportional scaling for models
+// serialised before the line was recorded).
+func (jm *JobModel) DurationAt(inputBytes int64) float64 {
+	if jm.DurSecsPerByte > 0 || jm.DurIntercept > 0 {
+		return jm.DurIntercept + jm.DurSecsPerByte*float64(inputBytes)
+	}
+	if jm.RefInputBytes > 0 {
+		return jm.DurationSecs * float64(inputBytes) / float64(jm.RefInputBytes)
+	}
+	return jm.DurationSecs
+}
+
+// meanOf averages a slice (0 for empty).
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// unitName names the structural count driver of a phase: shuffle flows
+// scale with map×reduce pairs, HDFS flows with blocks, control flows
+// with job duration.
+func unitName(ph flows.Phase) string {
+	switch ph {
+	case flows.PhaseShuffle:
+		return "mapxreduce"
+	case flows.PhaseHDFSRead, flows.PhaseHDFSWrite:
+		return "block"
+	case flows.PhaseControl:
+		return "controlmix"
+	default:
+		return "job"
+	}
+}
+
+// countUnits evaluates one run's structural unit count for a phase, so
+// CountPerUnit can be the mean of per-run ratios (a ratio of means is
+// wrong when runs span configurations — counts are multiplicative in
+// maps × reducers, not linear in their averages).
+func countUnits(ph flows.Phase, r *Run) float64 {
+	switch ph {
+	case flows.PhaseShuffle:
+		return float64(r.Maps * r.Reducers)
+	case flows.PhaseHDFSRead, flows.PhaseHDFSWrite:
+		if r.BlockSize > 0 {
+			// Integral blocks: a 1.05-block input still has 2 splits.
+			return float64((r.InputBytes + r.BlockSize - 1) / r.BlockSize)
+		}
+	case flows.PhaseControl:
+		// Control traffic decomposes into per-task exchanges (container
+		// launch, umbilical beats, completion reports ≈ 3/map + 2/reducer),
+		// per-block NameNode RPCs (≈ 1/block, maps is the block count),
+		// and per-second AM heartbeats.
+		return controlUnits(float64(r.Maps), float64(r.Reducers), r.DurationSeconds())
+	}
+	return 0
+}
+
+// controlUnits is the composite driver for control-flow counts.
+func controlUnits(maps, reducers, durSecs float64) float64 {
+	return 3*maps + 2*reducers + durSecs
+}
+
+// sizeNormName / sizeNormFactor implement per-run flow-size
+// normalization: a shuffle flow carries one map output ÷ reducer count,
+// so fitting pools size × reducers and generation divides back out.
+func sizeNormName(ph flows.Phase) string {
+	if ph == flows.PhaseShuffle {
+		return "reducers"
+	}
+	return ""
+}
+
+func sizeNormFactor(ph flows.Phase, r *Run) float64 {
+	if ph == flows.PhaseShuffle && r.Reducers > 0 {
+		return float64(r.Reducers)
+	}
+	return 1
+}
+
+// sampleRange returns the min and max of a sample (0,0 when empty).
+func sampleRange(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// atomMinFraction is the sample share an exact repeated value must reach
+// to become a point mass; atomMaxCount bounds the spike count.
+const (
+	atomMinFraction = 0.2
+	atomMaxCount    = 2
+)
+
+// extractAtoms pulls dominant exact repeated values (block-sized HDFS
+// flows, fixed-size RPCs) out of a size sample, returning the point
+// masses and the remaining continuous sub-sample.
+func extractAtoms(xs []float64) ([]Atom, []float64) {
+	if len(xs) < 5 {
+		return nil, xs
+	}
+	counts := make(map[float64]int, len(xs))
+	for _, x := range xs {
+		counts[x]++
+	}
+	// Collect candidate spikes above threshold, deterministically ordered
+	// by weight (ties by value).
+	type kv struct {
+		v float64
+		n int
+	}
+	var cands []kv
+	minCount := int(atomMinFraction * float64(len(xs)))
+	if minCount < 2 {
+		minCount = 2
+	}
+	for v, n := range counts {
+		if n >= minCount {
+			cands = append(cands, kv{v, n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].v < cands[j].v
+	})
+	if len(cands) > atomMaxCount {
+		cands = cands[:atomMaxCount]
+	}
+	if len(cands) == 0 {
+		return nil, xs
+	}
+	spikes := make(map[float64]bool, len(cands))
+	atoms := make([]Atom, 0, len(cands))
+	for _, c := range cands {
+		spikes[c.v] = true
+		atoms = append(atoms, Atom{Value: c.v, Weight: float64(c.n) / float64(len(xs))})
+	}
+	rest := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !spikes[x] {
+			rest = append(rest, x)
+		}
+	}
+	return atoms, rest
+}
+
+// fitLaw selects the best distribution for a sample, degrading gracefully
+// for small or degenerate samples.
+func fitLaw(xs []float64, opts FitOptions) (stats.DistSpec, stats.GoFReport, []CandidateFit, error) {
+	if len(xs) == 0 {
+		c, _ := stats.NewConstant(0)
+		return stats.Spec(c), stats.GoFReport{}, nil, nil
+	}
+	if len(xs) < opts.MinSamples {
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		c, err := stats.NewConstant(mean)
+		if err != nil {
+			return stats.DistSpec{}, stats.GoFReport{}, nil, err
+		}
+		return stats.Spec(c), sanitizeGoF(stats.Evaluate(c, xs)), nil, nil
+	}
+	best, all, err := stats.SelectBest(xs, opts.Candidates)
+	if err != nil {
+		// No candidate family could represent this sample (e.g. zeros
+		// under an exponential-only candidate set). Degrade to a point
+		// mass at the mean rather than failing the whole model.
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		c, cerr := stats.NewConstant(mean)
+		if cerr != nil {
+			return stats.DistSpec{}, stats.GoFReport{}, nil, cerr
+		}
+		return stats.Spec(c), sanitizeGoF(stats.Evaluate(c, xs)), nil, nil
+	}
+	cands := make([]CandidateFit, 0, len(all))
+	for _, fr := range all {
+		cf := CandidateFit{AIC: finiteOr(fr.AIC, 0), KS: finiteOr(fr.KS, 1)}
+		if fr.Err != nil || !isFinite(fr.AIC) {
+			cf.Failed = true
+		}
+		if fr.Dist != nil {
+			cf.Family = fr.Dist.Family()
+		}
+		cands = append(cands, cf)
+	}
+	return stats.Spec(best), sanitizeGoF(stats.Evaluate(best, xs)), cands, nil
+}
+
+// isFinite reports whether x is a normal float (not NaN/±Inf).
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// finiteOr replaces non-finite values so the model stays JSON-encodable.
+func finiteOr(x, fallback float64) float64 {
+	if isFinite(x) {
+		return x
+	}
+	return fallback
+}
+
+// sanitizeGoF scrubs non-finite goodness-of-fit values (degenerate
+// likelihoods under Constant laws).
+func sanitizeGoF(g stats.GoFReport) stats.GoFReport {
+	g.KS = finiteOr(g.KS, 1)
+	g.KSP = finiteOr(g.KSP, 0)
+	g.CvM = finiteOr(g.CvM, 0)
+	g.AD = finiteOr(g.AD, 0)
+	g.AIC = finiteOr(g.AIC, 0)
+	g.BIC = finiteOr(g.BIC, 0)
+	g.LogLik = finiteOr(g.LogLik, 0)
+	return g
+}
+
+// fitBackground models cluster-wide heartbeat traffic.
+func fitBackground(ts *TraceSet, opts FitOptions) (*PhaseModel, error) {
+	ds := flows.NewDataset(ts.Background)
+	pm := &PhaseModel{Samples: ds.Len(), Unit: "hostsecond"}
+	pm.SizeMin, pm.SizeMax = sampleRange(ds.Sizes(""))
+	var err error
+	pm.Size, pm.SizeGoF, pm.Candidates, err = fitLaw(ds.Sizes(""), opts)
+	if err != nil {
+		return nil, fmt.Errorf("background sizes: %w", err)
+	}
+	pm.InterArrival, _, _, err = fitLaw(ds.InterArrivals(""), opts)
+	if err != nil {
+		return nil, fmt.Errorf("background inter-arrivals: %w", err)
+	}
+	off, _ := stats.NewConstant(0)
+	pm.StartOffset = stats.Spec(off)
+	spanSecs := float64(ts.BackgroundSpanNs) / 1e9
+	pm.CountPerUnit = float64(ds.Len()) / (spanSecs * float64(ts.BackgroundHosts))
+	return pm, nil
+}
+
+// WriteJSON serialises the model library.
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("encode model: %w", err)
+	}
+	return nil
+}
+
+// ReadModel deserialises a model library.
+func ReadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("decode model: %w", err)
+	}
+	return &m, nil
+}
+
+// WorkloadNames lists the model's workloads sorted.
+func (m *Model) WorkloadNames() []string {
+	names := make([]string, 0, len(m.Jobs))
+	for k := range m.Jobs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,115 @@
+// Package core implements the Keddah toolchain itself: capturing traffic
+// from (simulated) Hadoop cluster runs, reducing it to per-job per-phase
+// flow datasets, fitting empirical distribution models, serialising those
+// models, regenerating synthetic traffic from them inside a network
+// simulator, and validating generated against measured traffic.
+//
+// The pipeline mirrors the paper:
+//
+//	capture → classify → model → generate → validate
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"keddah/internal/flows"
+	"keddah/internal/pcap"
+)
+
+// Run is the captured traffic of one job execution plus the job metadata
+// the model is parameterised on.
+type Run struct {
+	// Workload names the profile ("terasort").
+	Workload string `json:"workload"`
+	// JobName is the per-run unique job label ("terasort0-r0").
+	JobName string `json:"jobName"`
+	// InputBytes, Maps, Reducers are the job parameters.
+	InputBytes int64 `json:"inputBytes"`
+	Maps       int   `json:"maps"`
+	Reducers   int   `json:"reducers"`
+	// BlockSize and Replication are the cluster parameters in force.
+	BlockSize   int64 `json:"blockSize"`
+	Replication int   `json:"replication"`
+	// Hosts is the worker count.
+	Hosts int `json:"hosts"`
+	// StartNs/EndNs bound the job in simulated time.
+	StartNs int64 `json:"startNs"`
+	EndNs   int64 `json:"endNs"`
+	// Records are the job's flow records (ground-truth-labelled,
+	// phase-classified by ports).
+	Records []pcap.FlowRecord `json:"records"`
+}
+
+// DurationSeconds returns the job duration.
+func (r *Run) DurationSeconds() float64 { return float64(r.EndNs-r.StartNs) / 1e9 }
+
+// Dataset returns the run's classified flow dataset.
+func (r *Run) Dataset() *flows.Dataset { return flows.NewDataset(r.Records) }
+
+// CaptureStats summarises cluster-level events of a capture session.
+type CaptureStats struct {
+	// ReReplicatedBytes / ReReplicatedBlocks count HDFS failure-recovery
+	// copies; LostContainers counts YARN containers killed by node
+	// failures; LostBlocks counts data irrecoverably lost.
+	ReReplicatedBytes  int64 `json:"reReplicatedBytes"`
+	ReReplicatedBlocks int64 `json:"reReplicatedBlocks"`
+	LostContainers     int64 `json:"lostContainers"`
+	LostBlocks         int64 `json:"lostBlocks"`
+}
+
+// TraceSet is a collection of captured runs — the measurement corpus the
+// model is fitted from.
+type TraceSet struct {
+	// Background holds cluster-wide control flows not attributable to a
+	// single job (NodeManager/DataNode heartbeats, failure recovery).
+	Background []pcap.FlowRecord `json:"background"`
+	// BackgroundHosts and BackgroundSpanNs scale the background model.
+	BackgroundHosts  int          `json:"backgroundHosts"`
+	BackgroundSpanNs int64        `json:"backgroundSpanNs"`
+	Stats            CaptureStats `json:"stats"`
+	Runs             []*Run       `json:"runs"`
+}
+
+// ByWorkload groups runs by workload name, sorted for determinism.
+func (ts *TraceSet) ByWorkload() map[string][]*Run {
+	out := make(map[string][]*Run)
+	for _, r := range ts.Runs {
+		out[r.Workload] = append(out[r.Workload], r)
+	}
+	return out
+}
+
+// Workloads lists the distinct workload names in sorted order.
+func (ts *TraceSet) Workloads() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, r := range ts.Runs {
+		if !seen[r.Workload] {
+			seen[r.Workload] = true
+			names = append(names, r.Workload)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON serialises the trace set.
+func (ts *TraceSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ts); err != nil {
+		return fmt.Errorf("encode trace set: %w", err)
+	}
+	return nil
+}
+
+// ReadTraceSet deserialises a trace set.
+func ReadTraceSet(r io.Reader) (*TraceSet, error) {
+	var ts TraceSet
+	if err := json.NewDecoder(r).Decode(&ts); err != nil {
+		return nil, fmt.Errorf("decode trace set: %w", err)
+	}
+	return &ts, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"keddah/internal/core"
+	"keddah/internal/flows"
+	"keddah/internal/pcap"
+	"keddah/internal/stats"
+	"keddah/internal/workload"
+)
+
+func init() {
+	register("A1", "ablation: delay scheduling (data locality) on vs off", runA1)
+	register("A2", "ablation: max-min fair sharing vs naive equal split", runA2)
+	register("A3", "ablation: full distribution library vs exponential-only", runA3)
+}
+
+// runA1 quantifies why the simulator implements delay scheduling: without
+// it, map inputs cross the network and HDFS-read traffic balloons — the
+// design choice DESIGN.md calls out.
+func runA1(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "A1",
+		Title: "Delay scheduling ablation (terasort, 2 racks, 4G uplink)",
+		Headers: []string{"locality wait", "local maps %", "remote read MB",
+			"hdfs_read MB", "duration s"},
+	}
+	input := cfg.gb(4)
+	for _, mode := range []struct {
+		name   string
+		waitNs int64
+	}{
+		{"3s (default)", 0},
+		{"disabled", 1},
+	} {
+		spec := core.ClusterSpec{
+			Topology: "multirack", Workers: 16, Racks: 2, UplinkGbps: 4,
+			LocalityWaitNs: mode.waitNs, Seed: cfg.Seed,
+		}
+		ts, results, err := core.Capture(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}})
+		if err != nil {
+			return nil, fmt.Errorf("A1 capture (%s): %w", mode.name, err)
+		}
+		r := ts.Runs[0]
+		ds := r.Dataset()
+		// Remote reads show up as non-loopback hdfs_read flows between
+		// distinct hosts; loopback flows have src == dst addresses.
+		remote := ds.Filter(func(rec pcap.FlowRecord, p flows.Phase) bool {
+			return p == flows.PhaseHDFSRead && rec.Key.Src != rec.Key.Dst
+		})
+		localPct := 0.0
+		round := results[0].Rounds[0]
+		if round.Maps > 0 {
+			localPct = 100 * float64(round.LocalMaps) / float64(round.Maps)
+		}
+		t.AddRow(mode.name, f2(localPct), mb(remote.Volume("")),
+			mb(ds.Volume(flows.PhaseHDFSRead)), f2(r.DurationSeconds()))
+	}
+	return []Table{t}, nil
+}
+
+// runA2 quantifies the bandwidth-sharing model: naive equal split
+// mis-predicts transfer times on oversubscribed fabrics because it
+// strands bandwidth freed by flows bottlenecked elsewhere.
+func runA2(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "A2",
+		Title: "Bandwidth sharing ablation (terasort, 2 racks, 2G uplink)",
+		Headers: []string{"allocator", "duration s", "mean shuffle flow s",
+			"shuffle MB"},
+	}
+	input := cfg.gb(4)
+	for _, alloc := range []string{"maxmin", "equalsplit"} {
+		spec := core.ClusterSpec{
+			Topology: "multirack", Workers: 16, Racks: 2, UplinkGbps: 2,
+			Allocator: alloc, Seed: cfg.Seed,
+		}
+		ts, _, err := core.Capture(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}})
+		if err != nil {
+			return nil, fmt.Errorf("A2 capture (%s): %w", alloc, err)
+		}
+		r := ts.Runs[0]
+		ds := r.Dataset()
+		t.AddRow(alloc, f2(r.DurationSeconds()),
+			f3(meanDuration(r.Records, flows.PhaseShuffle)),
+			mb(ds.Volume(flows.PhaseShuffle)))
+	}
+	return []Table{t}, nil
+}
+
+// runA3 quantifies the distribution library: restricting the candidate
+// set to exponential-only degrades the size-law fit (higher KS), which is
+// why Keddah searches a family library.
+func runA3(cfg Config) ([]Table, error) {
+	ts, err := corpus(cfg, []string{"terasort", "wordcount"}, 5)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:    "A3",
+		Title: "Distribution library ablation: size-law KS by candidate set",
+		Headers: []string{"workload", "phase", "full library KS", "full family",
+			"exp-only KS"},
+	}
+	full, err := core.Fit(ts, core.FitOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("A3 full fit: %w", err)
+	}
+	expOnly, err := core.Fit(ts, core.FitOptions{Candidates: []stats.Family{stats.FamilyExponential}})
+	if err != nil {
+		return nil, fmt.Errorf("A3 exp-only fit: %w", err)
+	}
+	for _, name := range full.WorkloadNames() {
+		for _, ph := range flows.AllPhases {
+			fp, ok1 := full.Jobs[name].Phases[ph]
+			ep, ok2 := expOnly.Jobs[name].Phases[ph]
+			if !ok1 || !ok2 {
+				continue
+			}
+			t.AddRow(name, string(ph), f3(fp.SizeGoF.KS), string(fp.Size.Family),
+				f3(ep.SizeGoF.KS))
+		}
+	}
+	return []Table{t}, nil
+}

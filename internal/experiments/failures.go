@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"keddah/internal/core"
+	"keddah/internal/flows"
+	"keddah/internal/workload"
+)
+
+func init() {
+	register("E11", "extension: traffic under worker failure", runE11)
+}
+
+// runE11 is the failure extension: the same terasort run captured on a
+// healthy cluster and on one that loses a worker mid-job. Expected
+// shape: the job still completes; a new traffic component appears
+// (block-sized DataNode→DataNode re-replication copies, classified as
+// HDFS write); lost task attempts re-execute and stretch the job.
+func runE11(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "E11",
+		Title: "Traffic under worker failure (terasort, 16 workers)",
+		Note:  "failure at 50% of the healthy run's job window; detection delay 5s",
+		Headers: []string{"scenario", "duration s", "re-replication MB",
+			"re-repl blocks", "lost containers", "reexec maps", "reexec reducers",
+			"hdfs_write MB", "shuffle MB"},
+	}
+	input := cfg.gb(4)
+	spec := core.ClusterSpec{Workers: 16, Seed: cfg.Seed}
+	runSpec := []workload.RunSpec{{Profile: "terasort", InputBytes: input}}
+
+	// Healthy baseline (also calibrates the failure instant).
+	ts0, res0, err := core.Capture(spec, runSpec)
+	if err != nil {
+		return nil, fmt.Errorf("E11 baseline: %w", err)
+	}
+	addE11Row(&t, "healthy", ts0, res0)
+
+	// Fail mid-job: halfway between the healthy run's submission and
+	// completion (runs share a seed, so timelines align until the
+	// failure).
+	round0 := res0[0].Rounds[0]
+	failAt := int64(round0.Submitted) + int64(round0.Duration())/2
+	for _, victim := range []int{3, 7} {
+		ts, res, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{
+			Failures: []core.FailureSpec{{WorkerIndex: victim, AtNs: failAt}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E11 failure run: %w", err)
+		}
+		addE11Row(&t, fmt.Sprintf("fail worker %d", victim), ts, res)
+	}
+	return []Table{t}, nil
+}
+
+func addE11Row(t *Table, name string, ts *core.TraceSet, results []workload.RunResult) {
+	round := results[0].Rounds[0]
+	ds := ts.Runs[0].Dataset()
+	var reReplMB float64
+	for _, r := range ts.Background {
+		if r.Label == "hdfs/reReplication" {
+			reReplMB += float64(r.Bytes) / (1 << 20)
+		}
+	}
+	t.AddRow(name,
+		f2(float64(round.Duration())/1e9),
+		f2(reReplMB),
+		itoa(int(ts.Stats.ReReplicatedBlocks)),
+		itoa(int(ts.Stats.LostContainers)),
+		itoa(round.ReexecutedMaps),
+		itoa(round.ReexecutedReducers),
+		mb(ds.Volume(flows.PhaseHDFSWrite)),
+		mb(ds.Volume(flows.PhaseShuffle)),
+	)
+}

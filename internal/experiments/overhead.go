@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"keddah/internal/core"
+	"keddah/internal/pcap"
+	"keddah/internal/workload"
+)
+
+func init() {
+	register("E10", "toolchain overhead: capture, trace IO, reassembly, fitting", runE10)
+}
+
+// runE10 reproduces the toolchain-cost claims: per stage (packet
+// synthesis, trace write/read, flow reassembly, model fitting), the
+// wall-clock cost as the capture grows. Expected shape: every stage is
+// linear in trace size; fitting is sub-second for 10⁵ flows.
+func runE10(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "E10",
+		Title: "Toolchain stage costs vs capture size",
+		Headers: []string{"input GB", "packets", "flows", "trace MB",
+			"write ms", "read ms", "reassemble ms", "fit ms"},
+	}
+	for _, gbs := range []float64{1, 2, 4} {
+		input := cfg.gb(gbs)
+		// Capture a sort run with packet synthesis on.
+		spec := core.ClusterSpec{Workers: 16, Seed: cfg.Seed}
+		cluster, err := spec.BuildCluster()
+		if err != nil {
+			return nil, err
+		}
+		capt := pcap.NewCapture()
+		cluster.Net.AddTap(capt)
+		err = workload.Run(cluster, workload.RunSpec{Profile: "sort", InputBytes: input}, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cluster.RunToIdle(); err != nil {
+			return nil, err
+		}
+		packets := capt.Packets()
+
+		// Stage: trace write.
+		var buf bytes.Buffer
+		start := time.Now()
+		w, err := pcap.NewWriter(&buf)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range packets {
+			if err := w.WritePacket(p); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		writeMs := time.Since(start).Seconds() * 1000
+		traceMB := float64(buf.Len()) / (1 << 20)
+
+		// Stage: trace read.
+		start = time.Now()
+		r, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		readBack, err := r.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		readMs := time.Since(start).Seconds() * 1000
+		if len(readBack) != len(packets) {
+			return nil, fmt.Errorf("trace round trip lost packets: %d != %d", len(readBack), len(packets))
+		}
+
+		// Stage: flow reassembly.
+		start = time.Now()
+		ft := pcap.NewFlowTable(0)
+		for _, p := range readBack {
+			ft.Add(p)
+		}
+		recs := ft.Records()
+		reassembleMs := time.Since(start).Seconds() * 1000
+
+		// Stage: model fitting (on the ground-truth dataset, which has
+		// job attribution).
+		ts, _, err := core.Capture(spec, []workload.RunSpec{{Profile: "sort", InputBytes: input}})
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if _, err := core.Fit(ts, core.FitOptions{}); err != nil {
+			return nil, err
+		}
+		fitMs := time.Since(start).Seconds() * 1000
+
+		t.AddRow(gbLabel(input), itoa(len(packets)), itoa(len(recs)),
+			f2(traceMB), f2(writeMs), f2(readMs), f2(reassembleMs), f2(fitMs))
+	}
+	return []Table{t}, nil
+}

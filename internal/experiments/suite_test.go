@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment runtime in CI territory.
+func quickCfg() Config {
+	return Config{Scale: 1.0 / 16, Seed: 3}
+}
+
+func runOne(t *testing.T, id string) []Table {
+	t.Helper()
+	tables, err := Run(id, quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: table %s has no rows", id, tab.ID)
+		}
+		var buf bytes.Buffer
+		if err := tab.Fprint(&buf); err != nil {
+			t.Errorf("%s: print: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), tab.Title) {
+			t.Errorf("%s: printed output missing title", id)
+		}
+	}
+	return tables
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, got[i], want[i])
+		}
+		if Describe(got[i]) == "" {
+			t.Errorf("%s has no description", got[i])
+		}
+	}
+	if _, err := Run("E99", quickCfg()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestE2ShuffleCountStructure(t *testing.T) {
+	tabs := runOne(t, "E2")
+	tab := tabs[0]
+	for i := range tab.Rows {
+		shuffleFlows := cell(t, tab, i, 2)
+		pairs := cell(t, tab, i, 3)
+		if shuffleFlows != pairs {
+			t.Errorf("row %d: shuffle flows %v != maps*reducers %v", i, shuffleFlows, pairs)
+		}
+	}
+}
+
+func TestE4WriteVolumeScalesWithReplication(t *testing.T) {
+	tabs := runOne(t, "E4")
+	tab := tabs[0]
+	w1 := cell(t, tab, 0, 1) // replication 1
+	w3 := cell(t, tab, 2, 1) // replication 3
+	if ratio := w3 / w1; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("write volume ratio repl3/repl1 = %.2f, want ≈3", ratio)
+	}
+	// Shuffle volume must not scale with replication (it only wobbles
+	// with per-run jitter — generous ±40% band at this tiny test scale).
+	s1, s4 := cell(t, tab, 0, 3), cell(t, tab, 3, 3)
+	if s1 == 0 || s4/s1 > 1.4 || s4/s1 < 0.6 {
+		t.Errorf("shuffle volume moved with replication: %v -> %v", s1, s4)
+	}
+}
+
+func TestE6ShuffleFlowsGrowWithReducers(t *testing.T) {
+	tabs := runOne(t, "E6")
+	tab := tabs[0]
+	prev := -1.0
+	for i := range tab.Rows {
+		n := cell(t, tab, i, 1)
+		if n <= prev {
+			t.Errorf("shuffle flow count not increasing: row %d = %v", i, n)
+		}
+		prev = n
+	}
+	// Mean flow size must shrink as reducers grow.
+	first := cell(t, tab, 0, 2)
+	last := cell(t, tab, len(tab.Rows)-1, 2)
+	if last >= first {
+		t.Errorf("mean shuffle flow did not shrink: %v -> %v", first, last)
+	}
+}
+
+func TestE9OversubscriptionStretchesMakespan(t *testing.T) {
+	tabs := runOne(t, "E9")
+	tab := tabs[0]
+	// Rows: star, 10G, 4G, 1G uplink, fat-tree. The oversubscribed
+	// uplink must slow shuffle flows down relative to the 10G fabric.
+	s10 := cell(t, tab, 1, 2)
+	s1 := cell(t, tab, 3, 2)
+	if s1 <= s10 {
+		t.Errorf("1G uplink mean shuffle duration %v not larger than 10G %v", s1, s10)
+	}
+	m10 := cell(t, tab, 1, 1)
+	m1 := cell(t, tab, 3, 1)
+	if m1 < m10 {
+		t.Errorf("1G uplink data makespan %v shrank vs 10G %v", m1, m10)
+	}
+}
+
+func TestA1LocalityAblation(t *testing.T) {
+	tabs := runOne(t, "A1")
+	tab := tabs[0]
+	localOn := cell(t, tab, 0, 1)
+	localOff := cell(t, tab, 1, 1)
+	if localOn <= localOff {
+		t.Errorf("delay scheduling did not raise local map share: %v vs %v", localOn, localOff)
+	}
+	remoteOn := cell(t, tab, 0, 2)
+	remoteOff := cell(t, tab, 1, 2)
+	if remoteOff <= remoteOn {
+		t.Errorf("disabling locality did not raise remote reads: %v vs %v", remoteOn, remoteOff)
+	}
+}
+
+func TestA4SamplingTradeoff(t *testing.T) {
+	tabs := runOne(t, "A4")
+	tab := tabs[0]
+	// Unsampled row is exact.
+	if v := cell(t, tab, 0, 3); v != 0 {
+		t.Errorf("unsampled data volume error = %v", v)
+	}
+	// Data-volume estimation stays within a few percent even at heavy
+	// sampling, while the shuffle size KS degrades monotonically-ish.
+	last := len(tab.Rows) - 1
+	if v := cell(t, tab, last, 3); v > 10 {
+		t.Errorf("data volume error at heaviest sampling = %v%%", v)
+	}
+	if k0, kN := cell(t, tab, 0, 5), cell(t, tab, last, 5); kN <= k0 {
+		t.Errorf("size KS did not degrade with sampling: %v -> %v", k0, kN)
+	}
+}
+
+func TestA3LibraryBeatsExpOnly(t *testing.T) {
+	tabs := runOne(t, "A3")
+	tab := tabs[0]
+	better := 0
+	for i := range tab.Rows {
+		fullKS := cell(t, tab, i, 2)
+		expKS := cell(t, tab, i, 4)
+		if fullKS <= expKS+1e-9 {
+			better++
+		}
+	}
+	if better < len(tab.Rows)/2 {
+		t.Errorf("full library better on only %d of %d rows", better, len(tab.Rows))
+	}
+}
+
+func TestSmokeRemainingExperiments(t *testing.T) {
+	for _, id := range []string{"E3", "E5", "E10", "E13", "A2"} {
+		runOne(t, id)
+	}
+}
+
+func TestE12MixScalesWithArrivalRate(t *testing.T) {
+	tabs := runOne(t, "E12")
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tabs))
+	}
+	mix := tabs[0]
+	// Arrivals and volume grow with the rate.
+	first := cell(t, mix, 0, 1)
+	last := cell(t, mix, len(mix.Rows)-1, 1)
+	if last <= first {
+		t.Errorf("arrivals did not grow with rate: %v -> %v", first, last)
+	}
+	replay := tabs[1]
+	// The 1G-uplink fabric stretches shuffle durations vs the star.
+	star := cell(t, replay, 0, 1)
+	oversub := cell(t, replay, 2, 1)
+	if oversub < star {
+		t.Errorf("oversubscribed mean shuffle %v below star %v", oversub, star)
+	}
+}
+
+func TestE14UtilizationRisesWithOversubscription(t *testing.T) {
+	tabs := runOne(t, "E14")
+	tab := tabs[0]
+	first := cell(t, tab, 0, 1)
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	if last <= first {
+		t.Errorf("mean utilization did not rise with oversubscription: %v -> %v", first, last)
+	}
+}
+
+func TestE15ScalingValidation(t *testing.T) {
+	tabs := runOne(t, "E15")
+	tab := tabs[0]
+	for i, row := range tab.Rows {
+		phase := row[0]
+		if phase != "shuffle" && phase != "hdfs_read" {
+			continue
+		}
+		// The headline scaling property: data-phase volumes predicted
+		// within 30% even at this tiny test scale.
+		if volErr := cell(t, tab, i, 5); volErr > 30 {
+			t.Errorf("%s volume error %v%% at 4x extrapolation", phase, volErr)
+		}
+	}
+}
+
+func TestE11FailureTraffic(t *testing.T) {
+	tabs := runOne(t, "E11")
+	tab := tabs[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// Healthy run has no recovery traffic.
+	if v := cell(t, tab, 0, 2); v != 0 {
+		t.Errorf("healthy run re-replicated %v MB", v)
+	}
+	// At least one failure run produces re-replication traffic.
+	if cell(t, tab, 1, 2) == 0 && cell(t, tab, 2, 2) == 0 {
+		t.Error("no failure run produced re-replication traffic")
+	}
+}
+
+func TestE1VolumesGrowWithInput(t *testing.T) {
+	tabs := runOne(t, "E1")
+	tab := tabs[0]
+	// Group rows by workload (4 sizes each); total volume must grow.
+	byWl := map[string][]float64{}
+	var order []string
+	for i, row := range tab.Rows {
+		wl := row[0]
+		if _, ok := byWl[wl]; !ok {
+			order = append(order, wl)
+		}
+		byWl[wl] = append(byWl[wl], cell(t, tab, i, 6))
+	}
+	for _, wl := range order {
+		vols := byWl[wl]
+		if vols[len(vols)-1] <= vols[0] {
+			t.Errorf("%s: total volume did not grow with input: %v", wl, vols)
+		}
+	}
+	// Sort-class workloads must be shuffle-heavy; grep must not be.
+	shuffleShare := func(wl string) float64 {
+		var shuffle, total float64
+		for i, row := range tab.Rows {
+			if row[0] == wl {
+				shuffle += cell(t, tab, i, 4)
+				total += cell(t, tab, i, 6)
+			}
+		}
+		return shuffle / total
+	}
+	if s := shuffleShare("sort"); s < 0.2 {
+		t.Errorf("sort shuffle share = %.2f, want heavy", s)
+	}
+	if s := shuffleShare("grep"); s > 0.05 {
+		t.Errorf("grep shuffle share = %.2f, want negligible", s)
+	}
+}
+
+func TestE7E8ModelQuality(t *testing.T) {
+	tabs := runOne(t, "E7")
+	if len(tabs) != 2 {
+		t.Fatalf("E7 tables = %d, want 2", len(tabs))
+	}
+	// E8's relative volume checks need inputs spanning several HDFS
+	// blocks; below ~1/8 scale the 1-vs-2-block discretization of the
+	// jittered corpus dominates the error. Run it a notch larger.
+	tabs8, err := Run("E8", Config{Scale: 1.0 / 8, Seed: 3})
+	if err != nil {
+		t.Fatalf("E8: %v", err)
+	}
+	tab := tabs8[0]
+	// Generated counts must be non-zero whenever measured are, and
+	// volume errors bounded for the data phases.
+	for i, row := range tab.Rows {
+		meas := cell(t, tab, i, 2)
+		gen := cell(t, tab, i, 3)
+		if meas > 0 && gen == 0 {
+			t.Errorf("row %v: measured %v flows but generated none", row, meas)
+		}
+		phase := row[1]
+		measMB := cell(t, tab, i, 4)
+		// Relative volume error is only meaningful for phases carrying
+		// real volume at this reduced test scale; sub-5 MB phases (tiny
+		// kmeans/grep shuffles) are dominated by per-flow jitter.
+		if (phase == "shuffle" || phase == "hdfs_write" || phase == "hdfs_read") && measMB >= 5 {
+			if volErr := cell(t, tab, i, 6); volErr > 60 {
+				t.Errorf("%s/%s volume error %v%% too high", row[0], phase, volErr)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"keddah/internal/core"
+	"keddah/internal/flows"
+)
+
+func init() {
+	register("E4", "HDFS replication factor sweep (terasort)", runE4)
+	register("E5", "HDFS block size sweep (terasort)", runE5)
+	register("E6", "reducer count sweep (sort): shuffle shape and job time", runE6)
+}
+
+// runE4 reproduces the replication sweep: HDFS-write volume scales with
+// the replication factor while reads and shuffle stay constant.
+func runE4(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "E4",
+		Title: "Effect of dfs.replication on traffic (terasort)",
+		Note:  "ingest + job output both replicate; read and shuffle volumes must not move",
+		Headers: []string{"replication", "hdfs_write MB", "hdfs_read MB",
+			"shuffle MB", "write flows", "duration s"},
+	}
+	input := cfg.gb(4)
+	for _, repl := range []int{1, 2, 3, 4} {
+		ts, err := captureOne(core.ClusterSpec{Workers: 16, Replication: repl, Seed: cfg.Seed},
+			"sort", input, 8)
+		if err != nil {
+			return nil, err
+		}
+		r := ts.Runs[0]
+		ds := r.Dataset()
+		t.AddRow(itoa(repl), mb(ds.Volume(flows.PhaseHDFSWrite)), mb(ds.Volume(flows.PhaseHDFSRead)),
+			mb(ds.Volume(flows.PhaseShuffle)), itoa(ds.Count(flows.PhaseHDFSWrite)),
+			f2(r.DurationSeconds()))
+	}
+	return []Table{t}, nil
+}
+
+// runE5 reproduces the block-size sweep: flow count ∝ 1/blocksize,
+// per-flow size ∝ blocksize, total volume ~constant.
+func runE5(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "E5",
+		Title: "Effect of dfs.blocksize on traffic (terasort)",
+		Note:  "smaller blocks = more, smaller flows; total volume steady",
+		Headers: []string{"block MB", "maps", "hdfs flows", "mean hdfs flow MB",
+			"total MB", "duration s"},
+	}
+	input := cfg.gb(4)
+	for _, blockMB := range []int64{64, 128, 256, 512} {
+		block := blockMB << 20
+		if block > input {
+			block = input
+		}
+		ts, err := captureOne(core.ClusterSpec{Workers: 16, BlockSize: block, Seed: cfg.Seed},
+			"terasort", input, 8)
+		if err != nil {
+			return nil, err
+		}
+		r := ts.Runs[0]
+		ds := r.Dataset()
+		hdfsFlows := ds.Count(flows.PhaseHDFSRead) + ds.Count(flows.PhaseHDFSWrite)
+		hdfsBytes := ds.Volume(flows.PhaseHDFSRead) + ds.Volume(flows.PhaseHDFSWrite)
+		meanMB := 0.0
+		if hdfsFlows > 0 {
+			meanMB = float64(hdfsBytes) / float64(hdfsFlows) / (1 << 20)
+		}
+		t.AddRow(itoa(int(blockMB)), itoa(r.Maps), itoa(hdfsFlows), f2(meanMB),
+			mb(ds.Volume("")), f2(r.DurationSeconds()))
+	}
+	return []Table{t}, nil
+}
+
+// runE6 reproduces the reducer sweep: shuffle flow count grows with
+// reducers, per-flow size shrinks, and completion time is U-shaped
+// (too few reducers serialise the reduce stage; too many pay overheads).
+func runE6(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "E6",
+		Title: "Effect of reducer count on the shuffle (sort)",
+		Headers: []string{"reducers", "shuffle flows", "mean shuffle flow MB",
+			"shuffle MB", "duration s"},
+	}
+	input := cfg.gb(4)
+	// 16 workers × 4 slots = 64 slots: 128/256 reducers need multiple
+	// waves, exposing the per-task overhead that turns the curve back up.
+	for _, reducers := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		ts, err := captureOne(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, "sort", input, reducers)
+		if err != nil {
+			return nil, err
+		}
+		r := ts.Runs[0]
+		ds := r.Dataset()
+		n := ds.Count(flows.PhaseShuffle)
+		meanMB := 0.0
+		if n > 0 {
+			meanMB = float64(ds.Volume(flows.PhaseShuffle)) / float64(n) / (1 << 20)
+		}
+		t.AddRow(itoa(r.Reducers), itoa(n), f2(meanMB),
+			mb(ds.Volume(flows.PhaseShuffle)), f2(r.DurationSeconds()))
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"keddah/internal/core"
+	"keddah/internal/flows"
+	"keddah/internal/workload"
+)
+
+func init() {
+	register("E1", "per-phase traffic volume vs input size per workload", runE1)
+	register("E2", "flow counts per phase vs task structure", runE2)
+}
+
+// captureOne runs a single workload at one input size on a fresh cluster
+// and returns the resulting per-round runs.
+func captureOne(spec core.ClusterSpec, profile string, input int64, reducers int) (*core.TraceSet, error) {
+	ts, _, err := core.Capture(spec, []workload.RunSpec{{
+		Profile:    profile,
+		InputBytes: input,
+		Reducers:   reducers,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("capture %s@%d: %w", profile, input, err)
+	}
+	return ts, nil
+}
+
+// runE1 reproduces the volume-vs-input-size figure: for every workload
+// and input size, the per-phase traffic volume. Expected shape: volumes
+// grow ~linearly; shuffle dominates sort/terasort, is negligible for
+// grep/kmeans; HDFS write ≈ replication × output.
+func runE1(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "E1",
+		Title: "Per-phase traffic volume vs input size",
+		Note:  "16-worker star cluster, 1 Gbps access links, dfs.replication=3",
+		Headers: []string{"workload", "input GB", "hdfs_read MB", "hdfs_write MB",
+			"shuffle MB", "control MB", "total MB", "duration s"},
+	}
+	sizes := []float64{1, 2, 4, 8}
+	for _, prof := range workload.Names() {
+		for _, gbs := range sizes {
+			input := cfg.gb(gbs)
+			ts, err := captureOne(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, prof, input, 0)
+			if err != nil {
+				return nil, err
+			}
+			// Aggregate all rounds of the run.
+			var read, write, shuffle, control, total int64
+			var dur float64
+			for _, r := range ts.Runs {
+				ds := r.Dataset()
+				read += ds.Volume(flows.PhaseHDFSRead)
+				write += ds.Volume(flows.PhaseHDFSWrite)
+				shuffle += ds.Volume(flows.PhaseShuffle)
+				control += ds.Volume(flows.PhaseControl)
+				total += ds.Volume("")
+				dur += r.DurationSeconds()
+			}
+			t.AddRow(prof, gbLabel(input), mb(read), mb(write), mb(shuffle), mb(control), mb(total), f2(dur))
+		}
+	}
+	return []Table{t}, nil
+}
+
+// runE2 reproduces the flow-count structure figure: shuffle flows ≈
+// maps × reducers; HDFS write flows ≈ blocks × replication (+ output);
+// control flows scale with duration.
+func runE2(cfg Config) ([]Table, error) {
+	t := Table{
+		ID:    "E2",
+		Title: "Flow counts vs task structure (terasort)",
+		Note:  "shuffle flows = maps x reducers; job hdfs_write flows ≈ output blocks x output replication (terasort writes 1 replica)",
+		Headers: []string{"reducers", "maps", "shuffle flows", "maps*reducers",
+			"hdfs_write flows", "~output blocks", "control flows"},
+	}
+	input := cfg.gb(4)
+	for _, reducers := range []int{4, 8, 16, 32} {
+		ts, err := captureOne(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, "terasort", input, reducers)
+		if err != nil {
+			return nil, err
+		}
+		r := ts.Runs[0]
+		ds := r.Dataset()
+		// TeraSort output ≈ input with 1-replica commit; each reducer's
+		// part file rounds up to whole blocks.
+		perReducer := (r.InputBytes + int64(r.Reducers) - 1) / int64(r.Reducers)
+		blocksPerReducer := (perReducer + r.BlockSize - 1) / r.BlockSize
+		outBlocks := int(blocksPerReducer) * r.Reducers
+		t.AddRow(
+			itoa(r.Reducers), itoa(r.Maps),
+			itoa(ds.Count(flows.PhaseShuffle)), itoa(r.Maps*r.Reducers),
+			itoa(ds.Count(flows.PhaseHDFSWrite)), itoa(outBlocks),
+			itoa(ds.Count(flows.PhaseControl)),
+		)
+	}
+	return []Table{t}, nil
+}

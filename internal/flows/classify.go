@@ -1,0 +1,79 @@
+// Package flows classifies reassembled flow records into Hadoop traffic
+// components and provides the aggregation helpers Keddah's modelling stage
+// consumes (per-phase sizes, counts, inter-arrivals, volumes).
+package flows
+
+import (
+	"keddah/internal/pcap"
+)
+
+// Phase is a Hadoop traffic component.
+type Phase string
+
+// The four components Keddah models, plus a bucket for anything else.
+const (
+	PhaseHDFSRead  Phase = "hdfs_read"
+	PhaseHDFSWrite Phase = "hdfs_write"
+	PhaseShuffle   Phase = "shuffle"
+	PhaseControl   Phase = "control"
+	PhaseOther     Phase = "other"
+)
+
+// AllPhases lists the modelled components in reporting order.
+var AllPhases = []Phase{PhaseHDFSRead, PhaseHDFSWrite, PhaseShuffle, PhaseControl}
+
+// Well-known Hadoop 2.x ports (the port map Keddah's classifier relies on).
+const (
+	PortDataNodeData = 50010 // HDFS block data transfer
+	PortDataNodeIPC  = 50020 // DataNode RPC
+	PortNameNodeRPC  = 8020  // NameNode client RPC
+	PortNameNodeHTTP = 50070 // NameNode web/status
+	PortShuffle      = 13562 // MapReduce ShuffleHandler (HTTP)
+	PortRMScheduler  = 8030  // YARN RM applications/scheduler RPC
+	PortRMTracker    = 8031  // YARN RM resource tracker (NM heartbeats)
+	PortRMAdmin      = 8033  // YARN RM admin RPC
+	PortRMClient     = 8032  // YARN RM client RPC
+	PortNMIPC        = 8040  // NodeManager localizer IPC
+	PortNMHTTP       = 8042  // NodeManager web/status
+	PortJobHistory   = 10020 // MapReduce job history server
+	PortAMUmbilical  = 30022 // task ↔ ApplicationMaster umbilical (simulated convention)
+)
+
+var controlPorts = map[uint16]bool{
+	PortDataNodeIPC:  true,
+	PortNameNodeRPC:  true,
+	PortNameNodeHTTP: true,
+	PortRMScheduler:  true,
+	PortRMTracker:    true,
+	PortRMAdmin:      true,
+	PortRMClient:     true,
+	PortNMIPC:        true,
+	PortNMHTTP:       true,
+	PortJobHistory:   true,
+	PortAMUmbilical:  true,
+}
+
+// Classify maps a flow record to its Hadoop traffic component using the
+// well-known port conventions:
+//
+//   - src port 50010  → HDFS read  (DataNode streams a block to a client)
+//   - dst port 50010  → HDFS write (client or upstream DataNode pushes a
+//     block into a DataNode; covers pipeline replication)
+//   - port 13562 on either side → shuffle (reducer fetch over HTTP)
+//   - any RPC/heartbeat port → control
+//   - everything else → other
+func Classify(r pcap.FlowRecord) Phase {
+	k := r.Key
+	switch {
+	case k.SrcPort == PortShuffle || k.DstPort == PortShuffle:
+		return PhaseShuffle
+	case k.SrcPort == PortDataNodeData:
+		return PhaseHDFSRead
+	case k.DstPort == PortDataNodeData:
+		return PhaseHDFSWrite
+	case controlPorts[k.SrcPort] || controlPorts[k.DstPort]:
+		return PhaseControl
+	default:
+		return PhaseOther
+	}
+}

@@ -1,0 +1,177 @@
+package flows
+
+import (
+	"sort"
+	"strings"
+
+	"keddah/internal/pcap"
+)
+
+// Dataset is an ordered collection of flow records with cached phase
+// classification. It is the unit Keddah's modelling stage consumes.
+type Dataset struct {
+	Records []pcap.FlowRecord
+	phases  []Phase
+}
+
+// NewDataset classifies every record once and returns the dataset.
+// The record slice is copied.
+func NewDataset(records []pcap.FlowRecord) *Dataset {
+	d := &Dataset{
+		Records: make([]pcap.FlowRecord, len(records)),
+		phases:  make([]Phase, len(records)),
+	}
+	copy(d.Records, records)
+	for i, r := range d.Records {
+		d.phases[i] = Classify(r)
+	}
+	return d
+}
+
+// Len returns the record count.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Phase returns the classification of record i.
+func (d *Dataset) Phase(i int) Phase { return d.phases[i] }
+
+// Filter returns a new dataset of records satisfying keep.
+func (d *Dataset) Filter(keep func(r pcap.FlowRecord, p Phase) bool) *Dataset {
+	var recs []pcap.FlowRecord
+	for i, r := range d.Records {
+		if keep(r, d.phases[i]) {
+			recs = append(recs, r)
+		}
+	}
+	return NewDataset(recs)
+}
+
+// ByPhase returns the sub-dataset of one phase.
+func (d *Dataset) ByPhase(p Phase) *Dataset {
+	return d.Filter(func(_ pcap.FlowRecord, q Phase) bool { return q == p })
+}
+
+// Sizes returns the per-flow byte counts of records in phase p
+// (all phases if p is empty).
+func (d *Dataset) Sizes(p Phase) []float64 {
+	var out []float64
+	for i, r := range d.Records {
+		if p == "" || d.phases[i] == p {
+			out = append(out, float64(r.Bytes))
+		}
+	}
+	return out
+}
+
+// Durations returns per-flow durations in seconds for phase p.
+func (d *Dataset) Durations(p Phase) []float64 {
+	var out []float64
+	for i, r := range d.Records {
+		if p == "" || d.phases[i] == p {
+			out = append(out, float64(r.DurationNs())/1e9)
+		}
+	}
+	return out
+}
+
+// InterArrivals returns successive flow start gaps in seconds for phase p,
+// ordered by start time.
+func (d *Dataset) InterArrivals(p Phase) []float64 {
+	var starts []int64
+	for i, r := range d.Records {
+		if p == "" || d.phases[i] == p {
+			starts = append(starts, r.FirstNs)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	if len(starts) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(starts)-1)
+	for i := 1; i < len(starts); i++ {
+		out = append(out, float64(starts[i]-starts[i-1])/1e9)
+	}
+	return out
+}
+
+// Volume sums bytes over phase p (all records if p is empty).
+func (d *Dataset) Volume(p Phase) int64 {
+	var total int64
+	for i, r := range d.Records {
+		if p == "" || d.phases[i] == p {
+			total += r.Bytes
+		}
+	}
+	return total
+}
+
+// Count returns the number of flows in phase p (all if empty).
+func (d *Dataset) Count(p Phase) int {
+	if p == "" {
+		return len(d.Records)
+	}
+	n := 0
+	for _, q := range d.phases {
+		if q == p {
+			n++
+		}
+	}
+	return n
+}
+
+// VolumeBreakdown returns bytes per modelled phase plus the "other" bucket.
+func (d *Dataset) VolumeBreakdown() map[Phase]int64 {
+	out := make(map[Phase]int64, len(AllPhases)+1)
+	for i, r := range d.Records {
+		out[d.phases[i]] += r.Bytes
+	}
+	return out
+}
+
+// Span returns the first start and last end timestamps (ns); zeroes for an
+// empty dataset.
+func (d *Dataset) Span() (firstNs, lastNs int64) {
+	if len(d.Records) == 0 {
+		return 0, 0
+	}
+	firstNs, lastNs = d.Records[0].FirstNs, d.Records[0].LastNs
+	for _, r := range d.Records[1:] {
+		if r.FirstNs < firstNs {
+			firstNs = r.FirstNs
+		}
+		if r.LastNs > lastNs {
+			lastNs = r.LastNs
+		}
+	}
+	return firstNs, lastNs
+}
+
+// GroupByJob splits ground-truth-labelled records on the "<job>/" label
+// prefix (e.g. "job3/shuffle" → key "job3"). Unlabelled records land under
+// the empty key — callers decide whether that bucket matters.
+func GroupByJob(records []pcap.FlowRecord) map[string]*Dataset {
+	byJob := make(map[string][]pcap.FlowRecord)
+	for _, r := range records {
+		key := ""
+		if i := strings.IndexByte(r.Label, '/'); i >= 0 {
+			key = r.Label[:i]
+		}
+		byJob[key] = append(byJob[key], r)
+	}
+	out := make(map[string]*Dataset, len(byJob))
+	for k, recs := range byJob {
+		out[k] = NewDataset(recs)
+	}
+	return out
+}
+
+// JobKeys returns the sorted non-empty job keys of a GroupByJob result.
+func JobKeys(groups map[string]*Dataset) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		if k != "" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

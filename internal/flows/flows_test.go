@@ -1,0 +1,155 @@
+package flows
+
+import (
+	"testing"
+
+	"keddah/internal/pcap"
+)
+
+func rec(srcPort, dstPort uint16, bytes int64, firstNs, lastNs int64, label string) pcap.FlowRecord {
+	return pcap.FlowRecord{
+		Key: pcap.FlowKey{
+			Src: pcap.HostAddr(1), Dst: pcap.HostAddr(2),
+			SrcPort: srcPort, DstPort: dstPort, Proto: pcap.ProtoTCP,
+		},
+		Bytes: bytes, FirstNs: firstNs, LastNs: lastNs, Label: label,
+	}
+}
+
+func TestClassifyPortMap(t *testing.T) {
+	cases := []struct {
+		name string
+		r    pcap.FlowRecord
+		want Phase
+	}{
+		{"hdfs read (src 50010)", rec(PortDataNodeData, 40000, 1, 0, 1, ""), PhaseHDFSRead},
+		{"hdfs write (dst 50010)", rec(40000, PortDataNodeData, 1, 0, 1, ""), PhaseHDFSWrite},
+		{"shuffle src", rec(PortShuffle, 40000, 1, 0, 1, ""), PhaseShuffle},
+		{"shuffle dst", rec(40000, PortShuffle, 1, 0, 1, ""), PhaseShuffle},
+		{"nn rpc", rec(40000, PortNameNodeRPC, 1, 0, 1, ""), PhaseControl},
+		{"rm tracker", rec(40000, PortRMTracker, 1, 0, 1, ""), PhaseControl},
+		{"rm scheduler", rec(40000, PortRMScheduler, 1, 0, 1, ""), PhaseControl},
+		{"am umbilical", rec(40000, PortAMUmbilical, 1, 0, 1, ""), PhaseControl},
+		{"unknown", rec(40000, 40001, 1, 0, 1, ""), PhaseOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.r); got != c.want {
+			t.Errorf("%s: classified %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyShuffleBeatsControl(t *testing.T) {
+	// A flow from the shuffle port to an RPC port (contrived) must
+	// classify as shuffle — the shuffle rule is checked first.
+	r := rec(PortShuffle, PortNameNodeRPC, 1, 0, 1, "")
+	if got := Classify(r); got != PhaseShuffle {
+		t.Errorf("got %s, want shuffle", got)
+	}
+}
+
+func testDataset() *Dataset {
+	return NewDataset([]pcap.FlowRecord{
+		rec(PortDataNodeData, 40000, 100, 0, 10, "job1/read"),
+		rec(40001, PortDataNodeData, 200, 5, 20, "job1/write"),
+		rec(PortShuffle, 40002, 300, 10, 30, "job1/shuffle"),
+		rec(PortShuffle, 40003, 500, 20, 45, "job1/shuffle"),
+		rec(40004, PortRMTracker, 10, 2, 3, "yarn/hb"),
+	})
+}
+
+func TestDatasetAggregation(t *testing.T) {
+	ds := testDataset()
+	if ds.Len() != 5 {
+		t.Fatalf("len = %d", ds.Len())
+	}
+	if v := ds.Volume(PhaseShuffle); v != 800 {
+		t.Errorf("shuffle volume = %d, want 800", v)
+	}
+	if v := ds.Volume(""); v != 1110 {
+		t.Errorf("total volume = %d, want 1110", v)
+	}
+	if n := ds.Count(PhaseShuffle); n != 2 {
+		t.Errorf("shuffle count = %d, want 2", n)
+	}
+	if n := ds.Count(""); n != 5 {
+		t.Errorf("total count = %d", n)
+	}
+	sizes := ds.Sizes(PhaseShuffle)
+	if len(sizes) != 2 || sizes[0] != 300 || sizes[1] != 500 {
+		t.Errorf("shuffle sizes = %v", sizes)
+	}
+	durs := ds.Durations(PhaseHDFSRead)
+	if len(durs) != 1 || durs[0] != 10e-9 {
+		t.Errorf("read durations = %v", durs)
+	}
+	breakdown := ds.VolumeBreakdown()
+	if breakdown[PhaseControl] != 10 {
+		t.Errorf("control volume = %d", breakdown[PhaseControl])
+	}
+}
+
+func TestDatasetInterArrivals(t *testing.T) {
+	ds := testDataset()
+	ia := ds.InterArrivals(PhaseShuffle)
+	if len(ia) != 1 {
+		t.Fatalf("inter-arrivals = %v", ia)
+	}
+	if ia[0] != 10e-9 {
+		t.Errorf("gap = %v, want 10ns in seconds", ia[0])
+	}
+	if got := ds.InterArrivals(PhaseControl); got != nil {
+		t.Errorf("single flow inter-arrivals = %v, want nil", got)
+	}
+}
+
+func TestDatasetSpan(t *testing.T) {
+	ds := testDataset()
+	first, last := ds.Span()
+	if first != 0 || last != 45 {
+		t.Errorf("span = [%d, %d], want [0, 45]", first, last)
+	}
+	e := NewDataset(nil)
+	if f, l := e.Span(); f != 0 || l != 0 {
+		t.Errorf("empty span = [%d, %d]", f, l)
+	}
+}
+
+func TestDatasetFilterAndByPhase(t *testing.T) {
+	ds := testDataset()
+	sub := ds.ByPhase(PhaseShuffle)
+	if sub.Len() != 2 {
+		t.Fatalf("ByPhase len = %d", sub.Len())
+	}
+	big := ds.Filter(func(r pcap.FlowRecord, _ Phase) bool { return r.Bytes >= 200 })
+	if big.Len() != 3 {
+		t.Errorf("Filter len = %d, want 3", big.Len())
+	}
+}
+
+func TestGroupByJob(t *testing.T) {
+	groups := GroupByJob(testDataset().Records)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (job1, yarn)", len(groups))
+	}
+	if groups["job1"].Len() != 4 {
+		t.Errorf("job1 flows = %d, want 4", groups["job1"].Len())
+	}
+	if groups["yarn"].Len() != 1 {
+		t.Errorf("yarn flows = %d, want 1", groups["yarn"].Len())
+	}
+	keys := JobKeys(groups)
+	if len(keys) != 2 || keys[0] != "job1" || keys[1] != "yarn" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestGroupByJobUnlabelled(t *testing.T) {
+	groups := GroupByJob([]pcap.FlowRecord{rec(1, 2, 5, 0, 1, "")})
+	if groups[""].Len() != 1 {
+		t.Error("unlabelled records must land in the empty bucket")
+	}
+	if keys := JobKeys(groups); len(keys) != 0 {
+		t.Errorf("JobKeys included the empty bucket: %v", keys)
+	}
+}

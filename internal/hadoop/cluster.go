@@ -1,0 +1,169 @@
+// Package hadoop assembles the simulated cluster: one master host running
+// the NameNode and ResourceManager, worker hosts each running a DataNode
+// and NodeManager, all over a shared netsim.Network — the testbed the
+// Keddah toolchain captures from.
+package hadoop
+
+import (
+	"errors"
+	"fmt"
+
+	"keddah/internal/hadoop/hdfs"
+	"keddah/internal/hadoop/mapreduce"
+	"keddah/internal/hadoop/yarn"
+	"keddah/internal/netsim"
+	"keddah/internal/sim"
+	"keddah/internal/stats"
+)
+
+// Config assembles a cluster over an existing topology.
+type Config struct {
+	HDFS hdfs.Config
+	YARN yarn.Config
+	// Net tunes the underlying network simulator.
+	Net netsim.Config
+	// Seed drives every stochastic choice in the cluster; equal seeds
+	// give byte-identical traffic.
+	Seed int64
+}
+
+// Cluster is a ready-to-run simulated Hadoop deployment.
+type Cluster struct {
+	Eng     *sim.Engine
+	Net     *netsim.Network
+	FS      *hdfs.FS
+	RM      *yarn.RM
+	rng     *stats.RNG
+	master  netsim.NodeID
+	workers []netsim.NodeID
+	pending int
+	started bool
+}
+
+// New builds a cluster on topo: the first host is the master (NameNode +
+// ResourceManager), the rest are workers (DataNode + NodeManager each).
+func New(topo *netsim.Topology, cfg Config) (*Cluster, error) {
+	hosts := topo.Hosts()
+	if len(hosts) < 2 {
+		return nil, errors.New("hadoop: need a master and at least one worker host")
+	}
+	eng := sim.New()
+	net := netsim.NewNetwork(eng, topo, cfg.Net)
+	rng := stats.NewRNG(cfg.Seed)
+
+	master := hosts[0]
+	workers := hosts[1:]
+
+	fs, err := hdfs.New(net, master, workers, cfg.HDFS, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("hadoop: hdfs: %w", err)
+	}
+	rm, err := yarn.New(net, master, workers, cfg.YARN, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("hadoop: yarn: %w", err)
+	}
+	return &Cluster{
+		Eng:     eng,
+		Net:     net,
+		FS:      fs,
+		RM:      rm,
+		rng:     rng,
+		master:  master,
+		workers: workers,
+	}, nil
+}
+
+// Master returns the master host.
+func (c *Cluster) Master() netsim.NodeID { return c.master }
+
+// Workers returns the worker hosts.
+func (c *Cluster) Workers() []netsim.NodeID {
+	out := make([]netsim.NodeID, len(c.workers))
+	copy(out, c.workers)
+	return out
+}
+
+// RNG returns a fresh child RNG stream for callers that need one.
+func (c *Cluster) RNG() *stats.RNG { return c.rng.Fork() }
+
+// start launches the periodic heartbeat machinery exactly once.
+func (c *Cluster) start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.FS.StartHeartbeats()
+	c.RM.Start()
+}
+
+// Ingest loads a dataset into HDFS from the master gateway (the write
+// replicates through normal pipelines, generating the load-time traffic
+// the paper observes). Completion is tracked like a job for RunToIdle.
+func (c *Cluster) Ingest(path string, size int64, done func()) error {
+	c.pending++
+	err := c.FS.WriteFile(c.master, path, size, 0, "ingest", func([]hdfs.Block) {
+		c.pending--
+		if done != nil {
+			done()
+		}
+	})
+	if err != nil {
+		c.pending--
+		return err
+	}
+	return nil
+}
+
+// Submit queues a MapReduce job from the master gateway. done receives
+// the job result.
+func (c *Cluster) Submit(cfg mapreduce.JobConfig, done func(mapreduce.Result)) error {
+	job, err := mapreduce.NewJob(cfg, c.FS, c.RM, c.rng.Fork())
+	if err != nil {
+		return err
+	}
+	c.pending++
+	return job.Submit(c.master, func(r mapreduce.Result) {
+		c.pending--
+		if done != nil {
+			done(r)
+		}
+	})
+}
+
+// FailWorker schedules a whole-worker failure (DataNode + NodeManager) at
+// simulated time t: running containers are lost and re-executed by their
+// jobs, and the NameNode re-replicates the node's blocks — the failure
+// traffic a capture of a degraded cluster contains.
+func (c *Cluster) FailWorker(host netsim.NodeID, at sim.Time) error {
+	if host == c.master {
+		return errors.New("hadoop: failing the master is not modelled")
+	}
+	_, err := c.Eng.At(at, func() {
+		if err := c.FS.FailDataNode(host); err != nil {
+			panic(fmt.Sprintf("hadoop: fail datanode: %v", err))
+		}
+		if err := c.RM.FailNode(host); err != nil {
+			panic(fmt.Sprintf("hadoop: fail nodemanager: %v", err))
+		}
+	})
+	return err
+}
+
+// RunToIdle starts the cluster, runs the event loop until every pending
+// ingest and job has completed, shuts the periodic machinery down, and
+// drains remaining events. It returns the simulated completion time.
+func (c *Cluster) RunToIdle() (sim.Time, error) {
+	c.start()
+	for c.pending > 0 {
+		if !c.Eng.Step() {
+			return c.Eng.Now(), fmt.Errorf("hadoop: event queue drained with %d tasks pending", c.pending)
+		}
+	}
+	end := c.Eng.Now()
+	c.FS.Shutdown()
+	c.RM.Shutdown()
+	if _, err := c.Eng.RunAll(); err != nil {
+		return end, fmt.Errorf("hadoop: drain: %w", err)
+	}
+	return end, nil
+}

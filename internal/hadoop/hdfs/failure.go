@@ -1,0 +1,130 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+
+	"keddah/internal/flows"
+	"keddah/internal/netsim"
+	"keddah/internal/sim"
+)
+
+// DefaultReplicationDetectionDelay is how long after a DataNode failure
+// the NameNode schedules re-replication. Real HDFS waits ~10 minutes
+// (dfs.namenode.heartbeat.recheck-interval); the simulator defaults to
+// 5 s so failure experiments stay within job timescales — the traffic
+// pattern (block-sized DN→DN copies) is identical, only the onset moves.
+const DefaultReplicationDetectionDelay sim.Time = 5_000_000_000
+
+// ErrUnknownDataNode reports a failure injected on a non-DataNode host.
+var ErrUnknownDataNode = fmt.Errorf("hdfs: unknown datanode")
+
+// FailDataNode marks a DataNode dead: it stops heartbeating, is excluded
+// from placement and replica selection, and after a detection delay the
+// NameNode restores the replication factor of every block it held by
+// copying from surviving replicas to fresh nodes (flows on the DataNode
+// data port, labelled "hdfs/reReplication").
+//
+// Blocks whose only replica lived on the failed node are lost; their
+// count is reported via LostBlocks.
+func (fs *FS) FailDataNode(host netsim.NodeID) error {
+	found := false
+	for _, dn := range fs.datanodes {
+		if dn == host {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: %d", ErrUnknownDataNode, host)
+	}
+	if fs.dead[host] {
+		return nil
+	}
+	fs.dead[host] = true
+
+	delay := fs.cfg.ReplicationDetectionDelay
+	if delay <= 0 {
+		delay = DefaultReplicationDetectionDelay
+	}
+	fs.eng.After(delay, func() { fs.reReplicateAfter(host) })
+	return nil
+}
+
+// NodeAlive reports whether a DataNode is serving.
+func (fs *FS) NodeAlive(host netsim.NodeID) bool { return !fs.dead[host] }
+
+// reReplicateAfter restores replication for every block that had a
+// replica on the failed host.
+func (fs *FS) reReplicateAfter(failed netsim.NodeID) {
+	// Deterministic order: files by path, blocks by position.
+	paths := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	for _, p := range paths {
+		f := fs.files[p]
+		for bi := range f.blocks {
+			blk := &f.blocks[bi]
+			idx := -1
+			for ri, r := range blk.Replicas {
+				if r == failed {
+					idx = ri
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			// Drop the dead replica.
+			blk.Replicas = append(blk.Replicas[:idx], blk.Replicas[idx+1:]...)
+			live := fs.liveReplicas(blk)
+			if len(live) == 0 {
+				fs.LostBlocks++
+				continue
+			}
+			// Copy from a surviving replica to a fresh live node.
+			holding := make(map[netsim.NodeID]bool, len(blk.Replicas)+1)
+			for _, r := range blk.Replicas {
+				holding[r] = true
+			}
+			target := fs.randomDNWhere(holding, func(id netsim.NodeID) bool { return !fs.dead[id] })
+			if target < 0 {
+				fs.UnderReplicated++
+				continue
+			}
+			src := live[fs.rng.Intn(len(live))]
+			blkRef := blk
+			size := blk.Size
+			_, err := fs.net.StartFlow(netsim.FlowSpec{
+				Src:       src,
+				Dst:       target,
+				SrcPort:   ephemeralPort(fs.rng),
+				DstPort:   flows.PortDataNodeData,
+				SizeBytes: size,
+				Label:     "hdfs/reReplication",
+				OnComplete: func(*netsim.Flow) {
+					blkRef.Replicas = append(blkRef.Replicas, target)
+					fs.ReReplicatedBytes += size
+					fs.ReReplicatedBlocks++
+				},
+			})
+			if err != nil {
+				panic(fmt.Sprintf("hdfs: re-replication flow: %v", err))
+			}
+		}
+	}
+}
+
+// liveReplicas filters a block's replica set to serving DataNodes.
+func (fs *FS) liveReplicas(blk *Block) []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, r := range blk.Replicas {
+		if !fs.dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+// Package hdfs simulates the Hadoop Distributed File System at the level
+// that determines network behaviour: a NameNode with the default block
+// placement policy, DataNodes co-located with compute hosts, write
+// pipelines that replicate each block across the cluster, and
+// locality-aware reads. Every byte HDFS moves is carried as a flow on the
+// underlying netsim.Network using the real HDFS port conventions, so
+// captured traffic classifies exactly as it would on a physical cluster.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+
+	"keddah/internal/flows"
+	"keddah/internal/netsim"
+	"keddah/internal/sim"
+	"keddah/internal/stats"
+)
+
+// Config holds the filesystem-wide parameters the paper varies.
+type Config struct {
+	// BlockSize is dfs.blocksize (default 128 MiB).
+	BlockSize int64
+	// Replication is dfs.replication (default 3).
+	Replication int
+	// HeartbeatInterval is the DataNode→NameNode heartbeat period
+	// (default 3s, as in dfs.heartbeat.interval).
+	HeartbeatInterval sim.Time
+	// ControlBytes is the size of one RPC exchange (default 512 B).
+	ControlBytes int64
+	// ReplicationDetectionDelay is how long the NameNode waits after a
+	// DataNode failure before re-replicating its blocks (default
+	// DefaultReplicationDetectionDelay).
+	ReplicationDetectionDelay sim.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 128 << 20
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 3_000_000_000
+	}
+	if c.ControlBytes <= 0 {
+		c.ControlBytes = 512
+	}
+}
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	ID       int64
+	Size     int64
+	Replicas []netsim.NodeID
+}
+
+// file is a namespace entry.
+type file struct {
+	path     string
+	blocks   []Block
+	complete bool
+	waiters  []func()
+}
+
+// Errors callers can match.
+var (
+	ErrNotFound   = errors.New("hdfs: file not found")
+	ErrExists     = errors.New("hdfs: file already exists")
+	ErrIncomplete = errors.New("hdfs: file still being written")
+)
+
+// FS is the simulated filesystem: one NameNode plus a DataNode on every
+// listed host.
+type FS struct {
+	cfg       Config
+	net       *netsim.Network
+	eng       *sim.Engine
+	rng       *stats.RNG
+	namenode  netsim.NodeID
+	datanodes []netsim.NodeID
+	files     map[string]*file
+	nextBlock int64
+	stopped   bool
+	dead      map[netsim.NodeID]bool
+
+	// Stats.
+	BytesWritten       int64
+	BytesRead          int64
+	LocalReads         int64
+	RemoteReads        int64
+	ReReplicatedBytes  int64
+	ReReplicatedBlocks int64
+	LostBlocks         int64
+	UnderReplicated    int64
+}
+
+// New creates an FS. The namenode must be a host in the network; every
+// datanode host stores blocks and serves reads.
+func New(net *netsim.Network, namenode netsim.NodeID, datanodes []netsim.NodeID, cfg Config, rng *stats.RNG) (*FS, error) {
+	cfg.applyDefaults()
+	if len(datanodes) == 0 {
+		return nil, errors.New("hdfs: need at least one datanode")
+	}
+	if cfg.Replication > len(datanodes) {
+		return nil, fmt.Errorf("hdfs: replication %d exceeds %d datanodes", cfg.Replication, len(datanodes))
+	}
+	dns := make([]netsim.NodeID, len(datanodes))
+	copy(dns, datanodes)
+	return &FS{
+		cfg:       cfg,
+		net:       net,
+		eng:       net.Engine(),
+		rng:       rng,
+		namenode:  namenode,
+		datanodes: dns,
+		files:     make(map[string]*file),
+		dead:      make(map[netsim.NodeID]bool),
+	}, nil
+}
+
+// Config returns the filesystem configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Network returns the network the filesystem transfers over.
+func (fs *FS) Network() *netsim.Network { return fs.net }
+
+// DataNodes returns the DataNode host set.
+func (fs *FS) DataNodes() []netsim.NodeID {
+	out := make([]netsim.NodeID, len(fs.datanodes))
+	copy(out, fs.datanodes)
+	return out
+}
+
+// StartHeartbeats launches the periodic DataNode→NameNode heartbeat
+// control flows. They stop after Shutdown.
+func (fs *FS) StartHeartbeats() {
+	for _, dn := range fs.datanodes {
+		fs.scheduleHeartbeat(dn)
+	}
+}
+
+func (fs *FS) scheduleHeartbeat(dn netsim.NodeID) {
+	// Jitter the first beat so DataNodes don't synchronise.
+	delay := fs.cfg.HeartbeatInterval
+	jitter := sim.Time(fs.rng.Float64() * float64(delay))
+	fs.eng.After(jitter, func() { fs.heartbeat(dn) })
+}
+
+func (fs *FS) heartbeat(dn netsim.NodeID) {
+	if fs.stopped || fs.dead[dn] {
+		return
+	}
+	if dn != fs.namenode {
+		fs.control(dn, fs.namenode, flows.PortNameNodeRPC, "hdfs/heartbeat")
+	}
+	fs.eng.After(fs.cfg.HeartbeatInterval, func() { fs.heartbeat(dn) })
+}
+
+// Shutdown stops heartbeat rescheduling so the event queue can drain.
+func (fs *FS) Shutdown() { fs.stopped = true }
+
+// control fires a small RPC exchange flow.
+func (fs *FS) control(src, dst netsim.NodeID, port int, label string) {
+	if src == dst {
+		return
+	}
+	_, err := fs.net.StartFlow(netsim.FlowSpec{
+		Src:       src,
+		Dst:       dst,
+		SrcPort:   ephemeralPort(fs.rng),
+		DstPort:   port,
+		SizeBytes: fs.cfg.ControlBytes,
+		Label:     label,
+	})
+	if err != nil {
+		// Control flows between cluster hosts cannot fail by
+		// construction; a failure here is a programming error.
+		panic(fmt.Sprintf("hdfs: control flow: %v", err))
+	}
+}
+
+// ephemeralPort mimics the OS source-port allocator.
+func ephemeralPort(rng *stats.RNG) int { return 32768 + rng.Intn(28232) }
+
+// choosePipeline implements the default HDFS placement policy:
+// first replica on the writer (when it is a live DataNode), second on a
+// different rack, third on the same rack as the second, extras random.
+// With too few live DataNodes the pipeline comes back short (an
+// under-replicated write, as HDFS permits) or empty.
+func (fs *FS) choosePipeline(writer netsim.NodeID, n int) []netsim.NodeID {
+	topo := fs.net.Topology()
+	used := make(map[netsim.NodeID]bool, n)
+	pipeline := make([]netsim.NodeID, 0, n)
+
+	add := func(id netsim.NodeID) bool {
+		if id < 0 {
+			return false
+		}
+		pipeline = append(pipeline, id)
+		used[id] = true
+		return true
+	}
+
+	isLiveDN := false
+	for _, dn := range fs.datanodes {
+		if dn == writer && !fs.dead[writer] {
+			isLiveDN = true
+			break
+		}
+	}
+	first := writer
+	if !isLiveDN {
+		first = fs.randomDN(used)
+	}
+	if !add(first) || len(pipeline) >= n {
+		return pipeline
+	}
+
+	// Second replica: prefer a different rack from the first.
+	firstRack := topo.Rack(pipeline[0])
+	second := fs.randomDNWhere(used, func(id netsim.NodeID) bool { return topo.Rack(id) != firstRack })
+	if second < 0 {
+		second = fs.randomDN(used)
+	}
+	if !add(second) || len(pipeline) >= n {
+		return pipeline
+	}
+
+	// Third replica: same rack as the second, different node.
+	secondRack := topo.Rack(pipeline[1])
+	third := fs.randomDNWhere(used, func(id netsim.NodeID) bool { return topo.Rack(id) == secondRack })
+	if third < 0 {
+		third = fs.randomDN(used)
+	}
+	if !add(third) {
+		return pipeline
+	}
+
+	for len(pipeline) < n {
+		if !add(fs.randomDN(used)) {
+			break
+		}
+	}
+	return pipeline
+}
+
+// randomDN picks a uniform unused live DataNode, or -1 when none remain.
+func (fs *FS) randomDN(used map[netsim.NodeID]bool) netsim.NodeID {
+	candidates := fs.candidates(used, nil)
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[fs.rng.Intn(len(candidates))]
+}
+
+// randomDNWhere picks a uniform unused DataNode satisfying pred, or -1.
+func (fs *FS) randomDNWhere(used map[netsim.NodeID]bool, pred func(netsim.NodeID) bool) netsim.NodeID {
+	candidates := fs.candidates(used, pred)
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[fs.rng.Intn(len(candidates))]
+}
+
+func (fs *FS) candidates(used map[netsim.NodeID]bool, pred func(netsim.NodeID) bool) []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, dn := range fs.datanodes {
+		if used[dn] || fs.dead[dn] {
+			continue
+		}
+		if pred != nil && !pred(dn) {
+			continue
+		}
+		out = append(out, dn)
+	}
+	return out
+}

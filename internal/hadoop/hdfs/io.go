@@ -1,0 +1,218 @@
+package hdfs
+
+import (
+	"fmt"
+
+	"keddah/internal/flows"
+	"keddah/internal/netsim"
+)
+
+// File returns the block list of a stored file. Reading a file whose
+// writer has not finished returns ErrIncomplete, as opening a lease-held
+// file does on a real cluster.
+func (fs *FS) File(path string) ([]Block, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if !f.complete {
+		return nil, fmt.Errorf("%w: %s", ErrIncomplete, path)
+	}
+	out := make([]Block, len(f.blocks))
+	copy(out, f.blocks)
+	return out, nil
+}
+
+// Exists reports whether path is in the namespace.
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}
+
+// WhenComplete runs fn once path's writer has finished — immediately if
+// the file is already complete. It returns ErrNotFound for unknown paths.
+func (fs *FS) WhenComplete(path string, fn func()) error {
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if f.complete {
+		fn()
+		return nil
+	}
+	f.waiters = append(f.waiters, fn)
+	return nil
+}
+
+// Delete removes a file from the namespace (replica space is not modelled).
+func (fs *FS) Delete(path string) {
+	delete(fs.files, path)
+}
+
+// WriteFile streams size bytes from client into HDFS as path, replicating
+// each block through a write pipeline. replication <= 0 uses the
+// filesystem default. done runs when the last block's pipeline drains.
+//
+// Blocks are written sequentially (as a single DFSOutputStream does);
+// within a block all pipeline hops stream concurrently (cut-through).
+func (fs *FS) WriteFile(client netsim.NodeID, path string, size int64, replication int, label string, done func([]Block)) error {
+	if fs.Exists(path) {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	if size <= 0 {
+		return fmt.Errorf("hdfs: write %s: non-positive size %d", path, size)
+	}
+	if replication <= 0 {
+		replication = fs.cfg.Replication
+	}
+	if replication > len(fs.datanodes) {
+		return fmt.Errorf("hdfs: replication %d exceeds %d datanodes", replication, len(fs.datanodes))
+	}
+	// Reserve the namespace entry up front so concurrent writers collide.
+	f := &file{path: path}
+	fs.files[path] = f
+
+	nblocks := int((size + fs.cfg.BlockSize - 1) / fs.cfg.BlockSize)
+	var writeBlock func(i int)
+	writeBlock = func(i int) {
+		if i == nblocks {
+			f.complete = true
+			if done != nil {
+				blocks := make([]Block, len(f.blocks))
+				copy(blocks, f.blocks)
+				done(blocks)
+			}
+			waiters := f.waiters
+			f.waiters = nil
+			for _, w := range waiters {
+				w()
+			}
+			return
+		}
+		bsize := fs.cfg.BlockSize
+		if rem := size - int64(i)*fs.cfg.BlockSize; rem < bsize {
+			bsize = rem
+		}
+		// addBlock RPC to the NameNode.
+		fs.control(client, fs.namenode, flows.PortNameNodeRPC, label+"/addBlock")
+
+		pipeline := fs.choosePipeline(client, replication)
+		if len(pipeline) == 0 {
+			panic(fmt.Sprintf("hdfs: no live datanodes to write %s", path))
+		}
+		blk := Block{ID: fs.nextBlock, Size: bsize, Replicas: pipeline}
+		fs.nextBlock++
+
+		// One flow per pipeline hop, all streaming concurrently.
+		remainingHops := len(pipeline)
+		hopDone := func(*netsim.Flow) {
+			remainingHops--
+			if remainingHops == 0 {
+				f.blocks = append(f.blocks, blk)
+				fs.BytesWritten += bsize
+				writeBlock(i + 1)
+			}
+		}
+		prev := client
+		for _, hop := range pipeline {
+			_, err := fs.net.StartFlow(netsim.FlowSpec{
+				Src:        prev,
+				Dst:        hop,
+				SrcPort:    ephemeralPort(fs.rng),
+				DstPort:    flows.PortDataNodeData,
+				SizeBytes:  bsize,
+				Label:      label + "/hdfsWrite",
+				OnComplete: hopDone,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("hdfs: pipeline flow: %v", err))
+			}
+			prev = hop
+		}
+	}
+	writeBlock(0)
+	return nil
+}
+
+// pickReplica selects the live replica a reader uses: local if
+// available, then rack-local, then uniform random — the HDFS
+// network-distance rule. Returns -1 when every replica is dead.
+func (fs *FS) pickReplica(client netsim.NodeID, blk Block) netsim.NodeID {
+	topo := fs.net.Topology()
+	live := fs.liveReplicas(&blk)
+	if len(live) == 0 {
+		return -1
+	}
+	for _, r := range live {
+		if r == client {
+			return r
+		}
+	}
+	var rackLocal []netsim.NodeID
+	for _, r := range live {
+		if topo.Rack(r) == topo.Rack(client) {
+			rackLocal = append(rackLocal, r)
+		}
+	}
+	if len(rackLocal) > 0 {
+		return rackLocal[fs.rng.Intn(len(rackLocal))]
+	}
+	return live[fs.rng.Intn(len(live))]
+}
+
+// ReadBlock streams one block to client from the best live replica. done
+// runs with the chosen replica when the transfer finishes. Reading a
+// block with no surviving replica is unrecoverable for the caller and
+// panics (supported failure experiments keep replication ≥ 2).
+func (fs *FS) ReadBlock(client netsim.NodeID, blk Block, label string, done func(replica netsim.NodeID)) {
+	// getBlockLocations RPC.
+	fs.control(client, fs.namenode, flows.PortNameNodeRPC, label+"/getBlockLocations")
+
+	replica := fs.pickReplica(client, blk)
+	if replica < 0 {
+		panic(fmt.Sprintf("hdfs: block %d has no live replica", blk.ID))
+	}
+	if replica == client {
+		fs.LocalReads++
+	} else {
+		fs.RemoteReads++
+	}
+	_, err := fs.net.StartFlow(netsim.FlowSpec{
+		Src:       replica,
+		Dst:       client,
+		SrcPort:   flows.PortDataNodeData,
+		DstPort:   ephemeralPort(fs.rng),
+		SizeBytes: blk.Size,
+		Label:     label + "/hdfsRead",
+		OnComplete: func(*netsim.Flow) {
+			fs.BytesRead += blk.Size
+			if done != nil {
+				done(replica)
+			}
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("hdfs: read flow: %v", err))
+	}
+}
+
+// ReadFile streams every block of path to client sequentially and then
+// runs done.
+func (fs *FS) ReadFile(client netsim.NodeID, path string, label string, done func()) error {
+	blocks, err := fs.File(path)
+	if err != nil {
+		return err
+	}
+	var readAt func(i int)
+	readAt = func(i int) {
+		if i == len(blocks) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		fs.ReadBlock(client, blocks[i], label, func(netsim.NodeID) { readAt(i + 1) })
+	}
+	readAt(0)
+	return nil
+}

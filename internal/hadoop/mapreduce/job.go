@@ -1,0 +1,291 @@
+// Package mapreduce simulates MapReduce v2 job execution on top of the
+// HDFS and YARN substrates: input splits, locality-aware map scheduling,
+// the all-to-all shuffle over the ShuffleHandler port with bounded
+// parallel fetches, reducer merge + commit to HDFS with pipeline
+// replication, slow-started reducers, and task↔AM umbilical control
+// traffic. The network-visible behaviour — which host pairs exchange how
+// many bytes and when — is what Keddah captures and models.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"keddah/internal/hadoop/hdfs"
+	"keddah/internal/hadoop/yarn"
+	"keddah/internal/netsim"
+	"keddah/internal/sim"
+	"keddah/internal/stats"
+)
+
+// JobConfig describes one MapReduce job. Byte selectivities come from the
+// workload profile (internal/workload) and are what differentiate e.g. a
+// shuffle-heavy sort from a shuffle-light grep.
+type JobConfig struct {
+	// Name labels the job in flow ground truth ("job3").
+	Name string
+	// InputPath is the HDFS file to read (must exist).
+	InputPath string
+	// OutputPath is the HDFS directory to write ("<out>/part-r-00000"…).
+	OutputPath string
+	// NumReducers is the reduce-task count; 0 makes the job map-only.
+	NumReducers int
+	// MapSelectivity is map-output bytes per input byte (e.g. ~1 for
+	// sort, ≪1 for grep).
+	MapSelectivity float64
+	// ReduceSelectivity is job-output bytes per shuffled byte.
+	ReduceSelectivity float64
+	// OutputReplication overrides dfs.replication for job output
+	// (0 = filesystem default; TeraSort conventionally uses 1).
+	OutputReplication int
+	// SlowstartMaps is the completed-map fraction that triggers reducer
+	// launch (default 0.05, as mapreduce.job.reduce.slowstart).
+	SlowstartMaps float64
+	// MaxParallelFetches bounds concurrent shuffle fetches per reducer
+	// (default 5, as mapreduce.reduce.shuffle.parallelcopies).
+	MaxParallelFetches int
+	// MapCostSecPerMB and ReduceCostSecPerMB model task compute time.
+	MapCostSecPerMB    float64
+	ReduceCostSecPerMB float64
+	// StragglerSigma is the log-normal sigma applied to task compute
+	// times (default 0.25): the straggler effect that spreads flow
+	// arrivals out in time.
+	StragglerSigma float64
+	// PartitionSkewSigma jitters per-(map,reducer) partition sizes
+	// (default 0.15).
+	PartitionSkewSigma float64
+	// UmbilicalInterval is the task→AM progress-report period
+	// (default 3s).
+	UmbilicalInterval sim.Time
+	// Speculative enables speculative execution: once half the maps
+	// have finished, a running map whose elapsed time exceeds
+	// SpeculativeThreshold × the mean completed-map duration gets a
+	// duplicate attempt on another node; the first finisher wins and
+	// the loser's traffic is wasted — mapreduce.map.speculative.
+	Speculative bool
+	// SpeculativeThreshold is the slowdown factor that triggers a
+	// duplicate attempt (default 1.5).
+	SpeculativeThreshold float64
+}
+
+func (c *JobConfig) applyDefaults() {
+	if c.SlowstartMaps <= 0 {
+		c.SlowstartMaps = 0.05
+	}
+	if c.MaxParallelFetches <= 0 {
+		c.MaxParallelFetches = 5
+	}
+	if c.MapCostSecPerMB <= 0 {
+		c.MapCostSecPerMB = 0.02
+	}
+	if c.ReduceCostSecPerMB <= 0 {
+		c.ReduceCostSecPerMB = 0.02
+	}
+	if c.StragglerSigma <= 0 {
+		c.StragglerSigma = 0.25
+	}
+	if c.PartitionSkewSigma <= 0 {
+		c.PartitionSkewSigma = 0.15
+	}
+	if c.UmbilicalInterval <= 0 {
+		c.UmbilicalInterval = 3_000_000_000
+	}
+	if c.SpeculativeThreshold <= 0 {
+		c.SpeculativeThreshold = 1.5
+	}
+}
+
+// Result summarises a finished job.
+type Result struct {
+	Name          string
+	Submitted     sim.Time
+	FirstMapStart sim.Time
+	LastMapEnd    sim.Time
+	Finished      sim.Time
+	Maps          int
+	Reducers      int
+	InputBytes    int64
+	MapOutBytes   int64
+	ShuffleBytes  int64
+	OutputBytes   int64
+	LocalMaps     int
+	// Failed marks a job aborted by an ApplicationMaster host failure.
+	Failed bool
+	// ReexecutedMaps / ReexecutedReducers count task attempts restarted
+	// after NodeManager failures.
+	ReexecutedMaps     int
+	ReexecutedReducers int
+	// SpeculativeMaps counts duplicate straggler attempts launched.
+	SpeculativeMaps int
+}
+
+// Duration returns end-to-end job time.
+func (r Result) Duration() sim.Time { return r.Finished - r.Submitted }
+
+// Job drives one MapReduce execution. Create with NewJob, start with
+// Submit; the completion callback receives the Result.
+type Job struct {
+	cfg  JobConfig
+	fs   *hdfs.FS
+	rm   *yarn.RM
+	net  *netsim.Network
+	eng  *sim.Engine
+	rng  *stats.RNG
+	app  *yarn.App
+	done func(Result)
+
+	splits     []hdfs.Block
+	mapOut     []int64         // per-map output bytes (set at map end)
+	mapHost    []netsim.NodeID // per-map executor
+	mapEpoch   []int           // per-map attempt number (bumped on re-execution)
+	mapStart   []sim.Time      // per-map earliest attempt start
+	specDone   []bool          // per-map speculative attempt launched
+	mapDurSum  float64         // completed map durations (seconds)
+	mapDurN    int
+	attemptSeq int // unique attempt counter for output paths
+	mapsDone   int
+	reducers   []*reducer
+	redsDone   int
+	redsQueued int
+	result     Result
+	finished   bool
+}
+
+// NewJob validates the configuration and binds the job to its substrates.
+func NewJob(cfg JobConfig, fs *hdfs.FS, rm *yarn.RM, rng *stats.RNG) (*Job, error) {
+	cfg.applyDefaults()
+	if cfg.InputPath == "" || cfg.OutputPath == "" {
+		return nil, errors.New("mapreduce: input and output paths required")
+	}
+	if cfg.MapSelectivity < 0 || cfg.ReduceSelectivity < 0 {
+		return nil, fmt.Errorf("mapreduce: negative selectivity in %q", cfg.Name)
+	}
+	if !fs.Exists(cfg.InputPath) {
+		return nil, fmt.Errorf("mapreduce: %w: input %s", hdfs.ErrNotFound, cfg.InputPath)
+	}
+	net := fs.Network()
+	return &Job{cfg: cfg, fs: fs, rm: rm, net: net, eng: net.Engine(), rng: rng}, nil
+}
+
+// Submit launches the job from client. done runs once with the Result
+// when the job commits.
+func (j *Job) Submit(client netsim.NodeID, done func(Result)) error {
+	splits, err := j.fs.File(j.cfg.InputPath)
+	if err != nil {
+		return err
+	}
+	if len(splits) == 0 {
+		return fmt.Errorf("mapreduce: input %s has no blocks", j.cfg.InputPath)
+	}
+	j.splits = splits
+	j.mapOut = make([]int64, len(splits))
+	j.mapHost = make([]netsim.NodeID, len(splits))
+	j.mapEpoch = make([]int, len(splits))
+	j.mapStart = make([]sim.Time, len(splits))
+	j.specDone = make([]bool, len(splits))
+	j.done = done
+	j.result = Result{
+		Name:      j.cfg.Name,
+		Submitted: j.eng.Now(),
+		Maps:      len(splits),
+		Reducers:  j.cfg.NumReducers,
+	}
+	for _, b := range splits {
+		j.result.InputBytes += b.Size
+	}
+	j.rm.WatchNodeFailures(j.onNodeFailed)
+	j.app = j.rm.Submit(client, func(*yarn.App) { j.onAMStarted() })
+	return nil
+}
+
+// onAMStarted requests a container per map split, preferring replica
+// hosts, and arms the AM failure handler (AM loss aborts the job — MRv2
+// AM restart is out of scope and documented as such).
+func (j *Job) onAMStarted() {
+	j.app.OnAMLost(j.abort)
+	for i := range j.splits {
+		j.requestMap(i)
+	}
+	if j.cfg.Speculative {
+		j.eng.After(j.cfg.UmbilicalInterval, j.speculationTick)
+	}
+}
+
+// speculationTick is the AM's straggler check: once half the maps have
+// finished, any running map slower than the threshold × the mean
+// completed-map duration gets one duplicate attempt.
+func (j *Job) speculationTick() {
+	if j.finished || j.mapsDone == len(j.splits) {
+		return
+	}
+	if 2*j.mapsDone >= len(j.splits) && j.mapDurN > 0 {
+		mean := j.mapDurSum / float64(j.mapDurN)
+		limit := sim.Time(j.cfg.SpeculativeThreshold * mean * 1e9)
+		now := j.eng.Now()
+		for i := range j.splits {
+			if j.mapOut[i] != 0 || j.specDone[i] || j.mapStart[i] == 0 {
+				continue
+			}
+			if now-j.mapStart[i] > limit {
+				j.specDone[i] = true
+				j.result.SpeculativeMaps++
+				j.requestMap(i)
+			}
+		}
+	}
+	j.eng.After(j.cfg.UmbilicalInterval, j.speculationTick)
+}
+
+// requestMap asks YARN for a container to run (or re-run) map i.
+func (j *Job) requestMap(i int) {
+	j.app.RequestContainer(yarn.PriorityMap, j.splits[i].Replicas, func(c *yarn.Container) {
+		j.runMapTask(i, c)
+	})
+}
+
+// abort fails the job after an unrecoverable loss (the AM's host died).
+func (j *Job) abort() {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.result.Failed = true
+	j.result.Finished = j.eng.Now()
+	j.app.Finish()
+	if j.done != nil {
+		j.done(j.result)
+	}
+}
+
+// lognormalJitter returns exp(N(0, sigma²)) — a multiplicative straggler
+// factor with median 1.
+func (j *Job) lognormalJitter(sigma float64) float64 {
+	return math.Exp(sigma * j.rng.NormFloat64())
+}
+
+// computeDelay converts bytes at secPerMB into jittered simulated time.
+func (j *Job) computeDelay(bytes int64, secPerMB float64) sim.Time {
+	secs := float64(bytes) / (1 << 20) * secPerMB * j.lognormalJitter(j.cfg.StragglerSigma)
+	return sim.Time(secs * 1e9)
+}
+
+// maybeFinish commits the job when every task has completed.
+func (j *Job) maybeFinish() {
+	if j.finished {
+		return
+	}
+	mapOnly := j.cfg.NumReducers == 0
+	if j.mapsDone < len(j.splits) {
+		return
+	}
+	if !mapOnly && j.redsDone < j.cfg.NumReducers {
+		return
+	}
+	j.finished = true
+	j.result.Finished = j.eng.Now()
+	j.app.Finish()
+	if j.done != nil {
+		j.done(j.result)
+	}
+}

@@ -1,0 +1,190 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"keddah/internal/flows"
+	"keddah/internal/hadoop/hdfs"
+	"keddah/internal/hadoop/yarn"
+	"keddah/internal/netsim"
+)
+
+// reducer is one reduce task attempt: it shuffles a partition from every
+// map output (at most MaxParallelFetches concurrent fetches, as the real
+// Fetcher pool does), then merges, reduces, and commits its part file to
+// HDFS through a replication pipeline. A lost attempt is re-run from
+// scratch on a new container — its already-shuffled bytes are wasted,
+// exactly the failure cost real deployments pay.
+type reducer struct {
+	job        *Job
+	idx        int
+	attempt    int
+	container  *yarn.Container
+	host       netsim.NodeID
+	pending    []int // map indexes ready to fetch
+	queued     map[int]bool
+	fetchedSet map[int]bool
+	active     int
+	bytes      int64
+	shuffled   bool // all partitions fetched; merge/reduce underway
+	done       bool // committed
+	dead       bool // attempt superseded after container loss
+}
+
+// runReducer starts reduce task ri on the granted container and
+// backfills fetches for all already-completed maps.
+func (j *Job) runReducer(ri int, c *yarn.Container) {
+	if j.finished {
+		c.Release()
+		return
+	}
+	attempt := 0
+	for len(j.reducers) <= ri {
+		j.reducers = append(j.reducers, nil)
+	}
+	if prev := j.reducers[ri]; prev != nil {
+		attempt = prev.attempt + 1
+	}
+	r := &reducer{
+		job:        j,
+		idx:        ri,
+		attempt:    attempt,
+		container:  c,
+		host:       c.Host(),
+		queued:     make(map[int]bool, len(j.splits)),
+		fetchedSet: make(map[int]bool, len(j.splits)),
+	}
+	j.reducers[ri] = r
+
+	c.OnLost(func() {
+		if r.done || j.finished {
+			return
+		}
+		r.dead = true
+		j.result.ReexecutedReducers++
+		j.requestReducer(ri)
+	})
+	j.umbilical(r.host, func() bool { return !r.done && !r.dead })
+
+	// Backfill: a map is fetchable iff its output size is recorded.
+	for m, out := range j.mapOut {
+		if out > 0 {
+			r.mapReady(m)
+		}
+	}
+	r.pump()
+}
+
+// mapReady queues a completed map's partition for fetching.
+func (r *reducer) mapReady(mapIdx int) {
+	if r.dead || r.done || r.queued[mapIdx] {
+		return
+	}
+	r.queued[mapIdx] = true
+	r.pending = append(r.pending, mapIdx)
+	r.pump()
+}
+
+// invalidateMap reacts to a map output lost to a node failure: un-queue
+// the partition so the re-executed attempt's completion re-feeds it.
+// Already-fetched partitions are kept (the reducer spilled them locally).
+func (r *reducer) invalidateMap(mapIdx int) {
+	if r.dead || r.done || r.fetchedSet[mapIdx] || !r.queued[mapIdx] {
+		return
+	}
+	r.queued[mapIdx] = false
+	for i, m := range r.pending {
+		if m == mapIdx {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// partitionBytes sizes this reducer's share of one map output: the even
+// split perturbed by key-skew jitter.
+func (r *reducer) partitionBytes(mapIdx int) int64 {
+	j := r.job
+	share := float64(j.mapOut[mapIdx]) / float64(j.cfg.NumReducers)
+	sz := int64(share * j.lognormalJitter(j.cfg.PartitionSkewSigma))
+	if sz < 1 {
+		sz = 1
+	}
+	return sz
+}
+
+// pump starts fetches up to the parallel-copy bound and detects shuffle
+// completion.
+func (r *reducer) pump() {
+	j := r.job
+	if r.dead || r.done {
+		return
+	}
+	for r.active < j.cfg.MaxParallelFetches && len(r.pending) > 0 {
+		mapIdx := r.pending[0]
+		r.pending = r.pending[1:]
+		r.active++
+		size := r.partitionBytes(mapIdx)
+		src := j.mapHost[mapIdx]
+		_, err := j.net.StartFlow(netsim.FlowSpec{
+			Src:       src,
+			Dst:       r.host,
+			SrcPort:   flows.PortShuffle,
+			DstPort:   32768 + j.rng.Intn(28232),
+			SizeBytes: size,
+			Label:     j.cfg.Name + "/shuffle",
+			OnComplete: func(*netsim.Flow) {
+				r.active--
+				if r.dead {
+					return
+				}
+				r.fetchedSet[mapIdx] = true
+				r.bytes += size
+				j.result.ShuffleBytes += size
+				r.pump()
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("mapreduce: shuffle flow: %v", err))
+		}
+	}
+	if r.active == 0 && len(r.fetchedSet) == len(j.splits) && !r.shuffled {
+		r.finishShuffle()
+	}
+}
+
+// finishShuffle runs merge + reduce compute and commits output to HDFS.
+func (r *reducer) finishShuffle() {
+	j := r.job
+	r.shuffled = true
+	mergeAndReduce := j.computeDelay(r.bytes, j.cfg.ReduceCostSecPerMB)
+	j.eng.After(mergeAndReduce, func() {
+		if r.dead || j.finished {
+			return
+		}
+		out := int64(math.Round(float64(r.bytes) * j.cfg.ReduceSelectivity))
+		commit := func() {
+			if r.dead || j.finished {
+				return
+			}
+			r.done = true
+			j.controlFlow(r.host, j.app.AMHost(), flows.PortAMUmbilical, j.cfg.Name+"/reduceDone")
+			r.container.Release()
+			j.redsDone++
+			j.maybeFinish()
+		}
+		if out <= 0 {
+			commit()
+			return
+		}
+		part := fmt.Sprintf("%s/part-r-%05d-a%d", j.cfg.OutputPath, r.idx, r.attempt)
+		err := j.fs.WriteFile(r.host, part, out, j.cfg.OutputReplication, j.cfg.Name, func(_ []hdfs.Block) {
+			j.result.OutputBytes += out
+			commit()
+		})
+		if err != nil {
+			panic(fmt.Sprintf("mapreduce: reduce output write: %v", err))
+		}
+	})
+}

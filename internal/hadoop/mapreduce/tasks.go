@@ -1,0 +1,250 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"keddah/internal/flows"
+	"keddah/internal/hadoop/hdfs"
+	"keddah/internal/hadoop/yarn"
+	"keddah/internal/netsim"
+)
+
+// umbilical sends periodic task→AM progress reports while alive() holds.
+// It mirrors the TaskUmbilicalProtocol status updates that show up as
+// small recurring control flows in captures.
+func (j *Job) umbilical(task netsim.NodeID, alive func() bool) {
+	var beat func()
+	beat = func() {
+		if !alive() || j.finished {
+			return
+		}
+		j.controlFlow(task, j.app.AMHost(), flows.PortAMUmbilical, j.cfg.Name+"/umbilical")
+		j.eng.After(j.cfg.UmbilicalInterval, beat)
+	}
+	j.eng.After(j.cfg.UmbilicalInterval, beat)
+}
+
+// controlFlow emits one small RPC exchange.
+func (j *Job) controlFlow(src, dst netsim.NodeID, port int, label string) {
+	if src == dst {
+		return
+	}
+	_, err := j.net.StartFlow(netsim.FlowSpec{
+		Src:       src,
+		Dst:       dst,
+		SrcPort:   32768 + j.rng.Intn(28232),
+		DstPort:   port,
+		SizeBytes: 512,
+		Label:     label,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: control flow: %v", err))
+	}
+}
+
+// runMapTask executes map i on the granted container: read the split
+// from HDFS (loopback when a replica is local), compute, record the map
+// output size, and — for map-only jobs — write output straight to HDFS.
+// If the container's host fails mid-task the attempt is re-requested.
+func (j *Job) runMapTask(i int, c *yarn.Container) {
+	if j.finished {
+		c.Release()
+		return
+	}
+	host := c.Host()
+	if j.result.FirstMapStart == 0 {
+		j.result.FirstMapStart = j.eng.Now()
+	}
+	attemptStart := j.eng.Now()
+	if j.mapStart[i] == 0 {
+		j.mapStart[i] = attemptStart
+	}
+	j.mapHost[i] = host
+	epoch := j.mapEpoch[i]
+	taskDone := false
+	stale := func() bool { return j.mapEpoch[i] != epoch || c.Lost() }
+
+	c.OnLost(func() {
+		if taskDone || j.finished || j.mapEpoch[i] != epoch {
+			return
+		}
+		// Running attempt lost: re-run this split elsewhere.
+		j.mapEpoch[i]++
+		j.mapStart[i] = 0
+		j.specDone[i] = false
+		j.result.ReexecutedMaps++
+		j.requestMap(i)
+	})
+	j.umbilical(host, func() bool { return !taskDone && !stale() })
+
+	split := j.splits[i]
+	local := false
+	for _, r := range split.Replicas {
+		if r == host {
+			local = true
+			break
+		}
+	}
+	if local {
+		j.result.LocalMaps++
+	}
+
+	j.fs.ReadBlock(host, split, j.cfg.Name, func(netsim.NodeID) {
+		if stale() {
+			return
+		}
+		j.eng.After(j.computeDelay(split.Size, j.cfg.MapCostSecPerMB), func() {
+			if stale() {
+				return
+			}
+			out := int64(float64(split.Size) * j.cfg.MapSelectivity * j.lognormalJitter(0.05))
+			if out < 1 && j.cfg.MapSelectivity > 0 {
+				out = 1
+			}
+
+			finish := func() {
+				if stale() {
+					return
+				}
+				if j.mapOut[i] != 0 {
+					// A speculative twin already committed this split;
+					// this attempt's traffic was the speculation cost.
+					taskDone = true
+					c.Release()
+					return
+				}
+				taskDone = true
+				j.mapOut[i] = out
+				j.result.MapOutBytes += out
+				j.mapDurSum += (j.eng.Now() - attemptStart).Seconds()
+				j.mapDurN++
+				// Completion report to the AM.
+				j.controlFlow(host, j.app.AMHost(), flows.PortAMUmbilical, j.cfg.Name+"/mapDone")
+				c.Release()
+				j.mapsDone++
+				if j.mapsDone == len(j.splits) {
+					j.result.LastMapEnd = j.eng.Now()
+				}
+				j.onMapCompleted(i)
+			}
+
+			if j.cfg.NumReducers == 0 {
+				if j.mapOut[i] != 0 {
+					finish() // twin won before our write started
+					return
+				}
+				// Map-only job: commit output directly to HDFS. Attempt
+				// ids keep speculative twins' paths distinct; only the
+				// winning attempt's bytes count as job output.
+				j.attemptSeq++
+				part := fmt.Sprintf("%s/part-m-%05d-t%d", j.cfg.OutputPath, i, j.attemptSeq)
+				err := j.fs.WriteFile(host, part, out, j.cfg.OutputReplication, j.cfg.Name, func(_ []hdfs.Block) {
+					if j.mapOut[i] == 0 && !stale() {
+						j.result.OutputBytes += out
+					}
+					finish()
+				})
+				if err != nil {
+					panic(fmt.Sprintf("mapreduce: map output write: %v", err))
+				}
+				return
+			}
+			finish()
+		})
+	})
+}
+
+// onMapCompleted feeds the shuffle: launch reducers at the slowstart
+// threshold and notify running reducers that a new map output is ready.
+func (j *Job) onMapCompleted(mapIdx int) {
+	if j.cfg.NumReducers > 0 {
+		j.maybeLaunchReducers()
+		for _, r := range j.reducers {
+			if r != nil {
+				r.mapReady(mapIdx)
+			}
+		}
+	}
+	j.maybeFinish()
+}
+
+// onNodeFailed re-executes completed maps whose outputs lived on the
+// failed host and are still needed by unfinished reducers — the
+// TaskAttemptKillEvent path that makes node failure expensive in real
+// deployments.
+func (j *Job) onNodeFailed(host netsim.NodeID) {
+	if j.finished || j.cfg.NumReducers == 0 {
+		return
+	}
+	if j.redsDone == j.cfg.NumReducers {
+		return
+	}
+	for i := range j.splits {
+		if j.mapHost[i] != host || j.mapOut[i] == 0 {
+			continue
+		}
+		// Skip if every launched reducer already holds this partition
+		// and all reducers are launched.
+		if j.redsQueued == j.cfg.NumReducers && j.allFetched(i) {
+			continue
+		}
+		j.mapOut[i] = 0
+		j.mapEpoch[i]++
+		j.mapStart[i] = 0
+		j.specDone[i] = false
+		j.mapsDone--
+		j.result.ReexecutedMaps++
+		for _, r := range j.reducers {
+			if r != nil {
+				r.invalidateMap(i)
+			}
+		}
+		j.requestMap(i)
+	}
+}
+
+// allFetched reports whether every live reducer has already pulled map
+// i's partition.
+func (j *Job) allFetched(mapIdx int) bool {
+	for _, r := range j.reducers {
+		if r == nil || r.done {
+			continue
+		}
+		if !r.fetchedSet[mapIdx] {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeLaunchReducers ramps up reduce containers: at the slowstart
+// threshold it requests up to half the cluster's slots (so queued maps
+// can never be starved — the RMContainerAllocator's headroom rule), and
+// the remainder once every map has finished.
+func (j *Job) maybeLaunchReducers() {
+	threshold := int(j.cfg.SlowstartMaps*float64(len(j.splits)) + 0.999)
+	if threshold < 1 {
+		threshold = 1
+	}
+	if j.mapsDone < threshold {
+		return
+	}
+	allowed := j.cfg.NumReducers
+	if j.mapsDone < len(j.splits) {
+		if headroom := j.rm.TotalSlots() / 2; allowed > headroom {
+			allowed = headroom
+		}
+	}
+	for j.redsQueued < allowed {
+		ri := j.redsQueued
+		j.redsQueued++
+		j.requestReducer(ri)
+	}
+}
+
+// requestReducer asks YARN for a container to run (or re-run) reducer ri.
+func (j *Job) requestReducer(ri int) {
+	j.app.RequestContainer(yarn.PriorityReduce, nil, func(c *yarn.Container) {
+		j.runReducer(ri, c)
+	})
+}

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"fmt"
+)
+
+// Common capacities in bits per second.
+const (
+	Gbps  = 1e9
+	Mbps  = 1e6
+	TenGE = 10 * Gbps
+)
+
+// DefaultLatencyNs is the per-link propagation delay used by the builders
+// (50 µs, a typical intra-datacenter figure).
+const DefaultLatencyNs = 50_000
+
+// Star builds a single-switch topology with n hosts, each attached at
+// hostBps. All hosts are in rack 0.
+func Star(n int, hostBps float64) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netsim: star needs >=1 host, got %d", n)
+	}
+	b := NewBuilder()
+	sw := b.AddSwitch("core")
+	for i := 0; i < n; i++ {
+		h := b.AddHost(fmt.Sprintf("h%02d", i), 0)
+		b.Connect(h, sw, hostBps, DefaultLatencyNs)
+	}
+	return b.Build()
+}
+
+// MultiRack builds racks × hostsPerRack hosts. Hosts attach to their rack
+// switch at hostBps; each rack switch attaches to a core switch at
+// uplinkBps. uplinkBps < hostsPerRack×hostBps yields an oversubscribed
+// fabric, the regime where Hadoop's shuffle is network-bound.
+func MultiRack(racks, hostsPerRack int, hostBps, uplinkBps float64) (*Topology, error) {
+	if racks < 1 || hostsPerRack < 1 {
+		return nil, fmt.Errorf("netsim: multirack needs >=1 rack and host, got %d x %d", racks, hostsPerRack)
+	}
+	b := NewBuilder()
+	core := b.AddSwitch("core")
+	for r := 0; r < racks; r++ {
+		tor := b.AddSwitch(fmt.Sprintf("tor%d", r))
+		b.Connect(tor, core, uplinkBps, DefaultLatencyNs)
+		for i := 0; i < hostsPerRack; i++ {
+			h := b.AddHost(fmt.Sprintf("r%dh%02d", r, i), r)
+			b.Connect(h, tor, hostBps, DefaultLatencyNs)
+		}
+	}
+	return b.Build()
+}
+
+// FatTree builds a k-ary fat-tree (k even): k pods of k/2 edge and k/2
+// aggregation switches, (k/2)² core switches, and k³/4 hosts at linkBps on
+// every link. Hosts under one edge switch share a rack index.
+func FatTree(k int, linkBps float64) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("netsim: fat-tree arity must be even and >=2, got %d", k)
+	}
+	b := NewBuilder()
+	half := k / 2
+
+	cores := make([]NodeID, half*half)
+	for i := range cores {
+		cores[i] = b.AddSwitch(fmt.Sprintf("core%d", i))
+	}
+	rack := 0
+	for p := 0; p < k; p++ {
+		aggs := make([]NodeID, half)
+		edges := make([]NodeID, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = b.AddSwitch(fmt.Sprintf("p%da%d", p, i))
+			edges[i] = b.AddSwitch(fmt.Sprintf("p%de%d", p, i))
+		}
+		for _, e := range edges {
+			for _, a := range aggs {
+				b.Connect(e, a, linkBps, DefaultLatencyNs)
+			}
+		}
+		for i, a := range aggs {
+			for j := 0; j < half; j++ {
+				b.Connect(a, cores[i*half+j], linkBps, DefaultLatencyNs)
+			}
+		}
+		for i, e := range edges {
+			for j := 0; j < half; j++ {
+				h := b.AddHost(fmt.Sprintf("p%de%dh%d", p, i, j), rack)
+				b.Connect(h, e, linkBps, DefaultLatencyNs)
+			}
+			rack++
+		}
+	}
+	return b.Build()
+}

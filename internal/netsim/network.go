@@ -1,0 +1,485 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"keddah/internal/sim"
+)
+
+// FlowSpec describes a transfer to start on the network.
+type FlowSpec struct {
+	Src, Dst NodeID
+	// SrcPort and DstPort are TCP-style port numbers. Keddah classifies
+	// flows by the well-known Hadoop destination ports.
+	SrcPort, DstPort int
+	// SizeBytes is the number of application bytes to move.
+	SizeBytes int64
+	// Label is a free-form ground-truth annotation ("job7/shuffle")
+	// carried through to captures for classifier validation.
+	Label string
+	// OnComplete, if non-nil, runs when the last byte is delivered.
+	OnComplete func(*Flow)
+}
+
+// RateSegment records the allocated rate of a flow from Start until the
+// next segment (or flow end). Captures use segments to synthesise packets
+// with realistic timestamps.
+type RateSegment struct {
+	Start   sim.Time
+	RateBps float64
+}
+
+// Flow is an in-flight or finished transfer.
+type Flow struct {
+	id        uint64
+	spec      FlowSpec
+	path      []LinkID
+	start     sim.Time
+	activated sim.Time // start + propagation latency
+	end       sim.Time
+	remaining float64 // bytes
+	rate      float64 // bps
+	last      sim.Time
+	segments  []RateSegment
+	completeE *sim.Event
+	done      bool
+	active    bool
+}
+
+// ID returns the network-unique flow identifier.
+func (f *Flow) ID() uint64 { return f.id }
+
+// Spec returns the originating specification.
+func (f *Flow) Spec() FlowSpec { return f.spec }
+
+// Start returns when the flow was opened.
+func (f *Flow) Start() sim.Time { return f.start }
+
+// End returns when the last byte arrived (valid once done).
+func (f *Flow) End() sim.Time { return f.end }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Segments returns the rate history (read-only view).
+func (f *Flow) Segments() []RateSegment { return f.segments }
+
+// Tap observes flow lifecycle events, e.g. a packet capture.
+type Tap interface {
+	FlowStarted(f *Flow)
+	FlowCompleted(f *Flow)
+}
+
+// Allocator selects the bandwidth-sharing discipline.
+type Allocator int
+
+// Supported allocators. AllocMaxMin (the default) is progressive-filling
+// max-min fairness, the standard flow-level model of TCP sharing.
+// AllocEqualSplit is the naive alternative — each flow independently gets
+// min over its links of capacity/flow-count, ignoring bandwidth freed by
+// flows bottlenecked elsewhere. It exists as an ablation: Keddah's replay
+// fidelity depends on the fair-sharing model (experiment A2).
+const (
+	AllocMaxMin Allocator = iota
+	AllocEqualSplit
+)
+
+// Config tunes network-wide constants.
+type Config struct {
+	// LoopbackBps is the rate for src==dst transfers (local disk/memory
+	// path). Default 20 Gbps.
+	LoopbackBps float64
+	// Allocator selects the bandwidth sharing model (default AllocMaxMin).
+	Allocator Allocator
+	// ModelSlowStart adds a TCP slow-start penalty to each flow's
+	// activation: ceil(log2(1 + size/10·MSS)) round trips at the path
+	// RTT. Flow-level models otherwise let short flows finish in one
+	// latency, which overstates control-flow and small-fetch speed.
+	// Off by default; enable for latency-sensitive studies.
+	ModelSlowStart bool
+}
+
+// Network runs flows over a Topology on a shared simulation engine.
+type Network struct {
+	eng   *sim.Engine
+	topo  *Topology
+	cfg   Config
+	seq   uint64
+	flows []*Flow // active flows ordered by ascending id
+	taps  []Tap
+
+	reallocPending bool
+
+	// Stats counters.
+	completed  uint64
+	totalBytes float64
+}
+
+// NewNetwork creates a Network bound to the engine and topology.
+func NewNetwork(eng *sim.Engine, topo *Topology, cfg Config) *Network {
+	if cfg.LoopbackBps == 0 {
+		cfg.LoopbackBps = 20 * Gbps
+	}
+	return &Network{eng: eng, topo: topo, cfg: cfg}
+}
+
+// Topology returns the network's topology.
+func (n *Network) Topology() *Topology { return n.topo }
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddTap registers a lifecycle observer.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// Completed returns the number of flows finished so far.
+func (n *Network) Completed() uint64 { return n.completed }
+
+// TotalBytes returns the total bytes delivered so far.
+func (n *Network) TotalBytes() float64 { return n.totalBytes }
+
+// flowHash mixes the 5-tuple for deterministic ECMP path selection.
+func flowHash(s FlowSpec, id uint64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(s.Src))
+	mix(uint64(s.Dst))
+	mix(uint64(s.SrcPort))
+	mix(uint64(s.DstPort))
+	mix(id)
+	return h
+}
+
+// StartFlow opens a transfer. It returns an error if src/dst are not hosts
+// or the size is negative.
+func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
+	if !n.topo.IsHost(spec.Src) || !n.topo.IsHost(spec.Dst) {
+		return nil, fmt.Errorf("netsim: flow endpoints must be hosts (%d -> %d)", spec.Src, spec.Dst)
+	}
+	if spec.SizeBytes < 0 {
+		return nil, fmt.Errorf("netsim: negative flow size %d", spec.SizeBytes)
+	}
+	f := &Flow{
+		id:        n.seq,
+		spec:      spec,
+		start:     n.eng.Now(),
+		remaining: float64(spec.SizeBytes),
+	}
+	n.seq++
+
+	var latency int64
+	if spec.Src != spec.Dst {
+		path, err := n.topo.Path(spec.Src, spec.Dst, flowHash(spec, f.id))
+		if err != nil {
+			return nil, err
+		}
+		f.path = path
+		latency = n.topo.PathLatencyNs(path)
+		if n.cfg.ModelSlowStart {
+			latency += slowStartPenaltyNs(spec.SizeBytes, latency)
+		}
+	} else {
+		latency = 10_000 // 10 µs loopback
+	}
+
+	for _, t := range n.taps {
+		t.FlowStarted(f)
+	}
+
+	// The flow starts transferring after propagation latency.
+	n.eng.After(sim.Time(latency), func() {
+		f.activated = n.eng.Now()
+		f.last = f.activated
+		f.active = true
+		if f.spec.Src == f.spec.Dst {
+			// Loopback: fixed rate, no interaction with fairness.
+			f.rate = n.cfg.LoopbackBps
+			f.segments = append(f.segments, RateSegment{Start: f.activated, RateBps: f.rate})
+			d := durationFor(f.remaining, f.rate)
+			f.completeE = n.eng.After(d, func() { n.finish(f) })
+			return
+		}
+		n.flows = append(n.flows, f)
+		n.markDirty()
+	})
+	return f, nil
+}
+
+// slowStartInitialWindow is the IW10 initial congestion window in bytes
+// (10 segments of 1448 B payload).
+const slowStartInitialWindow = 10 * 1448
+
+// slowStartPenaltyNs approximates TCP slow start analytically: the
+// number of window doublings needed to cover the flow, each costing one
+// RTT (= 2 × one-way path latency).
+func slowStartPenaltyNs(size int64, onewayNs int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	rtt := 2 * onewayNs
+	rounds := int64(math.Ceil(math.Log2(1 + float64(size)/slowStartInitialWindow)))
+	return rounds * rtt
+}
+
+// durationFor converts bytes at bps into simulated time, rounding UP to
+// the next nanosecond so a completion event never fires before the last
+// byte has actually been charged by settle.
+func durationFor(bytes, bps float64) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	secs := bytes * 8 / bps
+	return sim.Time(math.Ceil(secs * 1e9))
+}
+
+// markDirty coalesces reallocation requests occurring at the same instant.
+func (n *Network) markDirty() {
+	if n.reallocPending {
+		return
+	}
+	n.reallocPending = true
+	n.eng.After(0, func() {
+		n.reallocPending = false
+		n.reallocate()
+	})
+}
+
+// settle charges elapsed transfer progress to every active flow.
+func (n *Network) settle() {
+	now := n.eng.Now()
+	for _, f := range n.flows {
+		if dt := now - f.last; dt > 0 && f.rate > 0 {
+			f.remaining -= f.rate * dt.Seconds() / 8
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+	}
+}
+
+// reallocate recomputes max-min fair rates for all active flows
+// (progressive filling) and reschedules completion events.
+func (n *Network) reallocate() {
+	n.settle()
+
+	nf := len(n.flows)
+	if nf == 0 {
+		return
+	}
+
+	remCap := make([]float64, len(n.topo.links))
+	cnt := make([]int, len(n.topo.links))
+	for i, l := range n.topo.links {
+		remCap[i] = l.CapacityBps
+	}
+	for _, f := range n.flows {
+		for _, lid := range f.path {
+			cnt[lid]++
+		}
+	}
+
+	if n.cfg.Allocator == AllocEqualSplit {
+		n.applyRates(n.equalSplitRates(remCap, cnt))
+		return
+	}
+
+	frozen := make([]bool, nf)
+	rates := make([]float64, nf)
+	remaining := nf
+	for remaining > 0 {
+		// Find bottleneck link: min fair share among loaded links.
+		best := -1
+		bestShare := math.Inf(1)
+		for i := range remCap {
+			if cnt[i] == 0 {
+				continue
+			}
+			share := remCap[i] / float64(cnt[i])
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			// No loaded links left but unfrozen flows remain — should
+			// not happen; freeze at loopback rate defensively.
+			for i := range frozen {
+				if !frozen[i] {
+					rates[i] = n.cfg.LoopbackBps
+					frozen[i] = true
+					remaining--
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for i, f := range n.flows {
+			if frozen[i] {
+				continue
+			}
+			crosses := false
+			for _, lid := range f.path {
+				if lid == LinkID(best) {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			rates[i] = bestShare
+			frozen[i] = true
+			remaining--
+			for _, lid := range f.path {
+				remCap[lid] -= bestShare
+				if remCap[lid] < 0 {
+					remCap[lid] = 0
+				}
+				cnt[lid]--
+			}
+		}
+	}
+
+	n.applyRates(rates)
+}
+
+// equalSplitRates is the ablation allocator: each flow gets min over its
+// path of capacity/flow-count, with no redistribution of slack.
+func (n *Network) equalSplitRates(capBps []float64, cnt []int) []float64 {
+	rates := make([]float64, len(n.flows))
+	for i, f := range n.flows {
+		rate := math.Inf(1)
+		for _, lid := range f.path {
+			share := capBps[lid] / float64(cnt[lid])
+			if share < rate {
+				rate = share
+			}
+		}
+		if math.IsInf(rate, 1) {
+			rate = n.cfg.LoopbackBps
+		}
+		rates[i] = rate
+	}
+	return rates
+}
+
+// applyRates installs new per-flow rates and reschedules completions.
+func (n *Network) applyRates(rates []float64) {
+	now := n.eng.Now()
+	for i, f := range n.flows {
+		newRate := rates[i]
+		if f.rate != newRate {
+			f.rate = newRate
+			f.segments = append(f.segments, RateSegment{Start: now, RateBps: newRate})
+		}
+		f.completeE.Cancel()
+		if f.rate > 0 {
+			d := durationFor(f.remaining, f.rate)
+			flow := f
+			f.completeE = n.eng.After(d, func() { n.finish(flow) })
+		}
+	}
+}
+
+// finish completes a flow: removes it from the active set, notifies taps
+// and the owner callback, and triggers reallocation for the survivors.
+func (n *Network) finish(f *Flow) {
+	if f.done {
+		return
+	}
+	// Settle to charge the final interval (loopback flows are not in the
+	// active list; handle them directly).
+	if f.spec.Src == f.spec.Dst {
+		f.remaining = 0
+	} else {
+		n.settle()
+		if f.remaining > 1e-3 {
+			// The event fired before the flow truly drained (float
+			// rounding or a stale event). Reschedule for the residue —
+			// never strand a flow without a pending completion.
+			f.completeE.Cancel()
+			if f.rate > 0 {
+				d := durationFor(f.remaining, f.rate)
+				f.completeE = n.eng.After(d, func() { n.finish(f) })
+			}
+			return
+		}
+		f.remaining = 0
+		// Remove from active set, preserving id order.
+		for i, g := range n.flows {
+			if g == f {
+				n.flows = append(n.flows[:i], n.flows[i+1:]...)
+				break
+			}
+		}
+		n.markDirty()
+	}
+	f.done = true
+	f.active = false
+	f.end = n.eng.Now()
+	n.completed++
+	n.totalBytes += float64(f.spec.SizeBytes)
+	for _, t := range n.taps {
+		t.FlowCompleted(f)
+	}
+	if f.spec.OnComplete != nil {
+		f.spec.OnComplete(f)
+	}
+}
+
+// ActiveFlows returns the number of currently transferring network flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// LinkRates returns the current allocated rate on every directed link
+// (bits per second), indexed by LinkID. Utilization probes and invariant
+// checks read this between events.
+func (n *Network) LinkRates() []float64 {
+	rates := make([]float64, len(n.topo.links))
+	for _, f := range n.flows {
+		for _, lid := range f.path {
+			rates[lid] += f.rate
+		}
+	}
+	return rates
+}
+
+// CheckInvariants verifies the classic max-min fairness conditions on the
+// current allocation: (1) no link carries more than its capacity;
+// (2) every flow with a positive rate is bottlenecked — it crosses at
+// least one saturated link (within tolerance). It returns a descriptive
+// error on the first violation. Intended for tests and debugging; it is
+// meaningful only under AllocMaxMin.
+func (n *Network) CheckInvariants() error {
+	const relTol = 1e-6
+	rates := n.LinkRates()
+	for lid, used := range rates {
+		capBps := n.topo.links[lid].CapacityBps
+		if used > capBps*(1+relTol) {
+			return fmt.Errorf("netsim: link %d over capacity: %.3g > %.3g bps", lid, used, capBps)
+		}
+	}
+	if n.cfg.Allocator != AllocMaxMin {
+		return nil
+	}
+	for _, f := range n.flows {
+		if f.rate <= 0 || len(f.path) == 0 {
+			continue
+		}
+		bottlenecked := false
+		for _, lid := range f.path {
+			if rates[lid] >= n.topo.links[lid].CapacityBps*(1-relTol) {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			return fmt.Errorf("netsim: flow %d (rate %.3g bps) crosses no saturated link", f.id, f.rate)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package pcap
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultIdleTimeout splits a 5-tuple into separate flows when no packet
+// is seen for this long — the usual tcptrace/Bro convention.
+const DefaultIdleTimeout = 60 * time.Second
+
+// FlowTable reassembles packets into unidirectional flow records. Feed
+// packets in any order; Records sorts output by first timestamp.
+type FlowTable struct {
+	idleNs int64
+	open   map[FlowKey]*FlowRecord
+	closed []*FlowRecord
+}
+
+// NewFlowTable returns a table with the given idle split timeout
+// (DefaultIdleTimeout if zero).
+func NewFlowTable(idle time.Duration) *FlowTable {
+	if idle <= 0 {
+		idle = DefaultIdleTimeout
+	}
+	return &FlowTable{
+		idleNs: idle.Nanoseconds(),
+		open:   make(map[FlowKey]*FlowRecord),
+	}
+}
+
+// Add ingests one packet. Pure ACKs (zero length, no SYN/FIN) still count
+// toward packet totals but a flow is only opened by a payload or SYN
+// packet, matching how capture post-processing discards stray ACK noise.
+func (t *FlowTable) Add(p Packet) {
+	key := p.Key()
+	rec, ok := t.open[key]
+	if ok && p.TsNs-rec.LastNs > t.idleNs {
+		// Idle split: retire the old flow and start a new one.
+		t.closed = append(t.closed, rec)
+		delete(t.open, key)
+		ok = false
+	}
+	if !ok {
+		if p.Len == 0 && p.Flags&FlagSYN == 0 {
+			return
+		}
+		rec = &FlowRecord{Key: key, FirstNs: p.TsNs, LastNs: p.TsNs}
+		t.open[key] = rec
+	}
+	rec.Packets++
+	rec.Bytes += int64(p.Len)
+	if p.TsNs > rec.LastNs {
+		rec.LastNs = p.TsNs
+	}
+	if p.TsNs < rec.FirstNs {
+		rec.FirstNs = p.TsNs
+	}
+	if p.Flags&FlagFIN != 0 {
+		t.closed = append(t.closed, rec)
+		delete(t.open, key)
+	}
+}
+
+// Records retires all open flows and returns every record sorted by first
+// timestamp (ties broken by 5-tuple for determinism).
+func (t *FlowTable) Records() []FlowRecord {
+	for _, rec := range t.open {
+		t.closed = append(t.closed, rec)
+	}
+	t.open = make(map[FlowKey]*FlowRecord)
+	out := make([]FlowRecord, len(t.closed))
+	for i, r := range t.closed {
+		out[i] = *r
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.FirstNs != b.FirstNs {
+			return a.FirstNs < b.FirstNs
+		}
+		if a.Key.Src != b.Key.Src {
+			return a.Key.Src < b.Key.Src
+		}
+		if a.Key.Dst != b.Key.Dst {
+			return a.Key.Dst < b.Key.Dst
+		}
+		if a.Key.SrcPort != b.Key.SrcPort {
+			return a.Key.SrcPort < b.Key.SrcPort
+		}
+		return a.Key.DstPort < b.Key.DstPort
+	})
+	return out
+}

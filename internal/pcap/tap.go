@@ -1,0 +1,179 @@
+package pcap
+
+import (
+	"sort"
+
+	"keddah/internal/netsim"
+)
+
+// MSS is the data bytes carried per wire MTU (1500 − 40 IP/TCP overhead −
+// 12 timestamps).
+const MSS = 1448
+
+// DefaultMaxPacketsPerFlow bounds synthesis cost for big flows; records
+// beyond the bound carry multiple MSS worth of payload each, mimicking a
+// GRO-enabled capture. Byte totals stay exact.
+const DefaultMaxPacketsPerFlow = 2048
+
+// Capture taps a netsim.Network, synthesising packet records from
+// completed flows and keeping ground-truth flow records for classifier
+// validation. All state is owned by the single-threaded simulation loop.
+type Capture struct {
+	maxPkts int
+	packets []Packet
+	truth   []FlowRecord
+	// sink, if set, receives packets instead of the in-memory buffer
+	// (used to stream straight to a trace file).
+	sink func(Packet) error
+	err  error
+}
+
+var _ netsim.Tap = (*Capture)(nil)
+
+// NewCapture returns a Capture buffering packets in memory.
+func NewCapture() *Capture {
+	return &Capture{maxPkts: DefaultMaxPacketsPerFlow}
+}
+
+// NewStreamingCapture routes synthesised packets to sink instead of the
+// in-memory buffer (ground truth is still buffered).
+func NewStreamingCapture(sink func(Packet) error) *Capture {
+	return &Capture{maxPkts: DefaultMaxPacketsPerFlow, sink: sink}
+}
+
+// SetMaxPacketsPerFlow overrides the synthesis bound (≥ 2).
+func (c *Capture) SetMaxPacketsPerFlow(n int) {
+	if n >= 2 {
+		c.maxPkts = n
+	}
+}
+
+// Err returns the first sink error encountered, if any.
+func (c *Capture) Err() error { return c.err }
+
+// FlowStarted implements netsim.Tap.
+func (c *Capture) FlowStarted(*netsim.Flow) {}
+
+// FlowCompleted implements netsim.Tap: emits the flow's packet train and
+// a ground-truth record.
+func (c *Capture) FlowCompleted(f *netsim.Flow) {
+	spec := f.Spec()
+	src := HostAddr(int(spec.Src))
+	dst := HostAddr(int(spec.Dst))
+	base := Packet{
+		Src:     src,
+		Dst:     dst,
+		SrcPort: uint16(spec.SrcPort),
+		DstPort: uint16(spec.DstPort),
+		Proto:   ProtoTCP,
+	}
+
+	emit := func(p Packet) {
+		if c.err != nil {
+			return
+		}
+		if c.sink != nil {
+			if err := c.sink(p); err != nil {
+				c.err = err
+			}
+			return
+		}
+		c.packets = append(c.packets, p)
+	}
+
+	startNs := int64(f.Start())
+	endNs := int64(f.End())
+
+	// SYN opens the connection at flow start.
+	syn := base
+	syn.TsNs = startNs
+	syn.Flags = FlagSYN
+	emit(syn)
+
+	// Data records paced across the flow's rate segments.
+	total := spec.SizeBytes
+	if total > 0 {
+		chunk := int64(MSS)
+		if total/chunk > int64(c.maxPkts-2) {
+			chunk = (total/int64(c.maxPkts-2) + MSS) / MSS * MSS
+		}
+		segs := f.Segments()
+		emitted := int64(0)
+		for si, seg := range segs {
+			segStart := int64(seg.Start)
+			segEnd := endNs
+			if si+1 < len(segs) {
+				segEnd = int64(segs[si+1].Start)
+			}
+			segBytes := seg.RateBps * float64(segEnd-segStart) / 1e9 / 8
+			if si == len(segs)-1 {
+				segBytes = float64(total - emitted) // absorb rounding
+			}
+			toSend := int64(segBytes)
+			if emitted+toSend > total {
+				toSend = total - emitted
+			}
+			if toSend <= 0 || seg.RateBps <= 0 {
+				continue
+			}
+			sent := int64(0)
+			for sent < toSend {
+				sz := chunk
+				if sent+sz > toSend {
+					sz = toSend - sent
+				}
+				// Timestamp the record at the moment its last byte left.
+				off := float64(sent+sz) * 8 / seg.RateBps * 1e9
+				p := base
+				p.TsNs = segStart + int64(off)
+				if p.TsNs > endNs {
+					p.TsNs = endNs
+				}
+				p.Len = uint32(sz)
+				p.Flags = FlagACK
+				emit(p)
+				sent += sz
+			}
+			emitted += toSend
+		}
+		// Any residue from float truncation goes into one final record.
+		if emitted < total {
+			p := base
+			p.TsNs = endNs
+			p.Len = uint32(total - emitted)
+			p.Flags = FlagACK
+			emit(p)
+		}
+	}
+
+	// FIN closes the connection at flow end.
+	fin := base
+	fin.TsNs = endNs
+	fin.Flags = FlagFIN
+	emit(fin)
+
+	c.truth = append(c.truth, FlowRecord{
+		Key:     base.Key(),
+		FirstNs: startNs,
+		LastNs:  endNs,
+		Bytes:   total,
+		Packets: 0,
+		Label:   spec.Label,
+	})
+}
+
+// Packets returns buffered packets sorted by timestamp (stable across
+// flows completing at the same instant).
+func (c *Capture) Packets() []Packet {
+	out := make([]Packet, len(c.packets))
+	copy(out, c.packets)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TsNs < out[j].TsNs })
+	return out
+}
+
+// Truth returns the ground-truth flow records in completion order.
+func (c *Capture) Truth() []FlowRecord {
+	out := make([]FlowRecord, len(c.truth))
+	copy(out, c.truth)
+	return out
+}

@@ -1,0 +1,181 @@
+// Package sim provides a deterministic single-threaded discrete-event
+// simulation engine. All higher layers (network, HDFS, YARN, MapReduce)
+// schedule callbacks on one Engine so that an entire cluster run is a pure
+// function of its inputs and RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time measured from the start of the run.
+// It uses time.Duration so call sites read naturally (500*time.Millisecond).
+type Time = time.Duration
+
+// MaxTime is the largest representable simulation instant.
+const MaxTime Time = math.MaxInt64
+
+// Event is a scheduled callback. Events with equal time fire in the order
+// they were scheduled (stable FIFO tie-break by sequence number), which is
+// what makes runs reproducible.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.dead }
+
+// At returns the simulated time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrHorizon is returned by Run when the event limit is exhausted before the
+// queue drains, which almost always indicates a scheduling livelock.
+var ErrHorizon = errors.New("sim: event budget exhausted before queue drained")
+
+// Engine is the discrete-event core. The zero value is not usable; call New.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	// MaxEvents bounds a single Run; 0 means the default of 500 million.
+	MaxEvents uint64
+	processed uint64
+}
+
+// New returns an Engine with the clock at zero and an empty queue.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past is an error: the engine cannot rewind.
+func (e *Engine) At(t Time, fn func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn to run d after the current time. Negative delays
+// clamp to zero (fire "now", after currently-running event returns).
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, _ := e.At(e.now+d, fn) // never in the past by construction
+	return ev
+}
+
+// Run processes events until the queue is empty or until simulated time
+// would exceed until. Events exactly at until still fire. It returns the
+// time of the last processed event (or the starting time if none fired).
+func (e *Engine) Run(until Time) (Time, error) {
+	if e.running {
+		return e.now, errors.New("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	budget := e.MaxEvents
+	if budget == 0 {
+		budget = 500_000_000
+	}
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			return e.now, nil
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		if e.processed >= budget {
+			return e.now, ErrHorizon
+		}
+		e.processed++
+		e.now = next.at
+		next.fn()
+	}
+	return e.now, nil
+}
+
+// RunAll processes every queued event with no time bound.
+func (e *Engine) RunAll() (Time, error) { return e.Run(MaxTime) }
+
+// Step executes exactly one pending (non-cancelled) event and returns true,
+// or returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		e.processed++
+		e.now = next.at
+		next.fn()
+		return true
+	}
+	return false
+}

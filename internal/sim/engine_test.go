@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { order = append(order, i) })
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.After(time.Second, func() { fired = true })
+	ev.Cancel()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestScheduleInPastRejected(t *testing.T) {
+	e := New()
+	e.After(time.Second, func() {
+		if _, err := e.At(0, func() {}); err == nil {
+			t.Error("scheduling in the past succeeded")
+		}
+	})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := New()
+	var at Time
+	e.After(time.Second, func() {
+		e.After(-5*time.Second, func() { at = e.Now() })
+	})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Second {
+		t.Errorf("negative-delay event fired at %v, want 1s", at)
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, d := range []Time{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.After(d, func() { fired = append(fired, d) })
+	}
+	if _, err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=2s, want 2", len(fired))
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %d events total, want 3", len(fired))
+	}
+}
+
+func TestEventBudgetDetectsLivelock(t *testing.T) {
+	e := New()
+	e.MaxEvents = 100
+	var spin func()
+	spin = func() { e.After(0, spin) }
+	e.After(0, spin)
+	if _, err := e.RunAll(); err != ErrHorizon {
+		t.Errorf("err = %v, want ErrHorizon", err)
+	}
+}
+
+func TestStepProcessesOneEvent(t *testing.T) {
+	e := New()
+	n := 0
+	e.After(time.Second, func() { n++ })
+	e.After(2*time.Second, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("after first Step n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("after second Step n=%d", n)
+	}
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestReentrantRunRejected(t *testing.T) {
+	e := New()
+	var innerErr error
+	e.After(time.Second, func() {
+		_, innerErr = e.RunAll()
+	})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if innerErr == nil {
+		t.Error("re-entrant Run succeeded")
+	}
+}
+
+// TestClockMonotonic property: for any batch of scheduled delays, events
+// fire in non-decreasing time order.
+func TestClockMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var times []Time
+		for _, d := range delays {
+			e.After(Time(d)*time.Millisecond, func() { times = append(times, e.Now()) })
+		}
+		if _, err := e.RunAll(); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,507 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Family identifies a parametric distribution family.
+type Family string
+
+// Supported families. The set mirrors the candidates Keddah fits against
+// captured flow statistics.
+const (
+	FamilyExponential Family = "exponential"
+	FamilyNormal      Family = "normal"
+	FamilyLogNormal   Family = "lognormal"
+	FamilyGamma       Family = "gamma"
+	FamilyWeibull     Family = "weibull"
+	FamilyPareto      Family = "pareto"
+	FamilyUniform     Family = "uniform"
+	FamilyConstant    Family = "constant"
+)
+
+// Distribution is a continuous probability law. Implementations must be
+// immutable after construction.
+type Distribution interface {
+	// Family identifies the parametric family.
+	Family() Family
+	// Params returns the family parameters in a fixed, documented order.
+	Params() []float64
+	// LogPDF returns the log density at x (−Inf outside support).
+	LogPDF(x float64) float64
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile, p ∈ (0,1).
+	Quantile(p float64) float64
+	// Mean returns the expectation (may be +Inf, e.g. Pareto α ≤ 1).
+	Mean() float64
+	// Sample draws one variate using rng.
+	Sample(rng *RNG) float64
+	// String renders the family with parameters.
+	String() string
+}
+
+// ErrBadParam reports an invalid distribution parameter.
+var ErrBadParam = errors.New("stats: invalid distribution parameter")
+
+// ---------------------------------------------------------------- Exponential
+
+// Exponential is the exponential law with rate λ.
+type Exponential struct{ Rate float64 }
+
+// NewExponential returns an exponential distribution with rate λ > 0.
+func NewExponential(rate float64) (Exponential, error) {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return Exponential{}, fmt.Errorf("%w: exponential rate %v", ErrBadParam, rate)
+	}
+	return Exponential{Rate: rate}, nil
+}
+
+// Family implements Distribution.
+func (d Exponential) Family() Family { return FamilyExponential }
+
+// Params returns [rate].
+func (d Exponential) Params() []float64 { return []float64{d.Rate} }
+
+// LogPDF implements Distribution.
+func (d Exponential) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Rate) - d.Rate*x
+}
+
+// CDF implements Distribution.
+func (d Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Rate * x)
+}
+
+// Quantile implements Distribution.
+func (d Exponential) Quantile(p float64) float64 {
+	return -math.Log1p(-p) / d.Rate
+}
+
+// Mean implements Distribution.
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+// Sample implements Distribution.
+func (d Exponential) Sample(rng *RNG) float64 { return rng.ExpFloat64() / d.Rate }
+
+func (d Exponential) String() string { return fmt.Sprintf("Exp(rate=%.6g)", d.Rate) }
+
+// --------------------------------------------------------------------- Normal
+
+// Normal is the Gaussian law with mean μ and standard deviation σ.
+type Normal struct{ Mu, Sigma float64 }
+
+// NewNormal returns a normal distribution with σ > 0.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if !(sigma > 0) || math.IsInf(sigma, 0) || math.IsNaN(mu) {
+		return Normal{}, fmt.Errorf("%w: normal(mu=%v, sigma=%v)", ErrBadParam, mu, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Family implements Distribution.
+func (d Normal) Family() Family { return FamilyNormal }
+
+// Params returns [mu, sigma].
+func (d Normal) Params() []float64 { return []float64{d.Mu, d.Sigma} }
+
+// LogPDF implements Distribution.
+func (d Normal) LogPDF(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return -0.5*z*z - math.Log(d.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF implements Distribution.
+func (d Normal) CDF(x float64) float64 { return normCDF((x - d.Mu) / d.Sigma) }
+
+// Quantile implements Distribution.
+func (d Normal) Quantile(p float64) float64 { return d.Mu + d.Sigma*normQuantile(p) }
+
+// Mean implements Distribution.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// Sample implements Distribution.
+func (d Normal) Sample(rng *RNG) float64 { return d.Mu + d.Sigma*rng.NormFloat64() }
+
+func (d Normal) String() string { return fmt.Sprintf("Normal(mu=%.6g, sigma=%.6g)", d.Mu, d.Sigma) }
+
+// ------------------------------------------------------------------ LogNormal
+
+// LogNormal is the law of exp(N(μ,σ²)).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// NewLogNormal returns a log-normal distribution with σ > 0.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if !(sigma > 0) || math.IsInf(sigma, 0) || math.IsNaN(mu) {
+		return LogNormal{}, fmt.Errorf("%w: lognormal(mu=%v, sigma=%v)", ErrBadParam, mu, sigma)
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Family implements Distribution.
+func (d LogNormal) Family() Family { return FamilyLogNormal }
+
+// Params returns [mu, sigma] of the underlying normal.
+func (d LogNormal) Params() []float64 { return []float64{d.Mu, d.Sigma} }
+
+// LogPDF implements Distribution.
+func (d LogNormal) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	lx := math.Log(x)
+	z := (lx - d.Mu) / d.Sigma
+	return -0.5*z*z - lx - math.Log(d.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF implements Distribution.
+func (d LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return normCDF((math.Log(x) - d.Mu) / d.Sigma)
+}
+
+// Quantile implements Distribution.
+func (d LogNormal) Quantile(p float64) float64 {
+	return math.Exp(d.Mu + d.Sigma*normQuantile(p))
+}
+
+// Mean implements Distribution.
+func (d LogNormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// Sample implements Distribution.
+func (d LogNormal) Sample(rng *RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}
+
+func (d LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%.6g, sigma=%.6g)", d.Mu, d.Sigma)
+}
+
+// ---------------------------------------------------------------------- Gamma
+
+// Gamma is the gamma law with shape k and scale θ.
+type Gamma struct{ Shape, Scale float64 }
+
+// NewGamma returns a gamma distribution with k, θ > 0.
+func NewGamma(shape, scale float64) (Gamma, error) {
+	if !(shape > 0) || !(scale > 0) || math.IsInf(shape, 0) || math.IsInf(scale, 0) {
+		return Gamma{}, fmt.Errorf("%w: gamma(shape=%v, scale=%v)", ErrBadParam, shape, scale)
+	}
+	return Gamma{Shape: shape, Scale: scale}, nil
+}
+
+// Family implements Distribution.
+func (d Gamma) Family() Family { return FamilyGamma }
+
+// Params returns [shape, scale].
+func (d Gamma) Params() []float64 { return []float64{d.Shape, d.Scale} }
+
+// LogPDF implements Distribution.
+func (d Gamma) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(d.Shape)
+	return (d.Shape-1)*math.Log(x) - x/d.Scale - lg - d.Shape*math.Log(d.Scale)
+}
+
+// CDF implements Distribution.
+func (d Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(d.Shape, x/d.Scale)
+}
+
+// Quantile implements Distribution.
+func (d Gamma) Quantile(p float64) float64 { return quantileByBisection(d, p) }
+
+// Mean implements Distribution.
+func (d Gamma) Mean() float64 { return d.Shape * d.Scale }
+
+// Sample implements Distribution using Marsaglia–Tsang.
+func (d Gamma) Sample(rng *RNG) float64 {
+	k := d.Shape
+	boost := 1.0
+	if k < 1 {
+		// Boost k above 1 and correct with U^{1/k}.
+		boost = math.Pow(rng.Float64(), 1/k)
+		k++
+	}
+	dd := k - 1.0/3
+	c := 1 / math.Sqrt(9*dd)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * dd * v * d.Scale
+		}
+		if math.Log(u) < 0.5*x*x+dd*(1-v+math.Log(v)) {
+			return boost * dd * v * d.Scale
+		}
+	}
+}
+
+func (d Gamma) String() string {
+	return fmt.Sprintf("Gamma(shape=%.6g, scale=%.6g)", d.Shape, d.Scale)
+}
+
+// -------------------------------------------------------------------- Weibull
+
+// Weibull is the Weibull law with shape k and scale λ.
+type Weibull struct{ Shape, Scale float64 }
+
+// NewWeibull returns a Weibull distribution with k, λ > 0.
+func NewWeibull(shape, scale float64) (Weibull, error) {
+	if !(shape > 0) || !(scale > 0) || math.IsInf(shape, 0) || math.IsInf(scale, 0) {
+		return Weibull{}, fmt.Errorf("%w: weibull(shape=%v, scale=%v)", ErrBadParam, shape, scale)
+	}
+	return Weibull{Shape: shape, Scale: scale}, nil
+}
+
+// Family implements Distribution.
+func (d Weibull) Family() Family { return FamilyWeibull }
+
+// Params returns [shape, scale].
+func (d Weibull) Params() []float64 { return []float64{d.Shape, d.Scale} }
+
+// LogPDF implements Distribution.
+func (d Weibull) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	z := x / d.Scale
+	return math.Log(d.Shape/d.Scale) + (d.Shape-1)*math.Log(z) - math.Pow(z, d.Shape)
+}
+
+// CDF implements Distribution.
+func (d Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/d.Scale, d.Shape))
+}
+
+// Quantile implements Distribution.
+func (d Weibull) Quantile(p float64) float64 {
+	return d.Scale * math.Pow(-math.Log1p(-p), 1/d.Shape)
+}
+
+// Mean implements Distribution.
+func (d Weibull) Mean() float64 {
+	lg, _ := math.Lgamma(1 + 1/d.Shape)
+	return d.Scale * math.Exp(lg)
+}
+
+// Sample implements Distribution.
+func (d Weibull) Sample(rng *RNG) float64 {
+	return d.Quantile(rng.Float64())
+}
+
+func (d Weibull) String() string {
+	return fmt.Sprintf("Weibull(shape=%.6g, scale=%.6g)", d.Shape, d.Scale)
+}
+
+// --------------------------------------------------------------------- Pareto
+
+// Pareto is the (type I) Pareto law with minimum xm and tail index α.
+type Pareto struct{ Xm, Alpha float64 }
+
+// NewPareto returns a Pareto distribution with xm, α > 0.
+func NewPareto(xm, alpha float64) (Pareto, error) {
+	if !(xm > 0) || !(alpha > 0) || math.IsInf(xm, 0) || math.IsInf(alpha, 0) {
+		return Pareto{}, fmt.Errorf("%w: pareto(xm=%v, alpha=%v)", ErrBadParam, xm, alpha)
+	}
+	return Pareto{Xm: xm, Alpha: alpha}, nil
+}
+
+// Family implements Distribution.
+func (d Pareto) Family() Family { return FamilyPareto }
+
+// Params returns [xm, alpha].
+func (d Pareto) Params() []float64 { return []float64{d.Xm, d.Alpha} }
+
+// LogPDF implements Distribution.
+func (d Pareto) LogPDF(x float64) float64 {
+	if x < d.Xm {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Alpha) + d.Alpha*math.Log(d.Xm) - (d.Alpha+1)*math.Log(x)
+}
+
+// CDF implements Distribution.
+func (d Pareto) CDF(x float64) float64 {
+	if x <= d.Xm {
+		return 0
+	}
+	return 1 - math.Pow(d.Xm/x, d.Alpha)
+}
+
+// Quantile implements Distribution.
+func (d Pareto) Quantile(p float64) float64 {
+	return d.Xm / math.Pow(1-p, 1/d.Alpha)
+}
+
+// Mean implements Distribution. Infinite for α ≤ 1.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Sample implements Distribution.
+func (d Pareto) Sample(rng *RNG) float64 { return d.Quantile(rng.Float64()) }
+
+func (d Pareto) String() string { return fmt.Sprintf("Pareto(xm=%.6g, alpha=%.6g)", d.Xm, d.Alpha) }
+
+// -------------------------------------------------------------------- Uniform
+
+// Uniform is the continuous uniform law on [A,B].
+type Uniform struct{ A, B float64 }
+
+// NewUniform returns a uniform distribution with A < B.
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(a < b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return Uniform{}, fmt.Errorf("%w: uniform(a=%v, b=%v)", ErrBadParam, a, b)
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// Family implements Distribution.
+func (d Uniform) Family() Family { return FamilyUniform }
+
+// Params returns [a, b].
+func (d Uniform) Params() []float64 { return []float64{d.A, d.B} }
+
+// LogPDF implements Distribution.
+func (d Uniform) LogPDF(x float64) float64 {
+	if x < d.A || x > d.B {
+		return math.Inf(-1)
+	}
+	return -math.Log(d.B - d.A)
+}
+
+// CDF implements Distribution.
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= d.A:
+		return 0
+	case x >= d.B:
+		return 1
+	default:
+		return (x - d.A) / (d.B - d.A)
+	}
+}
+
+// Quantile implements Distribution.
+func (d Uniform) Quantile(p float64) float64 { return d.A + p*(d.B-d.A) }
+
+// Mean implements Distribution.
+func (d Uniform) Mean() float64 { return (d.A + d.B) / 2 }
+
+// Sample implements Distribution.
+func (d Uniform) Sample(rng *RNG) float64 { return d.A + rng.Float64()*(d.B-d.A) }
+
+func (d Uniform) String() string { return fmt.Sprintf("Uniform(a=%.6g, b=%.6g)", d.A, d.B) }
+
+// ------------------------------------------------------------------- Constant
+
+// Constant is the degenerate law concentrated at a single value. Keddah
+// uses it when a traffic statistic is (near-)deterministic, e.g. HDFS
+// block-sized flows or fixed heartbeat intervals.
+type Constant struct{ Value float64 }
+
+// NewConstant returns the point mass at v.
+func NewConstant(v float64) (Constant, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return Constant{}, fmt.Errorf("%w: constant %v", ErrBadParam, v)
+	}
+	return Constant{Value: v}, nil
+}
+
+// Family implements Distribution.
+func (d Constant) Family() Family { return FamilyConstant }
+
+// Params returns [value].
+func (d Constant) Params() []float64 { return []float64{d.Value} }
+
+// LogPDF implements Distribution. The point mass has no density; callers
+// compare fits via the dedicated selection logic, which special-cases it.
+func (d Constant) LogPDF(x float64) float64 {
+	if x == d.Value {
+		return 0
+	}
+	return math.Inf(-1)
+}
+
+// CDF implements Distribution.
+func (d Constant) CDF(x float64) float64 {
+	if x < d.Value {
+		return 0
+	}
+	return 1
+}
+
+// Quantile implements Distribution.
+func (d Constant) Quantile(float64) float64 { return d.Value }
+
+// Mean implements Distribution.
+func (d Constant) Mean() float64 { return d.Value }
+
+// Sample implements Distribution.
+func (d Constant) Sample(*RNG) float64 { return d.Value }
+
+func (d Constant) String() string { return fmt.Sprintf("Constant(%.6g)", d.Value) }
+
+// quantileByBisection inverts a monotone CDF numerically. Used by families
+// with no closed-form quantile (gamma).
+func quantileByBisection(d Distribution, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Bracket: expand hi until CDF(hi) >= p.
+	lo, hi := 0.0, 1.0
+	if m := d.Mean(); m > 0 && !math.IsInf(m, 0) {
+		hi = m
+	}
+	for d.CDF(hi) < p {
+		hi *= 2
+		if hi > 1e300 {
+			return hi
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// allDists builds one instance of every continuous family for generic
+// property checks.
+func allDists(t *testing.T) []Distribution {
+	t.Helper()
+	exp, err := NewExponential(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrm, err := NewNormal(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgn, err := NewLogNormal(1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gam, err := NewGamma(2.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbl, err := NewWeibull(1.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewPareto(1, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewUniform(-1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Distribution{exp, nrm, lgn, gam, wbl, par, uni}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, d := range allDists(t) {
+		prev := -1.0
+		for x := -10.0; x <= 50; x += 0.25 {
+			c := d.CDF(x)
+			if c < 0 || c > 1 {
+				t.Errorf("%s: CDF(%v) = %v out of [0,1]", d, x, c)
+			}
+			if c < prev-1e-12 {
+				t.Errorf("%s: CDF decreasing at %v (%v -> %v)", d, x, prev, c)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	for _, d := range allDists(t) {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x := d.Quantile(p)
+			got := d.CDF(x)
+			if math.Abs(got-p) > 1e-6 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", d, p, got)
+			}
+		}
+	}
+}
+
+func TestSampleMeanMatchesAnalyticMean(t *testing.T) {
+	rng := NewRNG(99)
+	const n = 200000
+	for _, d := range allDists(t) {
+		if math.IsInf(d.Mean(), 0) {
+			continue
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Sample(rng)
+		}
+		got := sum / n
+		want := d.Mean()
+		tol := 0.03 * (math.Abs(want) + 1)
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: sample mean %v, analytic %v", d, got, want)
+		}
+	}
+}
+
+func TestSamplesRespectSupport(t *testing.T) {
+	rng := NewRNG(7)
+	exp, _ := NewExponential(2)
+	lgn, _ := NewLogNormal(0, 1)
+	gam, _ := NewGamma(0.7, 2) // shape < 1 exercises the boost branch
+	wbl, _ := NewWeibull(0.8, 1)
+	par, _ := NewPareto(3, 1.5)
+	for i := 0; i < 10000; i++ {
+		if v := exp.Sample(rng); v < 0 {
+			t.Fatalf("exponential sample %v < 0", v)
+		}
+		if v := lgn.Sample(rng); v <= 0 {
+			t.Fatalf("lognormal sample %v <= 0", v)
+		}
+		if v := gam.Sample(rng); v <= 0 {
+			t.Fatalf("gamma sample %v <= 0", v)
+		}
+		if v := wbl.Sample(rng); v <= 0 {
+			t.Fatalf("weibull sample %v <= 0", v)
+		}
+		if v := par.Sample(rng); v < 3 {
+			t.Fatalf("pareto sample %v < xm", v)
+		}
+	}
+}
+
+func TestLogPDFOutsideSupport(t *testing.T) {
+	exp, _ := NewExponential(1)
+	lgn, _ := NewLogNormal(0, 1)
+	par, _ := NewPareto(2, 1)
+	uni, _ := NewUniform(0, 1)
+	cases := []struct {
+		d Distribution
+		x float64
+	}{
+		{exp, -1}, {lgn, 0}, {lgn, -3}, {par, 1.5}, {uni, -0.1}, {uni, 1.1},
+	}
+	for _, c := range cases {
+		if v := c.d.LogPDF(c.x); !math.IsInf(v, -1) {
+			t.Errorf("%s: LogPDF(%v) = %v, want -Inf", c.d, c.x, v)
+		}
+	}
+}
+
+func TestInvalidParamsRejected(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Error("Exponential(0) accepted")
+	}
+	if _, err := NewExponential(-1); err == nil {
+		t.Error("Exponential(-1) accepted")
+	}
+	if _, err := NewNormal(0, 0); err == nil {
+		t.Error("Normal sigma=0 accepted")
+	}
+	if _, err := NewNormal(math.NaN(), 1); err == nil {
+		t.Error("Normal mu=NaN accepted")
+	}
+	if _, err := NewGamma(-1, 1); err == nil {
+		t.Error("Gamma shape<0 accepted")
+	}
+	if _, err := NewWeibull(1, 0); err == nil {
+		t.Error("Weibull scale=0 accepted")
+	}
+	if _, err := NewPareto(0, 1); err == nil {
+		t.Error("Pareto xm=0 accepted")
+	}
+	if _, err := NewUniform(2, 2); err == nil {
+		t.Error("Uniform a==b accepted")
+	}
+	if _, err := NewConstant(math.Inf(1)); err == nil {
+		t.Error("Constant(+Inf) accepted")
+	}
+}
+
+func TestConstantLaw(t *testing.T) {
+	c, err := NewConstant(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CDF(41.9) != 0 || c.CDF(42) != 1 {
+		t.Error("constant CDF wrong")
+	}
+	if c.Quantile(0.3) != 42 || c.Mean() != 42 {
+		t.Error("constant quantile/mean wrong")
+	}
+	if c.Sample(NewRNG(1)) != 42 {
+		t.Error("constant sample wrong")
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	p, _ := NewPareto(1, 0.9)
+	if !math.IsInf(p.Mean(), 1) {
+		t.Errorf("Pareto alpha<1 mean = %v, want +Inf", p.Mean())
+	}
+}
+
+func TestRNGDeterminismAndFork(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	// Forks of identical parents are identical.
+	fa, fb := a.Fork(), b.Fork()
+	for i := 0; i < 100; i++ {
+		if fa.Float64() != fb.Float64() {
+			t.Fatal("forked RNGs diverged")
+		}
+	}
+}
+
+// Property: quantile is monotone in p for every family.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	dists := allDists(t)
+	f := func(a, b uint16) bool {
+		p1 := float64(a%9998+1) / 10000
+		p2 := float64(b%9998+1) / 10000
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		for _, d := range dists {
+			if d.Quantile(p1) > d.Quantile(p2)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF. The input is copied and sorted.
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns F_n(x) = (#samples ≤ x)/n.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; advance
+	// past equal values so the ECDF is right-continuous ("≤").
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile (nearest-rank).
+func (e *ECDF) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[n-1]
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// Values returns the sorted sample (read-only view; do not modify).
+func (e *ECDF) Values() []float64 { return e.sorted }
+
+// Points returns the (x, F(x)) step points of the ECDF, one per distinct
+// sample value — convenient for printing CDF series.
+func (e *ECDF) Points() (xs, fs []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j < n && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		fs = append(fs, float64(j)/float64(n))
+		i = j
+	}
+	return xs, fs
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int     `json:"n"`
+	Mean             float64 `json:"mean"`
+	Std              float64 `json:"std"`
+	Min              float64 `json:"min"`
+	P25, P50, P75    float64 `json:"-"`
+	P90, P95, P99    float64 `json:"-"`
+	Max              float64 `json:"max"`
+	Sum              float64 `json:"sum"`
+	CoefOfVariation  float64 `json:"cv"`
+	Skewness         float64 `json:"skewness"`
+	ExcessKurtosis   float64 `json:"kurtosis"`
+	GeometricMeanLog float64 `json:"geoMeanLog"` // mean of ln(x) for positive samples; NaN otherwise
+}
+
+// Describe computes descriptive statistics of xs.
+func Describe(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	e := NewECDF(xs)
+	s.Min = e.sorted[0]
+	s.Max = e.sorted[len(e.sorted)-1]
+	s.P25 = e.Quantile(0.25)
+	s.P50 = e.Quantile(0.50)
+	s.P75 = e.Quantile(0.75)
+	s.P90 = e.Quantile(0.90)
+	s.P95 = e.Quantile(0.95)
+	s.P99 = e.Quantile(0.99)
+	m := meanOf(xs)
+	s.Mean = m
+	for _, x := range xs {
+		s.Sum += x
+	}
+	v := varianceOf(xs, m)
+	s.Std = math.Sqrt(v)
+	if m != 0 {
+		s.CoefOfVariation = s.Std / math.Abs(m)
+	}
+	if v > 0 {
+		var m3, m4 float64
+		for _, x := range xs {
+			d := x - m
+			m3 += d * d * d
+			m4 += d * d * d * d
+		}
+		n := float64(s.N)
+		m3 /= n
+		m4 /= n
+		s.Skewness = m3 / math.Pow(v, 1.5)
+		s.ExcessKurtosis = m4/(v*v) - 3
+	}
+	s.GeometricMeanLog = math.NaN()
+	allPos := true
+	var lsum float64
+	for _, x := range xs {
+		if x <= 0 {
+			allPos = false
+			break
+		}
+		lsum += math.Log(x)
+	}
+	if allPos {
+		s.GeometricMeanLog = lsum / float64(s.N)
+	}
+	return s
+}
+
+// Histogram bins xs into nbins equal-width bins over [min,max] and returns
+// bin left edges and counts. Useful for quick textual distribution views.
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int) {
+	if len(xs) == 0 || nbins <= 0 {
+		return nil, nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo == hi {
+		return []float64{lo}, []int{len(xs)}
+	}
+	w := (hi - lo) / float64(nbins)
+	edges = make([]float64, nbins)
+	counts = make([]int, nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return edges, counts
+}

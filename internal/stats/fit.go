@@ -1,0 +1,324 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a fit is attempted on too few
+// samples to identify the family's parameters.
+var ErrInsufficientData = errors.New("stats: insufficient data to fit")
+
+// ErrUnsupportedData is returned when a family's support cannot contain the
+// sample (e.g. non-positive values for a log-normal).
+var ErrUnsupportedData = errors.New("stats: data outside family support")
+
+// Fit estimates the maximum-likelihood parameters of the given family for
+// the sample xs.
+func Fit(family Family, xs []float64) (Distribution, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("%w: %d samples for %s", ErrInsufficientData, len(xs), family)
+	}
+	switch family {
+	case FamilyExponential:
+		return fitExponential(xs)
+	case FamilyNormal:
+		return fitNormal(xs)
+	case FamilyLogNormal:
+		return fitLogNormal(xs)
+	case FamilyGamma:
+		return fitGamma(xs)
+	case FamilyWeibull:
+		return fitWeibull(xs)
+	case FamilyPareto:
+		return fitPareto(xs)
+	case FamilyUniform:
+		return fitUniform(xs)
+	case FamilyConstant:
+		return fitConstant(xs)
+	default:
+		return nil, fmt.Errorf("stats: unknown family %q", family)
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func varianceOf(xs []float64, mean float64) float64 {
+	var s float64
+	for _, x := range xs {
+		d := x - mean
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+func requirePositive(xs []float64, family Family) error {
+	for _, x := range xs {
+		if x <= 0 {
+			return fmt.Errorf("%w: %s requires positive samples, got %v", ErrUnsupportedData, family, x)
+		}
+	}
+	return nil
+}
+
+func fitExponential(xs []float64) (Distribution, error) {
+	if err := requirePositive(xs, FamilyExponential); err != nil {
+		return nil, err
+	}
+	m := meanOf(xs)
+	return NewExponential(1 / m)
+}
+
+func fitNormal(xs []float64) (Distribution, error) {
+	m := meanOf(xs)
+	v := varianceOf(xs, m)
+	if v == 0 {
+		return nil, fmt.Errorf("%w: zero variance", ErrUnsupportedData)
+	}
+	return NewNormal(m, math.Sqrt(v))
+}
+
+func fitLogNormal(xs []float64) (Distribution, error) {
+	if err := requirePositive(xs, FamilyLogNormal); err != nil {
+		return nil, err
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		logs[i] = math.Log(x)
+	}
+	m := meanOf(logs)
+	v := varianceOf(logs, m)
+	if v == 0 {
+		return nil, fmt.Errorf("%w: zero log-variance", ErrUnsupportedData)
+	}
+	return NewLogNormal(m, math.Sqrt(v))
+}
+
+// fitGamma uses the Minka/Choi-Wette closed-form start followed by Newton
+// iterations on the profile likelihood in the shape parameter.
+func fitGamma(xs []float64) (Distribution, error) {
+	if err := requirePositive(xs, FamilyGamma); err != nil {
+		return nil, err
+	}
+	m := meanOf(xs)
+	var meanLog float64
+	for _, x := range xs {
+		meanLog += math.Log(x)
+	}
+	meanLog /= float64(len(xs))
+	s := math.Log(m) - meanLog
+	if s <= 0 {
+		// Degenerate (all values equal up to fp noise).
+		return nil, fmt.Errorf("%w: gamma profile statistic %v", ErrUnsupportedData, s)
+	}
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	for i := 0; i < 50; i++ {
+		num := math.Log(k) - digamma(k) - s
+		den := 1/k - trigamma(k)
+		next := k - num/den
+		if next <= 0 {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	return NewGamma(k, m/k)
+}
+
+// fitWeibull solves the MLE shape equation by bisection (robust; the
+// equation is monotone in k on (0,∞)).
+func fitWeibull(xs []float64) (Distribution, error) {
+	if err := requirePositive(xs, FamilyWeibull); err != nil {
+		return nil, err
+	}
+	n := float64(len(xs))
+	var meanLog float64
+	for _, x := range xs {
+		meanLog += math.Log(x)
+	}
+	meanLog /= n
+
+	// g(k) = Σ x^k ln x / Σ x^k − 1/k − meanLog; find g(k)=0.
+	g := func(k float64) float64 {
+		var sumXk, sumXkLog float64
+		for _, x := range xs {
+			xk := math.Pow(x, k)
+			sumXk += xk
+			sumXkLog += xk * math.Log(x)
+		}
+		return sumXkLog/sumXk - 1/k - meanLog
+	}
+	lo, hi := 1e-3, 1.0
+	for g(hi) < 0 {
+		hi *= 2
+		if hi > 1e6 {
+			return nil, fmt.Errorf("%w: weibull shape did not bracket", ErrUnsupportedData)
+		}
+	}
+	if g(lo) > 0 {
+		return nil, fmt.Errorf("%w: weibull shape did not bracket", ErrUnsupportedData)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10*(1+hi) {
+			break
+		}
+	}
+	k := (lo + hi) / 2
+	var sumXk float64
+	for _, x := range xs {
+		sumXk += math.Pow(x, k)
+	}
+	lambda := math.Pow(sumXk/n, 1/k)
+	return NewWeibull(k, lambda)
+}
+
+func fitPareto(xs []float64) (Distribution, error) {
+	if err := requirePositive(xs, FamilyPareto); err != nil {
+		return nil, err
+	}
+	xm := xs[0]
+	for _, x := range xs {
+		if x < xm {
+			xm = x
+		}
+	}
+	var sumLog float64
+	for _, x := range xs {
+		sumLog += math.Log(x / xm)
+	}
+	if sumLog == 0 {
+		return nil, fmt.Errorf("%w: pareto on constant sample", ErrUnsupportedData)
+	}
+	alpha := float64(len(xs)) / sumLog
+	return NewPareto(xm, alpha)
+}
+
+func fitUniform(xs []float64) (Distribution, error) {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo == hi {
+		return nil, fmt.Errorf("%w: uniform on constant sample", ErrUnsupportedData)
+	}
+	return NewUniform(lo, hi)
+}
+
+func fitConstant(xs []float64) (Distribution, error) {
+	return NewConstant(meanOf(xs))
+}
+
+// LogLikelihood returns the sample log likelihood under d.
+func LogLikelihood(d Distribution, xs []float64) float64 {
+	var ll float64
+	for _, x := range xs {
+		ll += d.LogPDF(x)
+	}
+	return ll
+}
+
+// AIC returns Akaike's information criterion for d fitted to xs
+// (lower is better).
+func AIC(d Distribution, xs []float64) float64 {
+	k := float64(len(d.Params()))
+	return 2*k - 2*LogLikelihood(d, xs)
+}
+
+// BIC returns the Bayesian information criterion (lower is better).
+func BIC(d Distribution, xs []float64) float64 {
+	k := float64(len(d.Params()))
+	return k*math.Log(float64(len(xs))) - 2*LogLikelihood(d, xs)
+}
+
+// FitResult records one candidate fit during model selection.
+type FitResult struct {
+	Dist Distribution
+	// AIC of the fit (lower better). +Inf if the likelihood degenerated.
+	AIC float64
+	// KS is the one-sample Kolmogorov–Smirnov distance against the data.
+	KS float64
+	// Err is non-nil when the family could not be fitted to this sample.
+	Err error
+}
+
+// DefaultCandidates is the family set Keddah considers for continuous
+// traffic statistics, mirroring the paper's empirical-model search.
+// Uniform is deliberately excluded: its MLE support hugs the sample
+// min/max, which wins AIC on clustered data but generalises terribly
+// (generated flows spread evenly where measured ones cluster). Callers
+// that want it can pass an explicit candidate list.
+var DefaultCandidates = []Family{
+	FamilyExponential,
+	FamilyNormal,
+	FamilyLogNormal,
+	FamilyGamma,
+	FamilyWeibull,
+	FamilyPareto,
+}
+
+// relSpread is the coefficient-of-variation threshold under which a sample
+// is treated as deterministic and modelled by a Constant.
+const relSpread = 1e-6
+
+// SelectBest fits every candidate family and returns the winner by AIC,
+// along with all per-family results (sorted best-first). Near-constant
+// samples short-circuit to a Constant law, which no continuous family can
+// represent.
+func SelectBest(xs []float64, candidates []Family) (Distribution, []FitResult, error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrInsufficientData
+	}
+	if len(candidates) == 0 {
+		candidates = DefaultCandidates
+	}
+	m := meanOf(xs)
+	sd := math.Sqrt(varianceOf(xs, m))
+	if len(xs) < 2 || (m != 0 && sd/math.Abs(m) < relSpread) || sd == 0 {
+		c, err := NewConstant(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, []FitResult{{Dist: c, AIC: math.Inf(-1)}}, nil
+	}
+
+	results := make([]FitResult, 0, len(candidates))
+	for _, fam := range candidates {
+		d, err := Fit(fam, xs)
+		if err != nil {
+			results = append(results, FitResult{Err: err, AIC: math.Inf(1), KS: 1})
+			continue
+		}
+		aic := AIC(d, xs)
+		if math.IsNaN(aic) {
+			aic = math.Inf(1)
+		}
+		results = append(results, FitResult{Dist: d, AIC: aic, KS: KSStatistic(xs, d)})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].AIC < results[j].AIC })
+	if results[0].Err != nil || math.IsInf(results[0].AIC, 1) {
+		return nil, results, fmt.Errorf("%w: no candidate family fit", ErrUnsupportedData)
+	}
+	return results[0].Dist, results, nil
+}

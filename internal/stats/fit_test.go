@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// sample draws n variates from d with a fixed seed.
+func sample(d Distribution, n int, seed int64) []float64 {
+	rng := NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// TestFitRecoversParameters: for every family, fitting a large sample
+// drawn from known parameters recovers them within a few percent.
+func TestFitRecoversParameters(t *testing.T) {
+	const n = 50000
+	cases := []struct {
+		make func() Distribution
+		tol  float64
+	}{
+		{func() Distribution { d, _ := NewExponential(0.35); return d }, 0.03},
+		{func() Distribution { d, _ := NewNormal(5, 2); return d }, 0.03},
+		{func() Distribution { d, _ := NewLogNormal(1.5, 0.6); return d }, 0.03},
+		{func() Distribution { d, _ := NewGamma(2.2, 3); return d }, 0.05},
+		{func() Distribution { d, _ := NewWeibull(1.4, 2.5); return d }, 0.05},
+		{func() Distribution { d, _ := NewPareto(2, 2.8); return d }, 0.05},
+		{func() Distribution { d, _ := NewUniform(1, 9); return d }, 0.03},
+	}
+	for i, c := range cases {
+		truth := c.make()
+		xs := sample(truth, n, int64(100+i))
+		got, err := Fit(truth.Family(), xs)
+		if err != nil {
+			t.Errorf("%s: fit: %v", truth, err)
+			continue
+		}
+		wantP, gotP := truth.Params(), got.Params()
+		for j := range wantP {
+			rel := math.Abs(gotP[j]-wantP[j]) / (math.Abs(wantP[j]) + 1e-12)
+			if rel > c.tol {
+				t.Errorf("%s: param %d = %v, want %v (rel err %.3f)", truth, j, gotP[j], wantP[j], rel)
+			}
+		}
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit(FamilyExponential, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("1 sample: err = %v, want ErrInsufficientData", err)
+	}
+	if _, err := Fit(FamilyLogNormal, []float64{1, -2, 3}); !errors.Is(err, ErrUnsupportedData) {
+		t.Errorf("negative sample for lognormal: err = %v, want ErrUnsupportedData", err)
+	}
+	if _, err := Fit(FamilyGamma, []float64{0, 1, 2}); !errors.Is(err, ErrUnsupportedData) {
+		t.Errorf("zero sample for gamma: err = %v, want ErrUnsupportedData", err)
+	}
+	if _, err := Fit(FamilyNormal, []float64{3, 3, 3}); !errors.Is(err, ErrUnsupportedData) {
+		t.Errorf("constant sample for normal: err = %v, want ErrUnsupportedData", err)
+	}
+	if _, err := Fit(Family("bogus"), []float64{1, 2}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestSelectBestPicksGeneratingFamily(t *testing.T) {
+	// With plenty of data, AIC selection should recover the generating
+	// family (or an equivalent one) for distinctive shapes.
+	lgn, _ := NewLogNormal(2, 0.9)
+	xs := sample(lgn, 20000, 42)
+	best, results, err := SelectBest(xs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Family() != FamilyLogNormal {
+		t.Errorf("best family = %s, want lognormal (results: %+v)", best.Family(), results[0])
+	}
+	// Results must be sorted by AIC.
+	for i := 1; i < len(results); i++ {
+		if results[i].AIC < results[i-1].AIC {
+			t.Error("results not sorted by AIC")
+		}
+	}
+}
+
+func TestSelectBestConstantShortCircuit(t *testing.T) {
+	xs := []float64{512, 512, 512, 512}
+	best, _, err := SelectBest(xs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Family() != FamilyConstant {
+		t.Errorf("family = %s, want constant", best.Family())
+	}
+	if best.Mean() != 512 {
+		t.Errorf("mean = %v, want 512", best.Mean())
+	}
+}
+
+func TestSelectBestEmptySample(t *testing.T) {
+	if _, _, err := SelectBest(nil, nil); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestAICPrefersTrueModel(t *testing.T) {
+	exp, _ := NewExponential(1.5)
+	xs := sample(exp, 5000, 3)
+	fitted, err := Fit(FamilyExponential, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := Fit(FamilyNormal, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AIC(fitted, xs) >= AIC(wrong, xs) {
+		t.Errorf("AIC(exp)=%v not better than AIC(normal)=%v on exponential data",
+			AIC(fitted, xs), AIC(wrong, xs))
+	}
+	if BIC(fitted, xs) >= BIC(wrong, xs) {
+		t.Error("BIC did not prefer the generating family")
+	}
+}
+
+func TestCodecRoundTripAllFamilies(t *testing.T) {
+	for _, d := range allDists(t) {
+		data, err := MarshalDist(d)
+		if err != nil {
+			t.Errorf("%s: marshal: %v", d, err)
+			continue
+		}
+		back, err := UnmarshalDist(data)
+		if err != nil {
+			t.Errorf("%s: unmarshal: %v", d, err)
+			continue
+		}
+		if back.Family() != d.Family() {
+			t.Errorf("family changed: %s -> %s", d.Family(), back.Family())
+		}
+		bp, dp := back.Params(), d.Params()
+		for i := range dp {
+			if bp[i] != dp[i] {
+				t.Errorf("%s: param %d changed: %v -> %v", d, i, dp[i], bp[i])
+			}
+		}
+	}
+}
+
+func TestCodecRejectsBadSpecs(t *testing.T) {
+	bad := []DistSpec{
+		{Family: "nope", Params: []float64{1}},
+		{Family: FamilyNormal, Params: []float64{1}},        // wrong arity
+		{Family: FamilyExponential, Params: []float64{-1}},  // invalid param
+		{Family: FamilyUniform, Params: []float64{5, 5}},    // empty support
+		{Family: FamilyGamma, Params: []float64{1, 2, 3}},   // extra param
+		{Family: FamilyPareto, Params: []float64{0.0, 1.0}}, // xm=0
+	}
+	for _, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("spec %+v built successfully", s)
+		}
+	}
+}

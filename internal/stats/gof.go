@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov distance
+// D = sup_x |F_n(x) − F(x)| between the sample xs and distribution d.
+func KSStatistic(xs []float64, d Distribution) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var dmax float64
+	for i, x := range s {
+		f := d.CDF(x)
+		lo := f - float64(i)/n
+		hi := float64(i+1)/n - f
+		if lo > dmax {
+			dmax = lo
+		}
+		if hi > dmax {
+			dmax = hi
+		}
+	}
+	return dmax
+}
+
+// KSStatistic2 returns the two-sample KS distance between samples a and b.
+// Keddah uses it to compare measured flow statistics against traffic
+// regenerated from the fitted model.
+func KSStatistic2(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	sa := make([]float64, len(a))
+	sb := make([]float64, len(b))
+	copy(sa, a)
+	copy(sb, b)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	na, nb := float64(len(sa)), float64(len(sb))
+	var i, j int
+	var dmax float64
+	for i < len(sa) && j < len(sb) {
+		v := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] <= v {
+			i++
+		}
+		for j < len(sb) && sb[j] <= v {
+			j++
+		}
+		d := math.Abs(float64(i)/na - float64(j)/nb)
+		if d > dmax {
+			dmax = d
+		}
+	}
+	return dmax
+}
+
+// KSPValue returns the asymptotic p-value for a one-sample KS statistic d
+// with sample size n (Kolmogorov distribution with the Stephens small-n
+// correction). Values below ~1e-12 are clamped to 0.
+func KSPValue(d float64, n int) float64 {
+	if n <= 0 || d <= 0 {
+		return 1
+	}
+	sq := math.Sqrt(float64(n))
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	return kolmogorovQ(lambda)
+}
+
+// KSPValue2 returns the asymptotic p-value of the two-sample KS statistic
+// for sample sizes n and m.
+func KSPValue2(d float64, n, m int) float64 {
+	if n <= 0 || m <= 0 || d <= 0 {
+		return 1
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	sq := math.Sqrt(ne)
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	return kolmogorovQ(lambda)
+}
+
+// kolmogorovQ evaluates Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda < 1e-8 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-14 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// CvMStatistic returns the one-sample Cramér–von Mises statistic
+// ω² = 1/(12n) + Σ ( (2i−1)/(2n) − F(x_(i)) )².
+func CvMStatistic(xs []float64, d Distribution) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	sum := 1 / (12 * float64(n))
+	for i, x := range s {
+		u := (2*float64(i) + 1) / (2 * float64(n))
+		diff := u - d.CDF(x)
+		sum += diff * diff
+	}
+	return sum
+}
+
+// GoFReport bundles the goodness-of-fit measures Keddah records for a
+// chosen distribution.
+type GoFReport struct {
+	KS      float64 `json:"ks"`
+	KSP     float64 `json:"ksPValue"`
+	CvM     float64 `json:"cvm"`
+	AD      float64 `json:"ad"`
+	AIC     float64 `json:"aic"`
+	BIC     float64 `json:"bic"`
+	LogLik  float64 `json:"logLik"`
+	Samples int     `json:"samples"`
+}
+
+// Evaluate computes a full goodness-of-fit report of d against xs.
+func Evaluate(d Distribution, xs []float64) GoFReport {
+	ks := KSStatistic(xs, d)
+	return GoFReport{
+		KS:      ks,
+		KSP:     KSPValue(ks, len(xs)),
+		CvM:     CvMStatistic(xs, d),
+		AD:      ADStatistic(xs, d),
+		AIC:     AIC(d, xs),
+		BIC:     BIC(d, xs),
+		LogLik:  LogLikelihood(d, xs),
+		Samples: len(xs),
+	}
+}
+
+// ADStatistic returns the one-sample Anderson–Darling statistic A² of xs
+// against d. Unlike KS, A² weights the tails heavily, which is where
+// heavy-tailed traffic models go wrong. CDF values are clamped away from
+// {0,1} to keep the logs finite for samples outside the fitted support.
+func ADStatistic(xs []float64, d Distribution) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	const eps = 1e-12
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		fi := clamp(d.CDF(s[i]), eps, 1-eps)
+		fj := clamp(d.CDF(s[n-1-i]), eps, 1-eps)
+		sum += (2*float64(i) + 1) * (math.Log(fi) + math.Log(1-fj))
+	}
+	return -float64(n) - sum/float64(n)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKSStatisticZeroOnPerfectFit(t *testing.T) {
+	// The ECDF of quantiles at (i-0.5)/n has minimal distance ~1/(2n).
+	d, _ := NewExponential(1)
+	n := 1000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Quantile((float64(i) + 0.5) / float64(n))
+	}
+	ks := KSStatistic(xs, d)
+	if ks > 1.0/float64(n) {
+		t.Errorf("KS = %v, want <= %v", ks, 1.0/float64(n))
+	}
+}
+
+func TestKSDetectsWrongModel(t *testing.T) {
+	exp, _ := NewExponential(1)
+	nrm, _ := NewNormal(1, 1)
+	xs := sample(exp, 5000, 9)
+	ksGood := KSStatistic(xs, exp)
+	ksBad := KSStatistic(xs, nrm)
+	if ksGood >= ksBad {
+		t.Errorf("KS(true)=%v >= KS(wrong)=%v", ksGood, ksBad)
+	}
+	if p := KSPValue(ksGood, len(xs)); p < 0.01 {
+		t.Errorf("true-model p-value %v too small", p)
+	}
+	if p := KSPValue(ksBad, len(xs)); p > 1e-6 {
+		t.Errorf("wrong-model p-value %v too large", p)
+	}
+}
+
+func TestKSTwoSampleIdenticalIsZero(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic2(xs, xs); d != 0 {
+		t.Errorf("KS2(x,x) = %v, want 0", d)
+	}
+}
+
+func TestKSTwoSampleDisjointIsOne(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if d := KSStatistic2(a, b); d != 1 {
+		t.Errorf("KS2 disjoint = %v, want 1", d)
+	}
+}
+
+func TestKSTwoSampleSameDistSmall(t *testing.T) {
+	lgn, _ := NewLogNormal(1, 0.5)
+	a := sample(lgn, 4000, 1)
+	b := sample(lgn, 4000, 2)
+	d := KSStatistic2(a, b)
+	if d > 0.05 {
+		t.Errorf("same-law two-sample KS = %v, want small", d)
+	}
+	if p := KSPValue2(d, len(a), len(b)); p < 0.01 {
+		t.Errorf("p-value %v too small for same-law samples", p)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	if d := KSStatistic2(nil, []float64{1}); d != 1 {
+		t.Errorf("KS2 with empty sample = %v, want 1", d)
+	}
+}
+
+// Property: two-sample KS is symmetric and within [0,1].
+func TestKSTwoSampleSymmetricProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		for _, v := range append(a, b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true // skip pathological inputs
+			}
+		}
+		d1 := KSStatistic2(a, b)
+		d2 := KSStatistic2(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCvMOrdersModelsLikeKS(t *testing.T) {
+	wbl, _ := NewWeibull(2, 3)
+	xs := sample(wbl, 3000, 4)
+	good, _ := Fit(FamilyWeibull, xs)
+	bad, _ := NewExponential(0.3)
+	if CvMStatistic(xs, good) >= CvMStatistic(xs, bad) {
+		t.Error("CvM did not prefer the fitted model")
+	}
+}
+
+func TestEvaluateReportFields(t *testing.T) {
+	d, _ := NewNormal(0, 1)
+	xs := sample(d, 500, 5)
+	rep := Evaluate(d, xs)
+	if rep.Samples != 500 {
+		t.Errorf("samples = %d", rep.Samples)
+	}
+	if rep.KS <= 0 || rep.KS >= 1 {
+		t.Errorf("KS = %v out of range", rep.KS)
+	}
+	if rep.KSP <= 0 || rep.KSP > 1 {
+		t.Errorf("KSP = %v out of range", rep.KSP)
+	}
+	if rep.AIC <= 0 && rep.LogLik >= 0 {
+		t.Error("inconsistent AIC/LogLik")
+	}
+}
+
+func TestKolmogorovQLimits(t *testing.T) {
+	if q := kolmogorovQ(0); q != 1 {
+		t.Errorf("Q(0) = %v, want 1", q)
+	}
+	if q := kolmogorovQ(10); q > 1e-12 {
+		t.Errorf("Q(10) = %v, want ~0", q)
+	}
+	// Known value: Q(0.83) ≈ 0.5 (median of the Kolmogorov law ~0.8276).
+	if q := kolmogorovQ(0.8276); math.Abs(q-0.5) > 0.01 {
+		t.Errorf("Q(0.8276) = %v, want ~0.5", q)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2})
+	if e.Len() != 4 {
+		t.Fatalf("len = %d", e.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("median = %v, want 2", q)
+	}
+	xs, fs := e.Points()
+	if len(xs) != 3 || fs[len(fs)-1] != 1 {
+		t.Errorf("points = %v %v", xs, fs)
+	}
+}
+
+func TestECDFQuantileEdges(t *testing.T) {
+	e := NewECDF([]float64{5, 1, 3})
+	if e.Quantile(0) != 1 || e.Quantile(1) != 5 {
+		t.Error("quantile edges wrong")
+	}
+	empty := NewECDF(nil)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty ECDF quantile should be NaN")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	s := Describe(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 100 || s.Sum != 110 {
+		t.Errorf("summary basics wrong: %+v", s)
+	}
+	if s.Mean != 22 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("median = %v", s.P50)
+	}
+	if s.Skewness <= 0 {
+		t.Errorf("skewness = %v, want positive for right-skewed data", s.Skewness)
+	}
+	if math.IsNaN(s.GeometricMeanLog) {
+		t.Error("geometric mean log should exist for positive data")
+	}
+	neg := Describe([]float64{-1, 1})
+	if !math.IsNaN(neg.GeometricMeanLog) {
+		t.Error("geometric mean log should be NaN with non-positive data")
+	}
+	if z := Describe(nil); z.N != 0 {
+		t.Error("empty describe")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	edges, counts := Histogram(xs, 5)
+	if len(edges) != 5 || len(counts) != 5 {
+		t.Fatalf("bins = %d/%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram total = %d, want %d", total, len(xs))
+	}
+	// Constant sample collapses to one bin.
+	e, c := Histogram([]float64{2, 2, 2}, 4)
+	if len(e) != 1 || c[0] != 3 {
+		t.Errorf("constant histogram = %v %v", e, c)
+	}
+}
+
+// Property: ECDF At is within [0,1] and monotone over sorted queries.
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, qs []float64) bool {
+		for _, v := range append(xs, qs...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		e := NewECDF(xs)
+		sort.Float64s(qs)
+		prev := -1.0
+		for _, q := range qs {
+			v := e.At(q)
+			if v < 0 || v > 1 || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestADStatisticOrdersModels(t *testing.T) {
+	lgn, _ := NewLogNormal(1, 0.6)
+	xs := sample(lgn, 3000, 11)
+	good, err := Fit(FamilyLogNormal, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := NewExponential(0.2)
+	adGood := ADStatistic(xs, good)
+	adBad := ADStatistic(xs, bad)
+	if adGood >= adBad {
+		t.Errorf("AD(true)=%v >= AD(wrong)=%v", adGood, adBad)
+	}
+	// Well-fitted A² is small (≲ a few units); wrong model is large.
+	if adGood > 5 {
+		t.Errorf("AD on true model = %v, want small", adGood)
+	}
+	if ADStatistic(nil, good) != 0 {
+		t.Error("empty sample AD != 0")
+	}
+	// Samples outside the support stay finite (clamped logs).
+	par, _ := NewPareto(10, 2)
+	if v := ADStatistic([]float64{1, 2, 3}, par); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("AD with out-of-support sample = %v", v)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import "math"
+
+// Special functions needed by the distribution library. Implementations
+// follow the standard series / continued-fraction constructions (Abramowitz
+// & Stegun; Numerical Recipes) and are accurate to ~1e-10 over the ranges
+// the fitting code exercises.
+
+// digamma returns d/dx ln Γ(x) for x > 0.
+func digamma(x float64) float64 {
+	var result float64
+	// Recurrence to push x above 6 where the asymptotic series is accurate.
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion.
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv
+	result -= inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+	return result
+}
+
+// trigamma returns d²/dx² ln Γ(x) for x > 0.
+func trigamma(x float64) float64 {
+	var result float64
+	for x < 6 {
+		result += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	result += inv * (1 + 0.5*inv + inv2*(1.0/6-inv2*(1.0/30-inv2*(1.0/42-inv2/30))))
+	return result
+}
+
+// regIncGammaLower returns P(a,x), the regularized lower incomplete gamma
+// function, for a > 0 and x >= 0.
+func regIncGammaLower(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+// gammaSeries evaluates P(a,x) by its power series (converges for x < a+1).
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-14 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a,x)=1-P(a,x) by Lentz's continued
+// fraction (converges for x >= a+1).
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// normQuantile inverts the standard normal CDF (Acklam's rational
+// approximation refined by one Halley step).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+
+	var x float64
+	switch {
+	case p < 0.02425:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-0.02425:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+	// One Halley refinement step.
+	e := normCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}

@@ -1,0 +1,168 @@
+// Package workload defines the benchmark job profiles the paper drives
+// its measurement study with (HiBench-style WordCount, Sort, TeraSort,
+// Grep, PageRank and KMeans) and a runner that executes them — including
+// multi-round iterative jobs — on a simulated cluster.
+//
+// A profile is characterised by its phase byte-selectivities, which are
+// properties of the algorithm and determine the traffic mix: a sort
+// shuffles everything it reads, a grep shuffles almost nothing, iterative
+// ML jobs re-read their input every round but shuffle only model-sized
+// state.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile describes one benchmark job type.
+type Profile struct {
+	// Name is the canonical lower-case workload name.
+	Name string
+	// MapSelectivity is map-output bytes per input byte.
+	MapSelectivity float64
+	// ReduceSelectivity is job-output bytes per shuffled byte.
+	ReduceSelectivity float64
+	// MapCostSecPerMB / ReduceCostSecPerMB model task compute cost.
+	MapCostSecPerMB    float64
+	ReduceCostSecPerMB float64
+	// Rounds > 1 marks an iterative job (each round is one MapReduce
+	// pass over the same input, as PageRank and KMeans do).
+	Rounds int
+	// OutputReplication overrides HDFS replication for job output
+	// (0 = default 3; TeraSort conventionally writes 1 replica).
+	OutputReplication int
+	// ReducersPerGB sizes the reduce stage from the input
+	// (bounded by cluster slots at run time).
+	ReducersPerGB float64
+	// MapOnly jobs have no reduce stage: map output commits straight to
+	// HDFS and there is no shuffle.
+	MapOnly bool
+	// Description summarises the traffic character for documentation.
+	Description string
+}
+
+// The six benchmark workloads, keyed by name.
+var profiles = map[string]Profile{
+	"wordcount": {
+		Name:               "wordcount",
+		MapSelectivity:     0.08, // combiner collapses counts before shuffle
+		ReduceSelectivity:  0.40,
+		MapCostSecPerMB:    0.030,
+		ReduceCostSecPerMB: 0.020,
+		Rounds:             1,
+		ReducersPerGB:      2,
+		Description:        "CPU-bound aggregation; small shuffle, tiny output",
+	},
+	"sort": {
+		Name:               "sort",
+		MapSelectivity:     1.0, // identity map
+		ReduceSelectivity:  1.0, // identity reduce
+		MapCostSecPerMB:    0.010,
+		ReduceCostSecPerMB: 0.012,
+		Rounds:             1,
+		ReducersPerGB:      4,
+		Description:        "I/O-bound; shuffle ≈ input, output ≈ input (3-way replicated)",
+	},
+	"terasort": {
+		Name:               "terasort",
+		MapSelectivity:     1.0,
+		ReduceSelectivity:  1.0,
+		MapCostSecPerMB:    0.012,
+		ReduceCostSecPerMB: 0.015,
+		Rounds:             1,
+		OutputReplication:  1, // TeraSort writes single-replica output
+		ReducersPerGB:      4,
+		Description:        "shuffle-dominated benchmark sort; 1-replica output",
+	},
+	"grep": {
+		Name:               "grep",
+		MapSelectivity:     0.002, // only matching lines leave the mapper
+		ReduceSelectivity:  1.0,
+		MapCostSecPerMB:    0.008,
+		ReduceCostSecPerMB: 0.010,
+		Rounds:             1,
+		ReducersPerGB:      0.5,
+		Description:        "scan-heavy filter; negligible shuffle and output",
+	},
+	"pagerank": {
+		Name:               "pagerank",
+		MapSelectivity:     1.2, // rank contributions along every edge
+		ReduceSelectivity:  0.25,
+		MapCostSecPerMB:    0.020,
+		ReduceCostSecPerMB: 0.018,
+		Rounds:             3,
+		ReducersPerGB:      2,
+		Description:        "iterative graph job; moderate shuffle every round",
+	},
+	"bayes": {
+		Name:               "bayes",
+		MapSelectivity:     0.35, // term-frequency vectors
+		ReduceSelectivity:  0.30,
+		MapCostSecPerMB:    0.040,
+		ReduceCostSecPerMB: 0.025,
+		Rounds:             1,
+		ReducersPerGB:      2,
+		Description:        "naive-bayes training; moderate shuffle, compact model output",
+	},
+	"join": {
+		Name:               "join",
+		MapSelectivity:     1.1, // both relations tagged and emitted
+		ReduceSelectivity:  0.6,
+		MapCostSecPerMB:    0.015,
+		ReduceCostSecPerMB: 0.020,
+		Rounds:             1,
+		ReducersPerGB:      4,
+		Description:        "repartition join; shuffle slightly above input",
+	},
+	"scan": {
+		Name:            "scan",
+		MapSelectivity:  1.0, // full copy of qualifying rows
+		MapCostSecPerMB: 0.006,
+		Rounds:          1,
+		MapOnly:         true,
+		Description:     "map-only table scan/copy; no shuffle at all",
+	},
+	"kmeans": {
+		Name:               "kmeans",
+		MapSelectivity:     0.0005, // per-centroid partial sums only
+		ReduceSelectivity:  0.05,
+		MapCostSecPerMB:    0.050,
+		ReduceCostSecPerMB: 0.010,
+		Rounds:             3,
+		ReducersPerGB:      0.25,
+		Description:        "iterative ML; re-reads input every round, near-zero shuffle",
+	},
+}
+
+// Get returns the named profile.
+func Get(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown profile %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names lists the available workloads in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for k := range profiles {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reducers sizes the reduce stage for an input, clamped to [1, maxSlots].
+func (p Profile) Reducers(inputBytes int64, maxSlots int) int {
+	gb := float64(inputBytes) / (1 << 30)
+	n := int(p.ReducersPerGB*gb + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if maxSlots > 0 && n > maxSlots {
+		n = maxSlots
+	}
+	return n
+}

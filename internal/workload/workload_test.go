@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+
+	"keddah/internal/hadoop"
+	"keddah/internal/netsim"
+)
+
+func TestGetKnownProfiles(t *testing.T) {
+	names := Names()
+	want := []string{"bayes", "grep", "join", "kmeans", "pagerank", "scan", "sort", "terasort", "wordcount"}
+	if len(names) != len(want) {
+		t.Fatalf("profiles = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], n)
+		}
+		p, err := Get(n)
+		if err != nil {
+			t.Errorf("Get(%s): %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("profile name %s != key %s", p.Name, n)
+		}
+		if p.Rounds < 1 {
+			t.Errorf("%s rounds = %d", n, p.Rounds)
+		}
+	}
+	if _, err := Get("bogus"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileTrafficCharacters(t *testing.T) {
+	sort, _ := Get("sort")
+	grep, _ := Get("grep")
+	kmeans, _ := Get("kmeans")
+	pagerank, _ := Get("pagerank")
+	if sort.MapSelectivity != 1 || sort.ReduceSelectivity != 1 {
+		t.Error("sort must be identity in both stages")
+	}
+	if grep.MapSelectivity > 0.01 {
+		t.Error("grep must have near-zero shuffle")
+	}
+	if kmeans.Rounds < 2 || pagerank.Rounds < 2 {
+		t.Error("iterative profiles must have multiple rounds")
+	}
+	terasort, _ := Get("terasort")
+	if terasort.OutputReplication != 1 {
+		t.Error("terasort writes single-replica output")
+	}
+	scan, _ := Get("scan")
+	if !scan.MapOnly {
+		t.Error("scan must be map-only")
+	}
+	join, _ := Get("join")
+	if join.MapSelectivity <= 1 {
+		t.Error("join shuffles more than its input")
+	}
+}
+
+func TestRunMapOnlyWorkload(t *testing.T) {
+	c := newCluster(t, 8, 6)
+	var got RunResult
+	err := Run(c, RunSpec{Profile: "scan", InputBytes: 256 << 20}, 0, func(r RunResult) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunToIdle(); err != nil {
+		t.Fatal(err)
+	}
+	round := got.Rounds[0]
+	if round.Reducers != 0 {
+		t.Errorf("scan ran %d reducers", round.Reducers)
+	}
+	if round.ShuffleBytes != 0 {
+		t.Errorf("scan shuffled %d bytes", round.ShuffleBytes)
+	}
+	if round.OutputBytes <= 0 {
+		t.Error("scan wrote no output")
+	}
+}
+
+func TestReducersSizing(t *testing.T) {
+	p, _ := Get("sort") // 4 per GB
+	if n := p.Reducers(1<<30, 100); n != 4 {
+		t.Errorf("1 GB → %d reducers, want 4", n)
+	}
+	if n := p.Reducers(8<<30, 100); n != 32 {
+		t.Errorf("8 GB → %d reducers, want 32", n)
+	}
+	if n := p.Reducers(8<<30, 8); n != 8 {
+		t.Errorf("slot clamp → %d, want 8", n)
+	}
+	if n := p.Reducers(1, 100); n != 1 {
+		t.Errorf("tiny input → %d, want 1", n)
+	}
+}
+
+func newCluster(t *testing.T, workers int, seed int64) *hadoop.Cluster {
+	t.Helper()
+	topo, err := netsim.Star(workers+1, netsim.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := hadoop.New(topo, hadoop.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunSingleRoundWorkload(t *testing.T) {
+	c := newCluster(t, 8, 1)
+	var got RunResult
+	err := Run(c, RunSpec{Profile: "terasort", InputBytes: 512 << 20}, 0, func(r RunResult) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunToIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1", len(got.Rounds))
+	}
+	if got.Rounds[0].InputBytes != 512<<20 {
+		t.Errorf("input = %d", got.Rounds[0].InputBytes)
+	}
+	if got.TotalDuration() <= 0 {
+		t.Error("zero total duration")
+	}
+}
+
+func TestRunIterativeWorkload(t *testing.T) {
+	c := newCluster(t, 8, 2)
+	var got RunResult
+	err := Run(c, RunSpec{Profile: "kmeans", InputBytes: 256 << 20}, 0, func(r RunResult) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunToIdle(); err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := Get("kmeans")
+	if len(got.Rounds) != prof.Rounds {
+		t.Fatalf("rounds = %d, want %d", len(got.Rounds), prof.Rounds)
+	}
+	// Every round re-reads the same input.
+	for i, r := range got.Rounds {
+		if r.InputBytes != 256<<20 {
+			t.Errorf("round %d input = %d", i, r.InputBytes)
+		}
+		if r.ShuffleBytes > r.InputBytes/100 {
+			t.Errorf("kmeans round %d shuffle = %d, want tiny", i, r.ShuffleBytes)
+		}
+	}
+}
+
+func TestRunReusesExistingInput(t *testing.T) {
+	c := newCluster(t, 8, 3)
+	done := 0
+	for i := 0; i < 2; i++ {
+		err := Run(c, RunSpec{Profile: "grep", InputBytes: 256 << 20}, i, func(RunResult) { done++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.RunToIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Fatalf("completed %d runs, want 2", done)
+	}
+	// Both runs share one dataset path; only one ingest happened.
+	if !c.FS.Exists("/data/grep-268435456") {
+		t.Error("expected shared dataset path")
+	}
+}
+
+func TestRunUnknownProfile(t *testing.T) {
+	c := newCluster(t, 4, 4)
+	if err := Run(c, RunSpec{Profile: "nope", InputBytes: 1 << 20}, 0, nil); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
