@@ -15,11 +15,9 @@ import (
 	"testing"
 
 	"keddah"
-	"keddah/internal/core"
+	"keddah/internal/benchcases"
 	"keddah/internal/experiments"
-	"keddah/internal/netsim"
 	"keddah/internal/pcap"
-	"keddah/internal/sim"
 	"keddah/internal/stats"
 )
 
@@ -60,54 +58,15 @@ func BenchmarkAblationA2FairSharing(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkAblationA3FamilyLibrary(b *testing.B) { benchExperiment(b, "A3") }
 
 // BenchmarkCaptureTerasort measures the full cluster-simulation capture
-// path (the toolchain's stage 1) for a 256 MiB terasort.
-func BenchmarkCaptureTerasort(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		ts, _, err := keddah.Capture(keddah.ClusterSpec{Workers: 16, Seed: int64(i + 1)},
-			[]keddah.RunSpec{{Profile: "terasort", InputBytes: 256 << 20}})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(ts.Runs) != 1 {
-			b.Fatal("lost the run")
-		}
-	}
-}
+// path (the toolchain's stage 1) for a 256 MiB terasort. The body lives
+// in internal/benchcases so cmd/keddah-bench -benchjson measures the
+// identical workload.
+func BenchmarkCaptureTerasort(b *testing.B) { benchcases.CaptureTerasort(b) }
 
 // BenchmarkNetsimFanIn measures flow-level simulation throughput: 512
 // flows converging on 16 hosts with max-min reallocation at every
-// arrival and departure.
-func BenchmarkNetsimFanIn(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		topo, err := netsim.Star(17, netsim.Gbps)
-		if err != nil {
-			b.Fatal(err)
-		}
-		eng := sim.New()
-		net := netsim.NewNetwork(eng, topo, netsim.Config{})
-		h := topo.Hosts()
-		for f := 0; f < 512; f++ {
-			src, dst := h[f%16], h[(f+1)%16+1]
-			delay := sim.Time(f) * 1_000_000
-			fl := f
-			eng.After(delay, func() {
-				if _, err := net.StartFlow(netsim.FlowSpec{
-					Src: src, Dst: dst, SrcPort: fl, DstPort: 80, SizeBytes: 10 << 20,
-				}); err != nil {
-					b.Error(err)
-				}
-			})
-		}
-		if _, err := eng.RunAll(); err != nil {
-			b.Fatal(err)
-		}
-		if net.Completed() != 512 {
-			b.Fatalf("completed %d flows", net.Completed())
-		}
-	}
-}
+// arrival and departure (body shared via internal/benchcases).
+func BenchmarkNetsimFanIn(b *testing.B) { benchcases.NetsimFanIn(b) }
 
 // BenchmarkFitSelection measures distribution model selection over a
 // 100k-sample flow-size population (E10's fitting-cost claim).
@@ -214,30 +173,5 @@ func BenchmarkGenerateSchedule(b *testing.B) {
 }
 
 // BenchmarkReplayFatTree measures schedule replay on a k=4 fat-tree
-// (stage 4).
-func BenchmarkReplayFatTree(b *testing.B) {
-	ts, _, err := keddah.Capture(keddah.ClusterSpec{Workers: 16, Seed: 6},
-		[]keddah.RunSpec{{Profile: "terasort", InputBytes: 512 << 20}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	model, err := keddah.Fit(ts, keddah.FitOptions{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	sched, err := model.Generate(keddah.GenSpec{Workload: "terasort", Workers: 16, Jobs: 2, Seed: 3})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		recs, _, err := core.Replay(sched, keddah.ClusterSpec{Topology: "fattree", FatTreeK: 4, Seed: 3})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(recs) == 0 {
-			b.Fatal("no flows replayed")
-		}
-	}
-}
+// (stage 4; body shared via internal/benchcases).
+func BenchmarkReplayFatTree(b *testing.B) { benchcases.ReplayFatTree(b) }

@@ -11,13 +11,17 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"keddah/internal/benchcases"
 	"keddah/internal/experiments"
 )
 
@@ -47,6 +51,55 @@ func writeTableCSV(dir string, t experiments.Table) error {
 	return f.Close()
 }
 
+// benchEntry is one benchmark's machine-readable result.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// benchReport is the BENCH_netsim.json schema.
+type benchReport struct {
+	GoVersion  string       `json:"goVersion"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// runBenchJSON executes the shared benchmark cases via testing.Benchmark
+// and writes ns/op, B/op and allocs/op as JSON to path.
+func runBenchJSON(path string) error {
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range benchcases.Cases() {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
+		r := testing.Benchmark(c.Fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed", c.Name)
+		}
+		report.Benchmarks = append(report.Benchmarks, benchEntry{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "bench %s: %s %s\n", c.Name, r.String(), r.MemString())
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "keddah-bench:", err)
@@ -56,13 +109,19 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (E1..E15, A1..A3) or 'all'")
-		scale  = flag.Float64("scale", 1, "input-size multiplier (1 = paper scale)")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp     = flag.String("exp", "all", "experiment id (E1..E15, A1..A3) or 'all'")
+		scale   = flag.Float64("scale", 1, "input-size multiplier (1 = paper scale)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers = flag.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS, 1 = serial)")
+		benchJSON = flag.String("benchjson", "", "run the netsim/replay micro-benchmarks and write results as JSON to this path, then exit")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -75,14 +134,16 @@ func run() error {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: os.Stderr}
-	for _, id := range ids {
-		start := time.Now()
-		tables, err := experiments.Run(id, cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	start := time.Now()
+	results := experiments.RunAll(ids, cfg, *workers)
+	// Results come back in id order whatever the completion order, so the
+	// report reads identically to a serial run.
+	for _, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", res.ID, res.Err)
 		}
-		for _, t := range tables {
+		for _, t := range res.Tables {
 			if err := t.Fprint(os.Stdout); err != nil {
 				return err
 			}
@@ -92,7 +153,8 @@ func run() error {
 				}
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", res.ID, res.Elapsed.Seconds())
 	}
+	fmt.Fprintf(os.Stderr, "suite done in %.1fs\n", time.Since(start).Seconds())
 	return nil
 }

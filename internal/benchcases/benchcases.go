@@ -1,0 +1,110 @@
+// Package benchcases holds the benchmark bodies shared by the root bench
+// suite (go test -bench) and cmd/keddah-bench's -benchjson mode. Keeping
+// one copy of each body means the committed BENCH_netsim.json numbers and
+// the `go test -bench` numbers measure the identical workload.
+package benchcases
+
+import (
+	"testing"
+
+	"keddah/internal/core"
+	"keddah/internal/netsim"
+	"keddah/internal/sim"
+	"keddah/internal/workload"
+)
+
+// Case is a named benchmark body runnable via testing.Benchmark.
+type Case struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// Cases lists the benchmark bodies exported for machine-readable runs:
+// the netsim hot path and the end-to-end replay/capture pipelines built
+// on it.
+func Cases() []Case {
+	return []Case{
+		{"NetsimFanIn", NetsimFanIn},
+		{"ReplayFatTree", ReplayFatTree},
+		{"CaptureTerasort", CaptureTerasort},
+	}
+}
+
+// NetsimFanIn measures flow-level simulation throughput: 512 flows
+// converging on 16 hosts with max-min reallocation at every arrival and
+// departure.
+func NetsimFanIn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo, err := netsim.Star(17, netsim.Gbps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.New()
+		net := netsim.NewNetwork(eng, topo, netsim.Config{})
+		h := topo.Hosts()
+		for f := 0; f < 512; f++ {
+			src, dst := h[f%16], h[(f+1)%16+1]
+			delay := sim.Time(f) * 1_000_000
+			fl := f
+			eng.After(delay, func() {
+				if _, err := net.StartFlow(netsim.FlowSpec{
+					Src: src, Dst: dst, SrcPort: fl, DstPort: 80, SizeBytes: 10 << 20,
+				}); err != nil {
+					b.Error(err)
+				}
+			})
+		}
+		if _, err := eng.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+		if net.Completed() != 512 {
+			b.Fatalf("completed %d flows", net.Completed())
+		}
+	}
+}
+
+// ReplayFatTree measures schedule replay on a k=4 fat-tree (toolchain
+// stage 4). The one-off capture+fit+generate setup runs outside the timer.
+func ReplayFatTree(b *testing.B) {
+	ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: 6},
+		[]workload.RunSpec{{Profile: "terasort", InputBytes: 512 << 20}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := core.Fit(ts, core.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := model.Generate(core.GenSpec{Workload: "terasort", Workers: 16, Jobs: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := core.Replay(sched, core.ClusterSpec{Topology: "fattree", FatTreeK: 4, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			b.Fatal("no flows replayed")
+		}
+	}
+}
+
+// CaptureTerasort measures the full cluster-simulation capture path (the
+// toolchain's stage 1) for a 256 MiB terasort.
+func CaptureTerasort(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: int64(i + 1)},
+			[]workload.RunSpec{{Profile: "terasort", InputBytes: 256 << 20}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts.Runs) != 1 {
+			b.Fatal("lost the run")
+		}
+	}
+}

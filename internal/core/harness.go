@@ -41,7 +41,9 @@ type ClusterSpec struct {
 	// ablation).
 	LocalityWaitNs int64 `json:"localityWaitNs"`
 	// Allocator selects the bandwidth sharing model: "" or "maxmin"
-	// (default), or "equalsplit" (the A2 ablation).
+	// (default), "equalsplit" (the A2 ablation), or "maxmin-ref" (the
+	// from-scratch reference implementation of max-min fairness, kept
+	// for equivalence testing of the incremental allocator).
 	Allocator string `json:"allocator"`
 	// Seed fixes all randomness.
 	Seed int64 `json:"seed"`
@@ -94,9 +96,13 @@ func (s ClusterSpec) BuildCluster() (*hadoop.Cluster, error) {
 	}
 	s = s.withDefaults()
 	var alloc netsim.Allocator
+	var reference bool
 	switch s.Allocator {
 	case "", "maxmin":
 		alloc = netsim.AllocMaxMin
+	case "maxmin-ref":
+		alloc = netsim.AllocMaxMin
+		reference = true
 	case "equalsplit":
 		alloc = netsim.AllocEqualSplit
 	default:
@@ -105,7 +111,7 @@ func (s ClusterSpec) BuildCluster() (*hadoop.Cluster, error) {
 	return hadoop.New(topo, hadoop.Config{
 		HDFS: hdfs.Config{BlockSize: s.BlockSize, Replication: s.Replication},
 		YARN: yarn.Config{SlotsPerNode: s.SlotsPerNode, LocalityWait: sim.Time(s.LocalityWaitNs)},
-		Net:  netsim.Config{Allocator: alloc},
+		Net:  netsim.Config{Allocator: alloc, UseReferenceAllocator: reference},
 		Seed: s.Seed,
 	})
 }

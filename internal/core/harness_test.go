@@ -70,6 +70,41 @@ func TestCaptureDeterministicAcrossCalls(t *testing.T) {
 	}
 }
 
+func TestCaptureMatchesReferenceAllocator(t *testing.T) {
+	// The incremental max-min allocator must be indistinguishable from the
+	// from-scratch reference at the capture-pipeline level: same spec and
+	// seed, identical flow records and run timings.
+	runs := []workload.RunSpec{
+		{Profile: "terasort", InputBytes: 512 << 20},
+		{Profile: "wordcount", InputBytes: 256 << 20},
+	}
+	mk := func(alloc string) *TraceSet {
+		ts, _, err := Capture(ClusterSpec{Topology: "fattree", FatTreeK: 4, Seed: 42, Allocator: alloc}, runs)
+		if err != nil {
+			t.Fatalf("%s: %v", alloc, err)
+		}
+		return ts
+	}
+	inc, ref := mk("maxmin"), mk("maxmin-ref")
+	if len(inc.Runs) != len(ref.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(inc.Runs), len(ref.Runs))
+	}
+	for i := range inc.Runs {
+		a, b := inc.Runs[i], ref.Runs[i]
+		if a.EndNs != b.EndNs || a.StartNs != b.StartNs {
+			t.Errorf("run %d span differs: [%d,%d] vs [%d,%d]", i, a.StartNs, a.EndNs, b.StartNs, b.EndNs)
+		}
+		if len(a.Records) != len(b.Records) {
+			t.Fatalf("run %d record counts differ: %d vs %d", i, len(a.Records), len(b.Records))
+		}
+		for j := range a.Records {
+			if a.Records[j] != b.Records[j] {
+				t.Fatalf("run %d record %d differs:\n%+v\n%+v", i, j, a.Records[j], b.Records[j])
+			}
+		}
+	}
+}
+
 func TestGenerateValidation(t *testing.T) {
 	ts := captureSmallCorpus(t)
 	model, err := Fit(ts, FitOptions{})

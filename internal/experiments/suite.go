@@ -7,9 +7,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"text/tabwriter"
+	"time"
 )
 
 // Config scales the suite. Scale multiplies every input size: 1.0 runs
@@ -124,6 +127,54 @@ func Run(id string, cfg Config) ([]Table, error) {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
 	return r(cfg.withDefaults())
+}
+
+// Result is one experiment's outcome from RunAll.
+type Result struct {
+	ID      string
+	Tables  []Table
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAll executes the given experiments on a pool of workers and returns
+// results in the order of ids, regardless of completion order. Every
+// runner builds its own cluster, capture and model from the shared
+// immutable Config, so experiments are independent and safe to run
+// concurrently. workers <= 0 means GOMAXPROCS. Config.Out is ignored
+// (runners would interleave on a shared writer); per-experiment output
+// belongs in the returned tables.
+func RunAll(ids []string, cfg Config, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	cfg = cfg.withDefaults()
+	cfg.Out = nil
+	cfg.Verbose = false
+
+	results := make([]Result, len(ids))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				tables, err := Run(ids[i], cfg)
+				results[i] = Result{ID: ids[i], Tables: tables, Err: err, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
 }
 
 // Formatting helpers shared by the experiment files.

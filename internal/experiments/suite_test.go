@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -181,6 +182,44 @@ func TestA3LibraryBeatsExpOnly(t *testing.T) {
 func TestSmokeRemainingExperiments(t *testing.T) {
 	for _, id := range []string{"E3", "E5", "E10", "E13", "A2"} {
 		runOne(t, id)
+	}
+}
+
+// TestRunAllMatchesSerial drives a slice of the suite through the worker
+// pool and checks the results are byte-identical to serial Run calls and
+// come back in request order. Run under -race this also proves the
+// runners share no mutable state.
+func TestRunAllMatchesSerial(t *testing.T) {
+	ids := []string{"E2", "E4", "A2", "E6"}
+	cfg := quickCfg()
+	results := RunAll(ids, cfg, 4)
+	if len(results) != len(ids) {
+		t.Fatalf("results = %d, want %d", len(results), len(ids))
+	}
+	for i, res := range results {
+		if res.ID != ids[i] {
+			t.Fatalf("result %d is %s, want %s (ordering lost)", i, res.ID, ids[i])
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.ID, res.Err)
+		}
+		want, err := Run(ids[i], cfg)
+		if err != nil {
+			t.Fatalf("serial %s: %v", ids[i], err)
+		}
+		if !reflect.DeepEqual(res.Tables, want) {
+			t.Errorf("%s: parallel tables differ from serial run", res.ID)
+		}
+	}
+}
+
+func TestRunAllReportsErrors(t *testing.T) {
+	results := RunAll([]string{"E2", "E99"}, quickCfg(), 2)
+	if results[0].Err != nil {
+		t.Errorf("E2 failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("unknown experiment id did not error")
 	}
 }
 

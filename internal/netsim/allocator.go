@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the bandwidth-sharing rate computations. All three
+// write the per-flow rate vector into n.rates (indexed by Flow.listIdx),
+// sized by reallocate before dispatch.
+//
+// incrementalMaxMinRates is the production path: progressive filling
+// driven by the per-link active-flow index, O(rounds × links) for
+// bottleneck selection plus O(Σ path) for freezing — it never rescans
+// the whole flow set per round. referenceMaxMinRates preserves the
+// original from-scratch formulation (scan every flow every round) for
+// equivalence testing behind Config.UseReferenceAllocator. Both perform
+// the identical floating-point operations in the identical order, so
+// their rate vectors agree bit for bit.
+
+// incrementalMaxMinRates computes max-min fair rates by progressive
+// filling over the per-link flow index:
+//
+//  1. cnt[l] starts as the number of active flows crossing l (the
+//     maintained index length — no path scan), remCap[l] as capacity.
+//  2. Each round picks the bottleneck link (minimum remCap/cnt among
+//     loaded links), then freezes exactly the unfrozen flows in
+//     linkFlows[bottleneck] at that fair share, returning their
+//     bandwidth claim to the other links on their paths.
+//  3. Rounds repeat until every flow is frozen; a flow always keeps its
+//     own links loaded until frozen, so progress is guaranteed.
+//
+// Candidates are processed in active-list order (ascending listIdx) to
+// reproduce the reference allocator's arithmetic exactly: the per-link
+// lists are swap-remove ordered, so they are sorted here — the sort is
+// over one bottleneck's flows only, not the whole active set.
+func (n *Network) incrementalMaxMinRates() {
+	for i, l := range n.topo.links {
+		n.remCap[i] = l.CapacityBps
+		n.cnt[i] = len(n.linkFlows[i])
+	}
+	remaining := len(n.flows)
+	for remaining > 0 {
+		best := -1
+		bestShare := math.Inf(1)
+		for i, c := range n.cnt {
+			if c == 0 {
+				continue
+			}
+			share := n.remCap[i] / float64(c)
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			n.freezeStranded(&remaining)
+			break
+		}
+		cand := n.freezeBuf[:0]
+		for _, f := range n.linkFlows[best] {
+			if !n.frozen[f.listIdx] {
+				cand = append(cand, f)
+			}
+		}
+		// The per-link lists are usually already in activation order
+		// (swap-remove only perturbs them on completions), so check
+		// before paying for the sort.
+		sorted := true
+		for i := 1; i < len(cand); i++ {
+			if cand[i-1].listIdx > cand[i].listIdx {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			sort.Slice(cand, func(a, b int) bool { return cand[a].listIdx < cand[b].listIdx })
+		}
+		for _, f := range cand {
+			n.rates[f.listIdx] = bestShare
+			n.frozen[f.listIdx] = true
+			remaining--
+			for _, lid := range f.path {
+				n.remCap[lid] -= bestShare
+				if n.remCap[lid] < 0 {
+					n.remCap[lid] = 0
+				}
+				n.cnt[lid]--
+			}
+		}
+		n.freezeBuf = cand[:0]
+	}
+}
+
+// referenceMaxMinRates is the original allocator, kept verbatim as the
+// oracle for the incremental path: it recounts link loads from scratch
+// and rescans the entire active set every bottleneck round.
+func (n *Network) referenceMaxMinRates() {
+	remCap := make([]float64, len(n.topo.links))
+	cnt := make([]int, len(n.topo.links))
+	for i, l := range n.topo.links {
+		remCap[i] = l.CapacityBps
+	}
+	for _, f := range n.flows {
+		for _, lid := range f.path {
+			cnt[lid]++
+		}
+	}
+	frozen := make([]bool, len(n.flows))
+	remaining := len(n.flows)
+	for remaining > 0 {
+		// Find bottleneck link: min fair share among loaded links.
+		best := -1
+		bestShare := math.Inf(1)
+		for i := range remCap {
+			if cnt[i] == 0 {
+				continue
+			}
+			share := remCap[i] / float64(cnt[i])
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			copy(n.frozen, frozen)
+			n.freezeStranded(&remaining)
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for i, f := range n.flows {
+			if frozen[i] {
+				continue
+			}
+			crosses := false
+			for _, lid := range f.path {
+				if lid == LinkID(best) {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			n.rates[i] = bestShare
+			frozen[i] = true
+			remaining--
+			for _, lid := range f.path {
+				remCap[lid] -= bestShare
+				if remCap[lid] < 0 {
+					remCap[lid] = 0
+				}
+				cnt[lid]--
+			}
+		}
+	}
+}
+
+// freezeStranded handles the should-not-happen case of unfrozen flows
+// with no loaded links left: they freeze at the loopback rate.
+func (n *Network) freezeStranded(remaining *int) {
+	for i := range n.frozen {
+		if !n.frozen[i] {
+			n.rates[i] = n.cfg.LoopbackBps
+			n.frozen[i] = true
+			*remaining -= 1
+		}
+	}
+}
+
+// equalSplitRates is the ablation allocator: each flow gets min over its
+// path of capacity/flow-count, with no redistribution of slack.
+func (n *Network) equalSplitRates() {
+	for i := range n.topo.links {
+		n.cnt[i] = len(n.linkFlows[i])
+	}
+	for i, f := range n.flows {
+		rate := math.Inf(1)
+		for _, lid := range f.path {
+			share := n.topo.links[lid].CapacityBps / float64(n.cnt[lid])
+			if share < rate {
+				rate = share
+			}
+		}
+		if math.IsInf(rate, 1) {
+			rate = n.cfg.LoopbackBps
+		}
+		n.rates[i] = rate
+	}
+}

@@ -45,6 +45,12 @@ type Flow struct {
 	completeE *sim.Event
 	done      bool
 	active    bool
+	// listIdx is this flow's position in Network.flows while active, so
+	// removal never scans the active set.
+	listIdx int
+	// linkPos[i] is this flow's position in Network.linkFlows[path[i]],
+	// so the per-link index is maintained in O(len(path)) on finish.
+	linkPos []int
 }
 
 // ID returns the network-unique flow identifier.
@@ -98,6 +104,13 @@ type Config struct {
 	// latency, which overstates control-flow and small-fetch speed.
 	// Off by default; enable for latency-sensitive studies.
 	ModelSlowStart bool
+	// UseReferenceAllocator switches max-min fairness back to the
+	// original from-scratch progressive filling that rescans every
+	// active flow per bottleneck round. It exists to property-test the
+	// incremental allocator (both must produce identical rate vectors)
+	// and as an escape hatch; it is O(rounds × flows × links) where the
+	// default incremental path is O(rounds × links + frozen × path).
+	UseReferenceAllocator bool
 }
 
 // Network runs flows over a Topology on a shared simulation engine.
@@ -106,10 +119,27 @@ type Network struct {
 	topo  *Topology
 	cfg   Config
 	seq   uint64
-	flows []*Flow // active flows ordered by ascending id
+	flows []*Flow // active flows in activation order
 	taps  []Tap
 
+	// linkFlows indexes the active flows crossing each link, maintained
+	// in O(len(path)) on flow activation and completion so the allocator
+	// never scans the whole active set to find who shares a bottleneck.
+	// Order within a link's list is arbitrary (swap-remove).
+	linkFlows [][]*Flow
+
 	reallocPending bool
+	dirtyE         *sim.Event // pooled coalescing event, reused via Reschedule
+
+	// Allocation scratch, reused across reallocations so the hot path
+	// does not allocate per event. remCap/cnt are indexed by LinkID;
+	// rates/frozen by Flow.listIdx; freezeBuf holds one round's
+	// bottleneck candidates.
+	remCap    []float64
+	cnt       []int
+	rates     []float64
+	frozen    []bool
+	freezeBuf []*Flow
 
 	// Stats counters.
 	completed  uint64
@@ -121,7 +151,14 @@ func NewNetwork(eng *sim.Engine, topo *Topology, cfg Config) *Network {
 	if cfg.LoopbackBps == 0 {
 		cfg.LoopbackBps = 20 * Gbps
 	}
-	return &Network{eng: eng, topo: topo, cfg: cfg}
+	return &Network{
+		eng:       eng,
+		topo:      topo,
+		cfg:       cfg,
+		linkFlows: make([][]*Flow, len(topo.links)),
+		remCap:    make([]float64, len(topo.links)),
+		cnt:       make([]int, len(topo.links)),
+	}
 }
 
 // Topology returns the network's topology.
@@ -203,10 +240,44 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 			f.completeE = n.eng.After(d, func() { n.finish(f) })
 			return
 		}
+		f.listIdx = len(n.flows)
 		n.flows = append(n.flows, f)
+		n.linkInsert(f)
 		n.markDirty()
 	})
 	return f, nil
+}
+
+// linkInsert adds the flow to the per-link active index, O(len(path)).
+func (n *Network) linkInsert(f *Flow) {
+	f.linkPos = make([]int, len(f.path))
+	for i, lid := range f.path {
+		f.linkPos[i] = len(n.linkFlows[lid])
+		n.linkFlows[lid] = append(n.linkFlows[lid], f)
+	}
+}
+
+// linkRemove deletes the flow from the per-link index by swap-remove,
+// O(len(path)²) worst case (paths are ≤6 links on a fat-tree).
+func (n *Network) linkRemove(f *Flow) {
+	for i, lid := range f.path {
+		lst := n.linkFlows[lid]
+		p := f.linkPos[i]
+		last := len(lst) - 1
+		moved := lst[last]
+		lst[p] = moved
+		lst[last] = nil
+		n.linkFlows[lid] = lst[:last]
+		if moved != f {
+			// Tell the relocated flow where it now sits on this link.
+			for j, ml := range moved.path {
+				if ml == lid {
+					moved.linkPos[j] = p
+					break
+				}
+			}
+		}
+	}
 }
 
 // slowStartInitialWindow is the IW10 initial congestion window in bytes
@@ -227,25 +298,39 @@ func slowStartPenaltyNs(size int64, onewayNs int64) int64 {
 
 // durationFor converts bytes at bps into simulated time, rounding UP to
 // the next nanosecond so a completion event never fires before the last
-// byte has actually been charged by settle.
+// byte has actually been charged by settle. A zero/negative rate, or one
+// so small the transfer would outlast the representable horizon, clamps
+// to MaxTime instead of overflowing sim.Time.
 func durationFor(bytes, bps float64) sim.Time {
 	if bytes <= 0 {
 		return 0
 	}
-	secs := bytes * 8 / bps
-	return sim.Time(math.Ceil(secs * 1e9))
+	if bps <= 0 {
+		return sim.MaxTime
+	}
+	ns := math.Ceil(bytes * 8 / bps * 1e9)
+	if ns >= float64(sim.MaxTime) || math.IsNaN(ns) {
+		return sim.MaxTime
+	}
+	return sim.Time(ns)
 }
 
 // markDirty coalesces reallocation requests occurring at the same instant.
+// The coalescing event is pooled: one Event per Network, re-armed with
+// Reschedule, so arrival/departure storms do not churn the event heap.
 func (n *Network) markDirty() {
 	if n.reallocPending {
 		return
 	}
 	n.reallocPending = true
-	n.eng.After(0, func() {
-		n.reallocPending = false
-		n.reallocate()
-	})
+	if n.dirtyE == nil {
+		n.dirtyE = n.eng.After(0, func() {
+			n.reallocPending = false
+			n.reallocate()
+		})
+		return
+	}
+	n.eng.Reschedule(n.dirtyE, n.eng.Now())
 }
 
 // settle charges elapsed transfer progress to every active flow.
@@ -262,8 +347,9 @@ func (n *Network) settle() {
 	}
 }
 
-// reallocate recomputes max-min fair rates for all active flows
-// (progressive filling) and reschedules completion events.
+// reallocate recomputes fair rates for all active flows and reschedules
+// the completion events whose rate actually changed. The rate vector is
+// computed into the n.rates scratch buffer by the configured allocator.
 func (n *Network) reallocate() {
 	n.settle()
 
@@ -271,119 +357,92 @@ func (n *Network) reallocate() {
 	if nf == 0 {
 		return
 	}
+	n.resetScratch(nf)
 
-	remCap := make([]float64, len(n.topo.links))
-	cnt := make([]int, len(n.topo.links))
-	for i, l := range n.topo.links {
-		remCap[i] = l.CapacityBps
-	}
-	for _, f := range n.flows {
-		for _, lid := range f.path {
-			cnt[lid]++
-		}
-	}
-
-	if n.cfg.Allocator == AllocEqualSplit {
-		n.applyRates(n.equalSplitRates(remCap, cnt))
-		return
+	switch {
+	case n.cfg.Allocator == AllocEqualSplit:
+		n.equalSplitRates()
+	case n.cfg.UseReferenceAllocator:
+		n.referenceMaxMinRates()
+	default:
+		n.incrementalMaxMinRates()
 	}
 
-	frozen := make([]bool, nf)
-	rates := make([]float64, nf)
-	remaining := nf
-	for remaining > 0 {
-		// Find bottleneck link: min fair share among loaded links.
-		best := -1
-		bestShare := math.Inf(1)
-		for i := range remCap {
-			if cnt[i] == 0 {
-				continue
-			}
-			share := remCap[i] / float64(cnt[i])
-			if share < bestShare {
-				bestShare = share
-				best = i
-			}
-		}
-		if best < 0 {
-			// No loaded links left but unfrozen flows remain — should
-			// not happen; freeze at loopback rate defensively.
-			for i := range frozen {
-				if !frozen[i] {
-					rates[i] = n.cfg.LoopbackBps
-					frozen[i] = true
-					remaining--
-				}
-			}
-			break
-		}
-		// Freeze every unfrozen flow crossing the bottleneck.
-		for i, f := range n.flows {
-			if frozen[i] {
-				continue
-			}
-			crosses := false
-			for _, lid := range f.path {
-				if lid == LinkID(best) {
-					crosses = true
-					break
-				}
-			}
-			if !crosses {
-				continue
-			}
-			rates[i] = bestShare
-			frozen[i] = true
-			remaining--
-			for _, lid := range f.path {
-				remCap[lid] -= bestShare
-				if remCap[lid] < 0 {
-					remCap[lid] = 0
-				}
-				cnt[lid]--
-			}
-		}
-	}
-
-	n.applyRates(rates)
+	n.applyRates()
 }
 
-// equalSplitRates is the ablation allocator: each flow gets min over its
-// path of capacity/flow-count, with no redistribution of slack.
-func (n *Network) equalSplitRates(capBps []float64, cnt []int) []float64 {
-	rates := make([]float64, len(n.flows))
-	for i, f := range n.flows {
-		rate := math.Inf(1)
-		for _, lid := range f.path {
-			share := capBps[lid] / float64(cnt[lid])
-			if share < rate {
-				rate = share
-			}
-		}
-		if math.IsInf(rate, 1) {
-			rate = n.cfg.LoopbackBps
-		}
-		rates[i] = rate
+// resetScratch sizes and clears the per-flow allocation buffers.
+func (n *Network) resetScratch(nf int) {
+	if cap(n.rates) < nf {
+		n.rates = make([]float64, nf)
+		n.frozen = make([]bool, nf)
 	}
-	return rates
+	n.rates = n.rates[:nf]
+	n.frozen = n.frozen[:nf]
+	for i := range n.frozen {
+		n.frozen[i] = false
+	}
 }
 
-// applyRates installs new per-flow rates and reschedules completions.
-func (n *Network) applyRates(rates []float64) {
+// rateTolerance is the relative tolerance under which a recomputed rate
+// counts as unchanged, leaving the flow's completion event in place.
+const rateTolerance = 1e-9
+
+func rateEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := math.Abs(a)
+	if mb := math.Abs(b); mb > m {
+		m = mb
+	}
+	return d <= m*rateTolerance
+}
+
+// applyRates installs the n.rates vector. A flow whose rate is unchanged
+// (within rateTolerance) keeps its pending completion event untouched —
+// the event still lands exactly where the unchanged rate drains the
+// remaining bytes. Changed flows reuse their completion Event via
+// Engine.Reschedule instead of cancel-then-push, so no dead events pile
+// up in the heap and no Event/closure is allocated after the first.
+func (n *Network) applyRates() {
 	now := n.eng.Now()
 	for i, f := range n.flows {
-		newRate := rates[i]
-		if f.rate != newRate {
-			f.rate = newRate
-			f.segments = append(f.segments, RateSegment{Start: now, RateBps: newRate})
+		newRate := n.rates[i]
+		if rateEqual(f.rate, newRate) {
+			continue
 		}
-		f.completeE.Cancel()
-		if f.rate > 0 {
-			d := durationFor(f.remaining, f.rate)
-			flow := f
-			f.completeE = n.eng.After(d, func() { n.finish(flow) })
-		}
+		f.rate = newRate
+		f.segments = append(f.segments, RateSegment{Start: now, RateBps: newRate})
+		n.scheduleCompletion(f)
 	}
+}
+
+// scheduleCompletion (re)arms the flow's completion event for its current
+// rate and residue. Flows with no rate — or a rate so small completion
+// would fall past the simulation horizon — park with no pending event
+// until a future reallocation revives them.
+func (n *Network) scheduleCompletion(f *Flow) {
+	if f.rate <= 0 {
+		f.completeE.Cancel()
+		return
+	}
+	d := durationFor(f.remaining, f.rate)
+	now := n.eng.Now()
+	if d >= sim.MaxTime-now {
+		f.completeE.Cancel()
+		return
+	}
+	if f.completeE == nil {
+		flow := f
+		f.completeE = n.eng.After(d, func() { n.finish(flow) })
+		return
+	}
+	n.eng.Reschedule(f.completeE, now+d)
 }
 
 // finish completes a flow: removes it from the active set, notifies taps
@@ -402,21 +461,22 @@ func (n *Network) finish(f *Flow) {
 			// The event fired before the flow truly drained (float
 			// rounding or a stale event). Reschedule for the residue —
 			// never strand a flow without a pending completion.
-			f.completeE.Cancel()
-			if f.rate > 0 {
-				d := durationFor(f.remaining, f.rate)
-				f.completeE = n.eng.After(d, func() { n.finish(f) })
-			}
+			n.scheduleCompletion(f)
 			return
 		}
 		f.remaining = 0
-		// Remove from active set, preserving id order.
-		for i, g := range n.flows {
-			if g == f {
-				n.flows = append(n.flows[:i], n.flows[i+1:]...)
-				break
-			}
+		// Remove from the active set, preserving order: the flow knows
+		// its own position, so no scan — just close the gap and renumber
+		// the tail.
+		i := f.listIdx
+		last := len(n.flows) - 1
+		copy(n.flows[i:], n.flows[i+1:])
+		n.flows[last] = nil
+		n.flows = n.flows[:last]
+		for j := i; j < last; j++ {
+			n.flows[j].listIdx = j
 		}
+		n.linkRemove(f)
 		n.markDirty()
 	}
 	f.done = true

@@ -86,7 +86,12 @@ func (b *Builder) addLink(from, to NodeID, capacityBps float64, latencyNs int64)
 }
 
 // Build computes all-pairs equal-cost shortest-path next hops and returns
-// the finished topology.
+// the finished topology. One BFS on the reversed graph per destination
+// gives distance-to-dst for every node; link u→v lies on a shortest path
+// to dst iff distTo[v]+1 == distTo[u]. The reverse adjacency and BFS
+// scratch are built once and reused across destinations, and each
+// destination's next-hop lists are carved from a single arena — replay
+// pipelines rebuild topologies per run, so Build sits on a measured path.
 func (b *Builder) Build() (*Topology, error) {
 	t := b.t
 	n := len(t.names)
@@ -95,33 +100,74 @@ func (b *Builder) Build() (*Topology, error) {
 	}
 	t.nextHops = make([][][]LinkID, n)
 	for src := 0; src < n; src++ {
-		dist := bfsDistances(t, NodeID(src))
-		hops := make([][]LinkID, n)
-		// A link (src→v) is a valid first hop toward dst when
-		// dist over the reversed problem matches. Easier: run BFS from
-		// every destination and record, for each node, outgoing links
-		// that decrease distance-to-dst. We instead compute per-dst
-		// below; dist from src alone is not enough. Mark unreachable.
-		_ = dist
-		t.nextHops[src] = hops
+		t.nextHops[src] = make([][]LinkID, n)
 	}
-	// Compute distance-to-dst for each dst, then fill next hops for all
-	// sources at once: link u→v is on a shortest path to dst iff
-	// distTo[v]+1 == distTo[u].
+
+	// Reverse adjacency, flat-packed: radj[v] lists nodes with a link
+	// into v.
+	deg := make([]int, n)
+	for _, l := range t.links {
+		deg[l.To]++
+	}
+	radjFlat := make([]NodeID, len(t.links))
+	radj := make([][]NodeID, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		radj[v] = radjFlat[off : off : off+deg[v]]
+		off += deg[v]
+	}
+	for _, l := range t.links {
+		radj[l.To] = append(radj[l.To], l.From)
+	}
+
+	distTo := make([]int, n)
+	queue := make([]NodeID, 0, n)
 	for dst := 0; dst < n; dst++ {
-		distTo := bfsDistancesReverse(t, NodeID(dst))
+		// BFS on the reversed graph: hop counts TO dst (-1 unreachable).
+		for i := range distTo {
+			distTo[i] = -1
+		}
+		distTo[dst] = 0
+		queue = append(queue[:0], NodeID(dst))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range radj[u] {
+				if distTo[v] < 0 {
+					distTo[v] = distTo[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+
+		// Fill next hops for every source from one arena sized by a
+		// counting pass.
+		total := 0
 		for u := 0; u < n; u++ {
 			if u == dst || distTo[u] < 0 {
 				continue
 			}
-			var hops []LinkID
 			for _, lid := range t.adj[u] {
 				v := t.links[lid].To
 				if distTo[v] >= 0 && distTo[v]+1 == distTo[u] {
-					hops = append(hops, lid)
+					total++
 				}
 			}
-			t.nextHops[u][dst] = hops
+		}
+		arena := make([]LinkID, 0, total)
+		for u := 0; u < n; u++ {
+			if u == dst || distTo[u] < 0 {
+				continue
+			}
+			start := len(arena)
+			for _, lid := range t.adj[u] {
+				v := t.links[lid].To
+				if distTo[v] >= 0 && distTo[v]+1 == distTo[u] {
+					arena = append(arena, lid)
+				}
+			}
+			if len(arena) > start {
+				t.nextHops[u][dst] = arena[start:len(arena):len(arena)]
+			}
 		}
 	}
 	// Validate host reachability.
@@ -133,58 +179,6 @@ func (b *Builder) Build() (*Topology, error) {
 		}
 	}
 	return t, nil
-}
-
-// bfsDistances returns hop counts from src along directed links
-// (-1 when unreachable).
-func bfsDistances(t *Topology, src NodeID) []int {
-	dist := make([]int, len(t.names))
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, lid := range t.adj[u] {
-			v := t.links[lid].To
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
-		}
-	}
-	return dist
-}
-
-// bfsDistancesReverse returns hop counts TO dst following links forward
-// (i.e. BFS on the reversed graph).
-func bfsDistancesReverse(t *Topology, dst NodeID) []int {
-	// Build reverse adjacency lazily per call; topologies are small and
-	// Build runs once.
-	n := len(t.names)
-	radj := make([][]NodeID, n)
-	for _, l := range t.links {
-		radj[l.To] = append(radj[l.To], l.From)
-	}
-	dist := make([]int, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[dst] = 0
-	queue := []NodeID{dst}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range radj[u] {
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
-		}
-	}
-	return dist
 }
 
 // NumNodes returns the total node count (hosts + switches).

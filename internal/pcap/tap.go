@@ -18,9 +18,19 @@ const DefaultMaxPacketsPerFlow = 2048
 // Capture taps a netsim.Network, synthesising packet records from
 // completed flows and keeping ground-truth flow records for classifier
 // validation. All state is owned by the single-threaded simulation loop.
+//
+// Packet synthesis is lazy in the buffered mode: FlowCompleted only
+// retains the finished flow, and the packet train is synthesised on the
+// first Packets() call. Pipeline stages that consume ground truth alone
+// (core.Capture, core.Replay — the hot replay path) therefore never pay
+// for packets they don't read. Streaming captures synthesise eagerly,
+// since the sink wants packets as they happen.
 type Capture struct {
 	maxPkts int
 	packets []Packet
+	// pending holds completed flows whose packet trains have not been
+	// synthesised yet (buffered mode only; completion order).
+	pending []*netsim.Flow
 	truth   []FlowRecord
 	// sink, if set, receives packets instead of the in-memory buffer
 	// (used to stream straight to a trace file).
@@ -54,15 +64,40 @@ func (c *Capture) Err() error { return c.err }
 // FlowStarted implements netsim.Tap.
 func (c *Capture) FlowStarted(*netsim.Flow) {}
 
-// FlowCompleted implements netsim.Tap: emits the flow's packet train and
-// a ground-truth record.
+// FlowCompleted implements netsim.Tap: records ground truth and either
+// streams the flow's packet train to the sink or defers synthesis until
+// Packets() is called.
 func (c *Capture) FlowCompleted(f *netsim.Flow) {
 	spec := f.Spec()
-	src := HostAddr(int(spec.Src))
-	dst := HostAddr(int(spec.Dst))
 	base := Packet{
-		Src:     src,
-		Dst:     dst,
+		Src:     HostAddr(int(spec.Src)),
+		Dst:     HostAddr(int(spec.Dst)),
+		SrcPort: uint16(spec.SrcPort),
+		DstPort: uint16(spec.DstPort),
+		Proto:   ProtoTCP,
+	}
+	c.truth = append(c.truth, FlowRecord{
+		Key:     base.Key(),
+		FirstNs: int64(f.Start()),
+		LastNs:  int64(f.End()),
+		Bytes:   spec.SizeBytes,
+		Packets: 0,
+		Label:   spec.Label,
+	})
+	if c.sink == nil {
+		c.pending = append(c.pending, f)
+		return
+	}
+	c.synthesize(f)
+}
+
+// synthesize emits the flow's packet train (SYN, paced data, FIN) to the
+// sink or the in-memory buffer.
+func (c *Capture) synthesize(f *netsim.Flow) {
+	spec := f.Spec()
+	base := Packet{
+		Src:     HostAddr(int(spec.Src)),
+		Dst:     HostAddr(int(spec.Dst)),
 		SrcPort: uint16(spec.SrcPort),
 		DstPort: uint16(spec.DstPort),
 		Proto:   ProtoTCP,
@@ -151,20 +186,16 @@ func (c *Capture) FlowCompleted(f *netsim.Flow) {
 	fin.TsNs = endNs
 	fin.Flags = FlagFIN
 	emit(fin)
-
-	c.truth = append(c.truth, FlowRecord{
-		Key:     base.Key(),
-		FirstNs: startNs,
-		LastNs:  endNs,
-		Bytes:   total,
-		Packets: 0,
-		Label:   spec.Label,
-	})
 }
 
 // Packets returns buffered packets sorted by timestamp (stable across
-// flows completing at the same instant).
+// flows completing at the same instant). Deferred flows are synthesised
+// here, in completion order, then cached.
 func (c *Capture) Packets() []Packet {
+	for _, f := range c.pending {
+		c.synthesize(f)
+	}
+	c.pending = c.pending[:0]
 	out := make([]Packet, len(c.packets))
 	copy(out, c.packets)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TsNs < out[j].TsNs })

@@ -72,6 +72,7 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1
 	*q = old[:n-1]
 	return ev
 }
@@ -128,6 +129,31 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return ev
 }
 
+// Reschedule moves an existing event to absolute time t, keeping its
+// callback. If the event is still queued it is sifted in place (no
+// dead-event tombstone accumulates, unlike Cancel-then-At); if it already
+// fired or was cancelled it is revived and re-queued. The event is given
+// a fresh sequence number, so among same-time events it fires as if newly
+// scheduled. Rescheduling into the past is an error.
+func (e *Engine) Reschedule(ev *Event, t Time) error {
+	if ev == nil {
+		return errors.New("sim: Reschedule of nil event")
+	}
+	if t < e.now {
+		return fmt.Errorf("sim: reschedule at %v before now %v", t, e.now)
+	}
+	ev.dead = false
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	if ev.idx >= 0 && ev.idx < len(e.queue) && e.queue[ev.idx] == ev {
+		heap.Fix(&e.queue, ev.idx)
+	} else {
+		heap.Push(&e.queue, ev)
+	}
+	return nil
+}
+
 // Run processes events until the queue is empty or until simulated time
 // would exceed until. Events exactly at until still fire. It returns the
 // time of the last processed event (or the starting time if none fired).
@@ -165,13 +191,29 @@ func (e *Engine) Run(until Time) (Time, error) {
 func (e *Engine) RunAll() (Time, error) { return e.Run(MaxTime) }
 
 // Step executes exactly one pending (non-cancelled) event and returns true,
-// or returns false if the queue is empty.
+// or returns false if the queue is empty. Like Run, it refuses to execute
+// re-entrantly (from inside an event callback) and stops once the
+// MaxEvents budget is exhausted.
 func (e *Engine) Step() bool {
+	if e.running {
+		return false
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	budget := e.MaxEvents
+	if budget == 0 {
+		budget = 500_000_000
+	}
 	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.dead {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
 			continue
 		}
+		if e.processed >= budget {
+			return false
+		}
+		next := heap.Pop(&e.queue).(*Event)
 		e.processed++
 		e.now = next.at
 		next.fn()

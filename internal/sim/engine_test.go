@@ -154,6 +154,142 @@ func TestReentrantRunRejected(t *testing.T) {
 	}
 }
 
+func TestRescheduleMovesEvent(t *testing.T) {
+	e := New()
+	var fired []string
+	ev := e.After(time.Second, func() { fired = append(fired, "moved") })
+	e.After(2*time.Second, func() { fired = append(fired, "fixed") })
+	// Push the first event past the second, then pull it back earlier.
+	if err := e.Reschedule(ev, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reschedule(ev, 1500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "moved" || fired[1] != "fixed" {
+		t.Errorf("order = %v, want [moved fixed]", fired)
+	}
+	if ev.At() != 1500*time.Millisecond {
+		t.Errorf("At() = %v after reschedule", ev.At())
+	}
+}
+
+func TestRescheduleLeavesNoDeadEvents(t *testing.T) {
+	e := New()
+	ev := e.After(time.Second, func() {})
+	for i := 0; i < 100; i++ {
+		if err := e.Reschedule(ev, Time(i)*time.Millisecond+time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d after 100 reschedules, want 1 (no tombstones)", e.Pending())
+	}
+}
+
+func TestRescheduleRevivesFiredAndCancelled(t *testing.T) {
+	e := New()
+	n := 0
+	ev := e.After(time.Second, func() { n++ })
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("event did not fire")
+	}
+	// Revive the already-fired event.
+	if err := e.Reschedule(ev, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel and revive again.
+	ev.Cancel()
+	if err := e.Reschedule(ev, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("revived event fired %d extra times, want 1", n-1)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestRescheduleRejectsPastAndNil(t *testing.T) {
+	e := New()
+	ev := e.After(2*time.Second, func() {})
+	e.After(time.Second, func() {
+		if err := e.Reschedule(ev, 0); err == nil {
+			t.Error("reschedule into the past succeeded")
+		}
+	})
+	if err := e.Reschedule(nil, time.Second); err == nil {
+		t.Error("reschedule of nil event succeeded")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRescheduleSameTimeFIFO: a rescheduled event lands at the back of
+// the FIFO among events at the same instant, as if newly scheduled.
+func TestRescheduleSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	ev := e.After(time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	if err := e.Reschedule(ev, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestStepHonorsEventBudget(t *testing.T) {
+	e := New()
+	e.MaxEvents = 2
+	n := 0
+	for i := 0; i < 5; i++ {
+		e.After(Time(i)*time.Second, func() { n++ })
+	}
+	for e.Step() {
+	}
+	if n != 2 {
+		t.Errorf("Step executed %d events with MaxEvents=2", n)
+	}
+	if e.Pending() != 3 {
+		t.Errorf("pending = %d, want 3 (budget must not drop events)", e.Pending())
+	}
+}
+
+func TestStepRejectsReentrancy(t *testing.T) {
+	e := New()
+	inner := true
+	e.After(time.Second, func() {
+		inner = e.Step()
+	})
+	e.After(2*time.Second, func() {})
+	if !e.Step() {
+		t.Fatal("outer Step returned false")
+	}
+	if inner {
+		t.Error("re-entrant Step executed an event")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
 // TestClockMonotonic property: for any batch of scheduled delays, events
 // fire in non-decreasing time order.
 func TestClockMonotonic(t *testing.T) {
