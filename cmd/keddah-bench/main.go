@@ -1,5 +1,5 @@
 // Command keddah-bench reproduces the paper's evaluation tables and
-// figures. Each experiment (E1–E15) and ablation (A1–A3) prints the
+// figures. Each experiment (E1–E16) and ablation (A1–A3) prints the
 // series/rows the corresponding paper artefact reports.
 //
 // Usage:
@@ -109,7 +109,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (E1..E15, A1..A3) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (E1..E16, A1..A3) or 'all'")
 		scale   = flag.Float64("scale", 1, "input-size multiplier (1 = paper scale)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		list    = flag.Bool("list", false, "list experiments and exit")

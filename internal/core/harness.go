@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"keddah/internal/faults"
 	"keddah/internal/flows"
 	"keddah/internal/hadoop"
 	"keddah/internal/hadoop/hdfs"
@@ -126,7 +127,13 @@ type FailureSpec struct {
 
 // CaptureOpts extends Capture with optional session behaviour.
 type CaptureOpts struct {
+	// Failures schedules permanent crash-stop worker kills (the legacy
+	// E11 path, kept for compatibility).
 	Failures []FailureSpec
+	// Faults is the generalised fault schedule: link down/degrade and
+	// transient node crash+rejoin. An empty schedule changes nothing —
+	// captures are record-identical to a fault-free session.
+	Faults faults.Schedule
 }
 
 // Capture runs the given workloads sequentially on a fresh cluster built
@@ -152,6 +159,9 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 		if err := cluster.FailWorker(workers[f.WorkerIndex], sim.Time(f.AtNs)); err != nil {
 			return nil, nil, fmt.Errorf("schedule failure: %w", err)
 		}
+	}
+	if err := faults.Inject(cluster, opts.Faults); err != nil {
+		return nil, nil, fmt.Errorf("schedule faults: %w", err)
 	}
 	capture := pcap.NewCapture()
 	cluster.Net.AddTap(capture)
@@ -191,6 +201,9 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 		ReReplicatedBlocks: cluster.FS.ReReplicatedBlocks,
 		LostContainers:     cluster.RM.LostContainers,
 		LostBlocks:         cluster.FS.LostBlocks,
+		PipelineRecoveries: cluster.FS.PipelineRecoveries,
+		ReadRetries:        cluster.FS.ReadRetries,
+		AbortedFlows:       int64(cluster.Net.AbortedFlows()),
 	}
 	return ts, results, nil
 }

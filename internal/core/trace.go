@@ -58,6 +58,11 @@ type CaptureStats struct {
 	ReReplicatedBlocks int64 `json:"reReplicatedBlocks"`
 	LostContainers     int64 `json:"lostContainers"`
 	LostBlocks         int64 `json:"lostBlocks"`
+	// PipelineRecoveries / ReadRetries count HDFS client-side recovery
+	// actions; AbortedFlows counts flows torn down by fault injection.
+	PipelineRecoveries int64 `json:"pipelineRecoveries,omitempty"`
+	ReadRetries        int64 `json:"readRetries,omitempty"`
+	AbortedFlows       int64 `json:"abortedFlows,omitempty"`
 }
 
 // TraceSet is a collection of captured runs — the measurement corpus the

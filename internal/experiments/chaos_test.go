@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestE16ChaosSweepStructure(t *testing.T) {
+	tabs := runOne(t, "E16")
+	tab := tabs[0]
+	// 2 fabrics × (1 healthy + 3 kinds × 2 counts).
+	if len(tab.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(tab.Rows))
+	}
+	var faultyRetry float64
+	for i, row := range tab.Rows {
+		stretch := cell(t, tab, i, 4)
+		retry := cell(t, tab, i, 5)
+		if row[1] == "healthy" {
+			if retry != 0 {
+				t.Errorf("row %d (%s healthy): retry MB = %v, want 0", i, row[0], retry)
+			}
+			if stretch != 1 {
+				t.Errorf("row %d (%s healthy): stretch = %v, want 1.00", i, row[0], stretch)
+			}
+			continue
+		}
+		faultyRetry += retry
+		// Faults shift downstream placement draws, so a faulty run can
+		// finish a little *faster* than healthy — but never collapse.
+		if stretch < 0.5 {
+			t.Errorf("row %d (%s %s): implausible stretch %v", i, row[0], row[1], stretch)
+		}
+		// Re-replication is retry traffic too, so the retry column must
+		// dominate the re-replication column.
+		if rerepl := cell(t, tab, i, 6); retry+1e-9 < rerepl {
+			t.Errorf("row %d: retry MB %v < re-repl MB %v", i, retry, rerepl)
+		}
+	}
+	if faultyRetry == 0 {
+		t.Error("no fault scenario produced any retry traffic")
+	}
+	// Node crashes must generate recovery traffic in every scenario:
+	// detection re-replicates the victim's blocks.
+	for i, row := range tab.Rows {
+		if row[1] == "nodeCrash" {
+			if retry := cell(t, tab, i, 5); retry == 0 {
+				t.Errorf("row %d (%s nodeCrash n=%s): no retry traffic", i, row[0], row[2])
+			}
+		}
+	}
+}
+
+// TestE16SerialMatchesRunAll runs the chaos sweep twice concurrently
+// through the worker pool and compares both against a serial run: fault
+// injection must stay deterministic under parallel execution (the -race
+// run of this test is the data-race proof the subsystem is gated on).
+func TestE16SerialMatchesRunAll(t *testing.T) {
+	cfg := quickCfg()
+	serial, err := Run("E16", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := RunAll([]string{"E16", "E16"}, cfg, 2)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("RunAll result %d: %v", i, res.Err)
+		}
+		if !reflect.DeepEqual(res.Tables, serial) {
+			t.Errorf("RunAll result %d differs from serial run:\n%+v\nvs\n%+v",
+				i, res.Tables, serial)
+		}
+	}
+}

@@ -4,6 +4,8 @@
 package flows
 
 import (
+	"strings"
+
 	"keddah/internal/pcap"
 )
 
@@ -76,4 +78,25 @@ func Classify(r pcap.FlowRecord) Phase {
 	default:
 		return PhaseOther
 	}
+}
+
+// recoveryLabels are whole ground-truth labels produced only by
+// failure-recovery machinery.
+var recoveryLabels = map[string]bool{
+	"hdfs/reReplication": true,
+	"hdfs/register":      true,
+	"hdfs/blockReport":   true,
+	"yarn/nmRegister":    true,
+}
+
+// IsRecovery reports whether a ground-truth label marks retry or
+// recovery traffic caused by fault injection: shuffle re-fetches, HDFS
+// pipeline recovery and read retries (the "-retry"/"-recovery" label
+// suffixes), NameNode re-replication, and daemon re-registration flows.
+// Labels are simulator ground truth, so this is exact, not heuristic.
+func IsRecovery(label string) bool {
+	if recoveryLabels[label] {
+		return true
+	}
+	return strings.HasSuffix(label, "-retry") || strings.HasSuffix(label, "-recovery")
 }

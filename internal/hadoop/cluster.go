@@ -130,13 +130,30 @@ func (c *Cluster) Submit(cfg mapreduce.JobConfig, done func(mapreduce.Result)) e
 	})
 }
 
+// validWorker rejects failure targets that are not cluster workers up
+// front, so a bad schedule errors at injection time instead of panicking
+// inside an event.
+func (c *Cluster) validWorker(host netsim.NodeID) error {
+	if host == c.master {
+		return errors.New("hadoop: failing the master is not modelled")
+	}
+	for _, w := range c.workers {
+		if w == host {
+			return nil
+		}
+	}
+	return fmt.Errorf("hadoop: host %d is not a cluster worker", host)
+}
+
 // FailWorker schedules a whole-worker failure (DataNode + NodeManager) at
 // simulated time t: running containers are lost and re-executed by their
 // jobs, and the NameNode re-replicates the node's blocks — the failure
-// traffic a capture of a degraded cluster contains.
+// traffic a capture of a degraded cluster contains. Failing an
+// already-failed worker is a clean no-op, and scheduling a failure before
+// any job is submitted is safe (the cluster just starts degraded).
 func (c *Cluster) FailWorker(host netsim.NodeID, at sim.Time) error {
-	if host == c.master {
-		return errors.New("hadoop: failing the master is not modelled")
+	if err := c.validWorker(host); err != nil {
+		return err
 	}
 	_, err := c.Eng.At(at, func() {
 		if err := c.FS.FailDataNode(host); err != nil {
@@ -147,6 +164,66 @@ func (c *Cluster) FailWorker(host netsim.NodeID, at sim.Time) error {
 		}
 	})
 	return err
+}
+
+// CrashWorker schedules a transient whole-worker crash at `at` with
+// rejoin at recoverAt: the host drops off the network (its access links
+// go down, resetting every connection it was serving), its DataNode and
+// NodeManager stop, and the cluster *detects* the loss through the
+// substrates' own timers — ReplicationDetectionDelay and NMExpiry —
+// rather than an oracle. At recoverAt the links come back and the
+// daemons re-register (block report, NM registration) and rejoin.
+func (c *Cluster) CrashWorker(host netsim.NodeID, at, recoverAt sim.Time) error {
+	if err := c.validWorker(host); err != nil {
+		return err
+	}
+	if recoverAt <= at {
+		return fmt.Errorf("hadoop: crash recovery at %v not after crash at %v", recoverAt, at)
+	}
+	links := c.accessLinks(host)
+	if _, err := c.Eng.At(at, func() {
+		// Daemon state first so fault-recovery paths triggered by the
+		// aborts below already see the node as dead.
+		if err := c.FS.CrashDataNode(host); err != nil {
+			panic(fmt.Sprintf("hadoop: crash datanode: %v", err))
+		}
+		if err := c.RM.CrashNode(host); err != nil {
+			panic(fmt.Sprintf("hadoop: crash nodemanager: %v", err))
+		}
+		for _, lid := range links {
+			if err := c.Net.SetLinkState(lid, false); err != nil {
+				panic(fmt.Sprintf("hadoop: crash link down: %v", err))
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	_, err := c.Eng.At(recoverAt, func() {
+		// Links first so the re-registration flows have routes.
+		for _, lid := range links {
+			if err := c.Net.SetLinkState(lid, true); err != nil {
+				panic(fmt.Sprintf("hadoop: crash link up: %v", err))
+			}
+		}
+		if err := c.FS.RecoverDataNode(host); err != nil {
+			panic(fmt.Sprintf("hadoop: recover datanode: %v", err))
+		}
+		if err := c.RM.RecoverNode(host); err != nil {
+			panic(fmt.Sprintf("hadoop: recover nodemanager: %v", err))
+		}
+	})
+	return err
+}
+
+// accessLinks returns every directed link touching host.
+func (c *Cluster) accessLinks(host netsim.NodeID) []netsim.LinkID {
+	var out []netsim.LinkID
+	for lid, l := range c.Net.Topology().Links() {
+		if l.From == host || l.To == host {
+			out = append(out, netsim.LinkID(lid))
+		}
+	}
+	return out
 }
 
 // RunToIdle starts the cluster, runs the event loop until every pending

@@ -5,6 +5,7 @@ import (
 
 	"keddah/internal/flows"
 	"keddah/internal/hadoop/mapreduce"
+	"keddah/internal/netsim"
 	"keddah/internal/pcap"
 	"keddah/internal/sim"
 )
@@ -116,6 +117,121 @@ func TestFailMasterRejected(t *testing.T) {
 	c, _ := newTestCluster(t, 5)
 	if err := c.FailWorker(c.Master(), sim.Time(1)); err == nil {
 		t.Error("failing the master was accepted")
+	}
+}
+
+// TestFailureTargetEdgeCases drives FailWorker and CrashWorker through
+// every rejected or degenerate target: bad hosts error at scheduling
+// time (never a mid-simulation panic), while legal-but-odd schedules —
+// failure before any job, the same worker failed twice — run to
+// completion as clean no-ops.
+func TestFailureTargetEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		schedule func(c *Cluster) error
+		wantErr  bool
+	}{
+		{"fail master", func(c *Cluster) error {
+			return c.FailWorker(c.Master(), 1)
+		}, true},
+		{"fail non-member host", func(c *Cluster) error {
+			return c.FailWorker(netsim.NodeID(999), 1)
+		}, true},
+		{"fail negative host", func(c *Cluster) error {
+			return c.FailWorker(netsim.NodeID(-1), 1)
+		}, true},
+		{"crash master", func(c *Cluster) error {
+			return c.CrashWorker(c.Master(), 1, 2)
+		}, true},
+		{"crash non-member host", func(c *Cluster) error {
+			return c.CrashWorker(netsim.NodeID(999), 1, 2)
+		}, true},
+		{"crash with recovery not after crash", func(c *Cluster) error {
+			return c.CrashWorker(c.Workers()[0], 5, 5)
+		}, true},
+		{"fail before any job submitted", func(c *Cluster) error {
+			return c.FailWorker(c.Workers()[0], 1)
+		}, false},
+		{"fail the same worker twice", func(c *Cluster) error {
+			if err := c.FailWorker(c.Workers()[2], 1_000_000_000); err != nil {
+				return err
+			}
+			return c.FailWorker(c.Workers()[2], 2_000_000_000)
+		}, false},
+		{"crash an already-failed worker", func(c *Cluster) error {
+			if err := c.FailWorker(c.Workers()[4], 1_000_000_000); err != nil {
+				return err
+			}
+			return c.CrashWorker(c.Workers()[4], 2_000_000_000, 3_000_000_000)
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := newTestCluster(t, 7)
+			err := tc.schedule(c)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("bad failure target accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+			// The scheduled events must drain without panicking even
+			// though no job ever runs.
+			if _, err := c.RunToIdle(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
+
+func TestCrashWorkerRejoins(t *testing.T) {
+	// A transient crash straddling nothing in particular: the node drops
+	// off, is detected dead, then re-registers and is schedulable again.
+	c, capt := newTestCluster(t, 11)
+	victim := c.Workers()[3]
+	var result mapreduce.Result
+	err := c.Ingest("/data/in", 1<<30, func() {
+		err := c.Submit(mapreduce.JobConfig{
+			Name: "crashj", InputPath: "/data/in", OutputPath: "/out",
+			NumReducers: 4, MapSelectivity: 1, ReduceSelectivity: 1,
+			MapCostSecPerMB: 0.05,
+		}, func(r mapreduce.Result) { result = r })
+		if err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// Crash mid-job, rejoin 12s later (past the 10s NM expiry so YARN
+	// declares the node lost before it comes back).
+	if err := c.CrashWorker(victim, sim.Time(12_000_000_000), sim.Time(24_000_000_000)); err != nil {
+		t.Fatalf("crash worker: %v", err)
+	}
+	if _, err := c.RunToIdle(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if result.Finished == 0 || result.Failed {
+		t.Fatalf("job did not survive transient crash: %+v", result)
+	}
+	if !c.RM.NodeAlive(victim) {
+		t.Error("rejoined node still reported dead")
+	}
+	// Rejoin traffic must be captured: NM registration and a DataNode
+	// block report, both recovery-classified.
+	seen := map[string]bool{}
+	for _, r := range capt.Truth() {
+		if flows.IsRecovery(r.Label) {
+			seen[r.Label] = true
+		}
+	}
+	for _, want := range []string{"yarn/nmRegister", "hdfs/register", "hdfs/blockReport"} {
+		if !seen[want] {
+			t.Errorf("no %s flow captured on rejoin (saw %v)", want, seen)
+		}
 	}
 }
 

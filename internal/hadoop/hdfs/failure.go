@@ -42,12 +42,21 @@ func (fs *FS) FailDataNode(host netsim.NodeID) error {
 		return nil
 	}
 	fs.dead[host] = true
+	fs.epoch[host]++
+	e := fs.epoch[host]
 
 	delay := fs.cfg.ReplicationDetectionDelay
 	if delay <= 0 {
 		delay = DefaultReplicationDetectionDelay
 	}
-	fs.eng.After(delay, func() { fs.reReplicateAfter(host) })
+	// The epoch guard makes detection idempotent against rejoin: a node
+	// recovered (and possibly re-crashed) since this failure was observed
+	// is handled by its own, newer detection event.
+	fs.eng.After(delay, func() {
+		if fs.dead[host] && fs.epoch[host] == e {
+			fs.reReplicateAfter(host)
+		}
+	})
 	return nil
 }
 

@@ -32,6 +32,16 @@ type Config struct {
 	// DataNode failure before re-replicating its blocks (default
 	// DefaultReplicationDetectionDelay).
 	ReplicationDetectionDelay sim.Time
+	// MaxPipelineRetries bounds write-pipeline recovery attempts per hop
+	// before the replica is dropped as under-replicated (default 3, as
+	// dfs.client.block.write.retries).
+	MaxPipelineRetries int
+	// PipelineRetryBase is the first pipeline-recovery backoff; it doubles
+	// per attempt up to a 30 s cap (default 500 ms).
+	PipelineRetryBase sim.Time
+	// ReadRetryBase is the first read-retry backoff; it doubles per
+	// attempt up to a 30 s cap (default 1 s).
+	ReadRetryBase sim.Time
 }
 
 func (c *Config) applyDefaults() {
@@ -46,6 +56,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ControlBytes <= 0 {
 		c.ControlBytes = 512
+	}
+	if c.MaxPipelineRetries <= 0 {
+		c.MaxPipelineRetries = 3
+	}
+	if c.PipelineRetryBase <= 0 {
+		c.PipelineRetryBase = 500_000_000
+	}
+	if c.ReadRetryBase <= 0 {
+		c.ReadRetryBase = 1_000_000_000
 	}
 }
 
@@ -84,6 +103,10 @@ type FS struct {
 	nextBlock int64
 	stopped   bool
 	dead      map[netsim.NodeID]bool
+	// epoch counts life transitions per DataNode; a pending failure
+	// detection only fires if the node's epoch is unchanged, so a crashed
+	// node that rejoins before detection is never re-replicated.
+	epoch map[netsim.NodeID]int
 
 	// Stats.
 	BytesWritten       int64
@@ -94,6 +117,8 @@ type FS struct {
 	ReReplicatedBlocks int64
 	LostBlocks         int64
 	UnderReplicated    int64
+	PipelineRecoveries int64
+	ReadRetries        int64
 }
 
 // New creates an FS. The namenode must be a host in the network; every
@@ -117,6 +142,7 @@ func New(net *netsim.Network, namenode netsim.NodeID, datanodes []netsim.NodeID,
 		datanodes: dns,
 		files:     make(map[string]*file),
 		dead:      make(map[netsim.NodeID]bool),
+		epoch:     make(map[netsim.NodeID]int),
 	}, nil
 }
 

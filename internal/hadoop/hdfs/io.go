@@ -5,6 +5,7 @@ import (
 
 	"keddah/internal/flows"
 	"keddah/internal/netsim"
+	"keddah/internal/sim"
 )
 
 // File returns the block list of a stored file. Reading a file whose
@@ -103,35 +104,145 @@ func (fs *FS) WriteFile(client netsim.NodeID, path string, size int64, replicati
 		blk := Block{ID: fs.nextBlock, Size: bsize, Replicas: pipeline}
 		fs.nextBlock++
 
-		// One flow per pipeline hop, all streaming concurrently.
+		// One flow per pipeline hop, all streaming concurrently. A hop
+		// torn down by a fault goes through pipeline recovery: resume the
+		// remaining bytes into the same DataNode when it survived (a link
+		// fault), restream the whole block into a replacement node when it
+		// died, and after MaxPipelineRetries attempts drop the replica as
+		// under-replicated — but never below one replica while a live
+		// source remains.
 		remainingHops := len(pipeline)
-		hopDone := func(*netsim.Flow) {
+		hopFinished := func() {
 			remainingHops--
 			if remainingHops == 0 {
+				if len(blk.Replicas) == 0 {
+					fs.LostBlocks++
+				}
 				f.blocks = append(f.blocks, blk)
 				fs.BytesWritten += bsize
 				writeBlock(i + 1)
 			}
 		}
-		prev := client
-		for _, hop := range pipeline {
+
+		var runHop func(src, dst netsim.NodeID, sz int64, attempt int)
+		var recoverHop func(src, dst netsim.NodeID, remaining int64, attempt int)
+
+		runHop = func(src, dst netsim.NodeID, sz int64, attempt int) {
+			lbl := label + "/hdfsWrite"
+			if attempt > 0 {
+				lbl = label + "/hdfsWrite-recovery"
+			}
 			_, err := fs.net.StartFlow(netsim.FlowSpec{
-				Src:        prev,
-				Dst:        hop,
+				Src:        src,
+				Dst:        dst,
 				SrcPort:    ephemeralPort(fs.rng),
 				DstPort:    flows.PortDataNodeData,
-				SizeBytes:  bsize,
-				Label:      label + "/hdfsWrite",
-				OnComplete: hopDone,
+				SizeBytes:  sz,
+				Label:      lbl,
+				OnComplete: func(*netsim.Flow) { hopFinished() },
+				OnAbort: func(fl *netsim.Flow) {
+					rem := sz - fl.Transferred()
+					if rem <= 0 {
+						hopFinished()
+						return
+					}
+					fs.eng.After(retryBackoff(fs.cfg.PipelineRetryBase, attempt), func() {
+						recoverHop(src, dst, rem, attempt+1)
+					})
+				},
 			})
 			if err != nil {
 				panic(fmt.Sprintf("hdfs: pipeline flow: %v", err))
 			}
+		}
+
+		recoverHop = func(src, dst netsim.NodeID, remaining int64, attempt int) {
+			dropReplica := func() {
+				for ri, r := range blk.Replicas {
+					if r == dst {
+						blk.Replicas = append(blk.Replicas[:ri], blk.Replicas[ri+1:]...)
+						break
+					}
+				}
+				fs.UnderReplicated++
+				hopFinished()
+			}
+			// Nearest live source: the hop's original feeder, then the
+			// writing client, then any surviving replica of this block.
+			newSrc := netsim.NodeID(-1)
+			for _, cand := range append([]netsim.NodeID{src, client}, blk.Replicas...) {
+				if cand != dst && cand >= 0 && !fs.dead[cand] {
+					newSrc = cand
+					break
+				}
+			}
+			if newSrc < 0 {
+				// Nothing can source the bytes: give the replica up.
+				dropReplica()
+				return
+			}
+			if attempt > fs.cfg.MaxPipelineRetries && len(blk.Replicas) > 1 {
+				dropReplica()
+				return
+			}
+			fs.PipelineRecoveries++
+			if !fs.dead[dst] {
+				// The DataNode survived — a link fault cut the stream;
+				// resume the block from where it broke.
+				runHop(newSrc, dst, remaining, attempt)
+				return
+			}
+			// Replace the dead node and restream the whole block.
+			holding := make(map[netsim.NodeID]bool, len(blk.Replicas)+1)
+			for _, r := range blk.Replicas {
+				holding[r] = true
+			}
+			target := fs.randomDNWhere(holding, func(id netsim.NodeID) bool { return !fs.dead[id] })
+			if target < 0 {
+				if len(blk.Replicas) > 1 {
+					dropReplica()
+					return
+				}
+				// Sole replica with nowhere to go: wait for the fabric
+				// to heal and try again (capped backoff).
+				fs.eng.After(retryBackoff(fs.cfg.PipelineRetryBase, attempt), func() {
+					recoverHop(newSrc, dst, remaining, attempt+1)
+				})
+				return
+			}
+			for ri, r := range blk.Replicas {
+				if r == dst {
+					blk.Replicas[ri] = target
+					break
+				}
+			}
+			runHop(newSrc, target, bsize, attempt)
+		}
+
+		prev := client
+		for _, hop := range pipeline {
+			runHop(prev, hop, bsize, 0)
 			prev = hop
 		}
 	}
 	writeBlock(0)
 	return nil
+}
+
+// maxRetryBackoff caps exponential retry backoff across HDFS recovery
+// paths (pipeline recovery, read retry).
+const maxRetryBackoff = 30_000_000_000
+
+// retryBackoff doubles base per attempt, capped at maxRetryBackoff.
+func retryBackoff(base sim.Time, attempt int) sim.Time {
+	d := base
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d
 }
 
 // pickReplica selects the live replica a reader uses: local if
@@ -160,22 +271,50 @@ func (fs *FS) pickReplica(client netsim.NodeID, blk Block) netsim.NodeID {
 	return live[fs.rng.Intn(len(live))]
 }
 
+// maxReadRetries bounds read retries before the block is declared
+// unreadable (a real DFSInputStream gives up after cycling the replica
+// list a few times; faults are expected to have healed long before 20
+// capped backoffs elapse).
+const maxReadRetries = 20
+
 // ReadBlock streams one block to client from the best live replica. done
-// runs with the chosen replica when the transfer finishes. Reading a
-// block with no surviving replica is unrecoverable for the caller and
+// runs with the chosen replica when the transfer finishes. A read torn
+// down by a fault — or finding no live replica — retries against the
+// current replica set with exponential backoff; a block that stays
+// unreadable through every retry is unrecoverable for the caller and
 // panics (supported failure experiments keep replication ≥ 2).
 func (fs *FS) ReadBlock(client netsim.NodeID, blk Block, label string, done func(replica netsim.NodeID)) {
-	// getBlockLocations RPC.
+	fs.readBlockAttempt(client, blk, label, done, 0)
+}
+
+func (fs *FS) readBlockAttempt(client netsim.NodeID, blk Block, label string, done func(replica netsim.NodeID), attempt int) {
+	// getBlockLocations RPC (re-issued per retry, as DFSInputStream does).
 	fs.control(client, fs.namenode, flows.PortNameNodeRPC, label+"/getBlockLocations")
+
+	retry := func() {
+		if attempt >= maxReadRetries {
+			panic(fmt.Sprintf("hdfs: block %d unreadable after %d retries", blk.ID, attempt))
+		}
+		fs.ReadRetries++
+		fs.eng.After(retryBackoff(fs.cfg.ReadRetryBase, attempt), func() {
+			fs.readBlockAttempt(client, blk, label, done, attempt+1)
+		})
+	}
 
 	replica := fs.pickReplica(client, blk)
 	if replica < 0 {
-		panic(fmt.Sprintf("hdfs: block %d has no live replica", blk.ID))
+		// Every replica is currently dead; wait for one to rejoin.
+		retry()
+		return
 	}
 	if replica == client {
 		fs.LocalReads++
 	} else {
 		fs.RemoteReads++
+	}
+	lbl := label + "/hdfsRead"
+	if attempt > 0 {
+		lbl = label + "/hdfsRead-retry"
 	}
 	_, err := fs.net.StartFlow(netsim.FlowSpec{
 		Src:       replica,
@@ -183,13 +322,14 @@ func (fs *FS) ReadBlock(client netsim.NodeID, blk Block, label string, done func
 		SrcPort:   flows.PortDataNodeData,
 		DstPort:   ephemeralPort(fs.rng),
 		SizeBytes: blk.Size,
-		Label:     label + "/hdfsRead",
+		Label:     lbl,
 		OnComplete: func(*netsim.Flow) {
 			fs.BytesRead += blk.Size
 			if done != nil {
 				done(replica)
 			}
 		},
+		OnAbort: func(*netsim.Flow) { retry() },
 	})
 	if err != nil {
 		panic(fmt.Sprintf("hdfs: read flow: %v", err))

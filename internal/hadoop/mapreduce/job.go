@@ -67,6 +67,20 @@ type JobConfig struct {
 	// SpeculativeThreshold is the slowdown factor that triggers a
 	// duplicate attempt (default 1.5).
 	SpeculativeThreshold float64
+	// FetchRetryBase is the first shuffle-fetch retry backoff; it doubles
+	// per failed attempt against the same host, capped at 30 s (default
+	// 1 s, a scaled-down mapreduce.reduce.shuffle.retry-delay).
+	FetchRetryBase sim.Time
+	// MaxFetchFailures is how many failed fetches from one host a reducer
+	// tolerates before reporting the map output lost to the AM, which
+	// blacklists the host for this shuffle and re-executes the map
+	// (default 3, as mapreduce.reduce.shuffle.maxfetchfailures).
+	MaxFetchFailures int
+	// MaxAMAttempts bounds ApplicationMaster attempts: a lost AM is
+	// restarted, recovering completed-task state, until the budget runs
+	// out and the job fails (default 2, as
+	// yarn.resourcemanager.am.max-attempts).
+	MaxAMAttempts int
 }
 
 func (c *JobConfig) applyDefaults() {
@@ -94,6 +108,15 @@ func (c *JobConfig) applyDefaults() {
 	if c.SpeculativeThreshold <= 0 {
 		c.SpeculativeThreshold = 1.5
 	}
+	if c.FetchRetryBase <= 0 {
+		c.FetchRetryBase = 1_000_000_000
+	}
+	if c.MaxFetchFailures <= 0 {
+		c.MaxFetchFailures = 3
+	}
+	if c.MaxAMAttempts <= 0 {
+		c.MaxAMAttempts = 2
+	}
 }
 
 // Result summarises a finished job.
@@ -118,6 +141,12 @@ type Result struct {
 	ReexecutedReducers int
 	// SpeculativeMaps counts duplicate straggler attempts launched.
 	SpeculativeMaps int
+	// ShuffleRetries counts shuffle fetches torn down by faults and
+	// retried (or escalated to the AM after repeated failures).
+	ShuffleRetries int
+	// AMRestarts counts ApplicationMaster attempts restarted after the
+	// AM's host was lost.
+	AMRestarts int
 }
 
 // Duration returns end-to-end job time.
@@ -134,6 +163,9 @@ type Job struct {
 	rng  *stats.RNG
 	app  *yarn.App
 	done func(Result)
+	// client is the submitting host, kept for AM restart resubmission.
+	client     netsim.NodeID
+	amAttempts int
 
 	splits     []hdfs.Block
 	mapOut     []int64         // per-map output bytes (set at map end)
@@ -194,22 +226,43 @@ func (j *Job) Submit(client netsim.NodeID, done func(Result)) error {
 	for _, b := range splits {
 		j.result.InputBytes += b.Size
 	}
+	j.client = client
 	j.rm.WatchNodeFailures(j.onNodeFailed)
 	j.app = j.rm.Submit(client, func(*yarn.App) { j.onAMStarted() })
 	return nil
 }
 
 // onAMStarted requests a container per map split, preferring replica
-// hosts, and arms the AM failure handler (AM loss aborts the job — MRv2
-// AM restart is out of scope and documented as such).
+// hosts, and arms the AM failure handler (a lost AM restarts until
+// MaxAMAttempts is exhausted, then the job fails).
 func (j *Job) onAMStarted() {
-	j.app.OnAMLost(j.abort)
+	j.app.OnAMLost(j.onAMLost)
 	for i := range j.splits {
 		j.requestMap(i)
 	}
 	if j.cfg.Speculative {
 		j.eng.After(j.cfg.UmbilicalInterval, j.speculationTick)
 	}
+}
+
+// onAMLost handles the AM's host dying: resubmit the application for a
+// fresh AM attempt — completed-task state lives in the Job, mirroring
+// MRAM job-history recovery — or fail the job once the attempt budget
+// is spent. Tasks running on surviving hosts keep running; their
+// reports flow to the new AM once it is placed.
+func (j *Job) onAMLost() {
+	if j.finished {
+		return
+	}
+	j.amAttempts++
+	if j.amAttempts >= j.cfg.MaxAMAttempts {
+		j.abort()
+		return
+	}
+	j.result.AMRestarts++
+	j.app = j.rm.Submit(j.client, func(*yarn.App) {
+		j.app.OnAMLost(j.onAMLost)
+	})
 }
 
 // speculationTick is the AM's straggler check: once half the maps have

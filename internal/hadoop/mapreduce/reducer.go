@@ -8,6 +8,7 @@ import (
 	"keddah/internal/hadoop/hdfs"
 	"keddah/internal/hadoop/yarn"
 	"keddah/internal/netsim"
+	"keddah/internal/sim"
 )
 
 // reducer is one reduce task attempt: it shuffles a partition from every
@@ -25,6 +26,12 @@ type reducer struct {
 	pending    []int // map indexes ready to fetch
 	queued     map[int]bool
 	fetchedSet map[int]bool
+	// retries counts fault-aborted fetch attempts per map index;
+	// hostFail counts them per serving host — at MaxFetchFailures the
+	// host is blacklisted for this shuffle and the AM re-runs the map.
+	retries    map[int]int
+	hostFail   map[netsim.NodeID]int
+	blacklist  map[netsim.NodeID]bool
 	active     int
 	bytes      int64
 	shuffled   bool // all partitions fetched; merge/reduce underway
@@ -54,6 +61,9 @@ func (j *Job) runReducer(ri int, c *yarn.Container) {
 		host:       c.Host(),
 		queued:     make(map[int]bool, len(j.splits)),
 		fetchedSet: make(map[int]bool, len(j.splits)),
+		retries:    make(map[int]int),
+		hostFail:   make(map[netsim.NodeID]int),
+		blacklist:  make(map[netsim.NodeID]bool),
 	}
 	j.reducers[ri] = r
 
@@ -125,33 +135,93 @@ func (r *reducer) pump() {
 		mapIdx := r.pending[0]
 		r.pending = r.pending[1:]
 		r.active++
-		size := r.partitionBytes(mapIdx)
-		src := j.mapHost[mapIdx]
-		_, err := j.net.StartFlow(netsim.FlowSpec{
-			Src:       src,
-			Dst:       r.host,
-			SrcPort:   flows.PortShuffle,
-			DstPort:   32768 + j.rng.Intn(28232),
-			SizeBytes: size,
-			Label:     j.cfg.Name + "/shuffle",
-			OnComplete: func(*netsim.Flow) {
-				r.active--
-				if r.dead {
-					return
-				}
-				r.fetchedSet[mapIdx] = true
-				r.bytes += size
-				j.result.ShuffleBytes += size
-				r.pump()
-			},
-		})
-		if err != nil {
-			panic(fmt.Sprintf("mapreduce: shuffle flow: %v", err))
-		}
+		r.startFetch(mapIdx)
 	}
 	if r.active == 0 && len(r.fetchedSet) == len(j.splits) && !r.shuffled {
 		r.finishShuffle()
 	}
+}
+
+// startFetch pulls one map partition from its ShuffleHandler. A fetch
+// torn down by a fault retries against the same host with exponential
+// backoff; once MaxFetchFailures accumulate against a host the reducer
+// blacklists it and reports the map output lost to the AM, which
+// re-executes the map (the real fetch-failure → TooManyFetchFailures
+// escalation path).
+func (r *reducer) startFetch(mapIdx int) {
+	j := r.job
+	size := r.partitionBytes(mapIdx)
+	src := j.mapHost[mapIdx]
+	epoch := j.mapEpoch[mapIdx]
+	lbl := j.cfg.Name + "/shuffle"
+	if r.retries[mapIdx] > 0 {
+		lbl = j.cfg.Name + "/shuffle-retry"
+	}
+	_, err := j.net.StartFlow(netsim.FlowSpec{
+		Src:       src,
+		Dst:       r.host,
+		SrcPort:   flows.PortShuffle,
+		DstPort:   32768 + j.rng.Intn(28232),
+		SizeBytes: size,
+		Label:     lbl,
+		OnComplete: func(*netsim.Flow) {
+			r.active--
+			if r.dead {
+				return
+			}
+			r.fetchedSet[mapIdx] = true
+			r.bytes += size
+			j.result.ShuffleBytes += size
+			r.pump()
+		},
+		OnAbort: func(*netsim.Flow) {
+			r.active--
+			if r.dead || r.done || j.finished {
+				return
+			}
+			j.result.ShuffleRetries++
+			r.hostFail[src]++
+			if r.hostFail[src] >= j.cfg.MaxFetchFailures && !r.blacklist[src] {
+				r.blacklist[src] = true
+				r.queued[mapIdx] = false
+				j.onFetchFailures(mapIdx, src, epoch)
+				r.pump()
+				return
+			}
+			r.retries[mapIdx]++
+			backoff := fetchBackoff(j.cfg.FetchRetryBase, r.retries[mapIdx]-1)
+			j.eng.After(backoff, func() {
+				if r.dead || r.done || j.finished {
+					return
+				}
+				if j.mapEpoch[mapIdx] != epoch {
+					// The map is being re-executed; its fresh completion
+					// will re-feed this partition through mapReady.
+					r.queued[mapIdx] = false
+					r.pump()
+					return
+				}
+				r.pending = append(r.pending, mapIdx)
+				r.pump()
+			})
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: shuffle flow: %v", err))
+	}
+}
+
+// fetchBackoff doubles base per attempt, capped at 30 s.
+func fetchBackoff(base sim.Time, attempt int) sim.Time {
+	const maxBackoff = sim.Time(30_000_000_000)
+	d := base
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
 }
 
 // finishShuffle runs merge + reduce compute and commits output to HDFS.

@@ -24,9 +24,10 @@ func (j *Job) umbilical(task netsim.NodeID, alive func() bool) {
 	j.eng.After(j.cfg.UmbilicalInterval, beat)
 }
 
-// controlFlow emits one small RPC exchange.
+// controlFlow emits one small RPC exchange. Negative endpoints (no AM
+// placed during a restart window, say) are skipped.
 func (j *Job) controlFlow(src, dst netsim.NodeID, port int, label string) {
-	if src == dst {
+	if src == dst || src < 0 || dst < 0 {
 		return
 	}
 	_, err := j.net.StartFlow(netsim.FlowSpec{
@@ -201,6 +202,32 @@ func (j *Job) onNodeFailed(host netsim.NodeID) {
 		}
 		j.requestMap(i)
 	}
+}
+
+// onFetchFailures reacts to a reducer exceeding its fetch-failure budget
+// against the host serving map mapIdx: the map output is declared lost
+// and the map re-executed, as the AM does on TooManyFetchFailures. Stale
+// reports (the map already re-running, moved, or epoch-bumped) are
+// ignored.
+func (j *Job) onFetchFailures(mapIdx int, host netsim.NodeID, epoch int) {
+	if j.finished || j.mapEpoch[mapIdx] != epoch {
+		return
+	}
+	if j.mapOut[mapIdx] == 0 || j.mapHost[mapIdx] != host {
+		return
+	}
+	j.mapOut[mapIdx] = 0
+	j.mapEpoch[mapIdx]++
+	j.mapStart[mapIdx] = 0
+	j.specDone[mapIdx] = false
+	j.mapsDone--
+	j.result.ReexecutedMaps++
+	for _, r := range j.reducers {
+		if r != nil {
+			r.invalidateMap(mapIdx)
+		}
+	}
+	j.requestMap(mapIdx)
 }
 
 // allFetched reports whether every live reducer has already pulled map

@@ -34,6 +34,12 @@ type Config struct {
 	ContainerLaunchDelay sim.Time
 	// ControlBytes is the size of one RPC exchange (default 512 B).
 	ControlBytes int64
+	// NMExpiry is how long the RM waits without NodeManager heartbeats
+	// before declaring the node lost (default 10s; real YARN's
+	// nm.liveness-monitor.expiry-interval-ms is 10 min, scaled down so
+	// detection sits within job timescales the way
+	// DefaultReplicationDetectionDelay is).
+	NMExpiry sim.Time
 }
 
 func (c *Config) applyDefaults() {
@@ -55,13 +61,27 @@ func (c *Config) applyDefaults() {
 	if c.ControlBytes <= 0 {
 		c.ControlBytes = 512
 	}
+	if c.NMExpiry <= 0 {
+		c.NMExpiry = 10_000_000_000
+	}
 }
 
 // nodeManager tracks one host's container slots.
 type nodeManager struct {
-	host       netsim.NodeID
-	used       int
-	dead       bool
+	host netsim.NodeID
+	used int
+	// dead marks a node the RM has declared lost (instant FailNode or
+	// heartbeat expiry); crashed marks a node whose NM process is down
+	// but not yet detected — it stops heartbeating and picking up work,
+	// while the RM still counts its state as live.
+	dead    bool
+	crashed bool
+	// epoch counts life transitions; a pending expiry only fires when the
+	// node's epoch is unchanged, so crash→recover→crash sequences each
+	// get their own detection timer.
+	epoch int
+	// hbSeq invalidates stale heartbeat loops across crash/recover cycles.
+	hbSeq      int
 	containers []*Container
 }
 
@@ -195,10 +215,17 @@ func (rm *RM) TotalSlots() int {
 // Start launches NodeManager heartbeats. They stop after Shutdown.
 func (rm *RM) Start() {
 	for _, nm := range rm.nms {
-		nm := nm
 		jitter := sim.Time(rm.rng.Float64() * float64(rm.cfg.NMHeartbeat))
-		rm.eng.After(jitter, func() { rm.nmHeartbeat(nm) })
+		rm.startHeartbeatLoop(nm, jitter)
 	}
+}
+
+// startHeartbeatLoop begins a fresh heartbeat loop for nm after delay,
+// invalidating any loop left over from before a crash/recover cycle.
+func (rm *RM) startHeartbeatLoop(nm *nodeManager, delay sim.Time) {
+	nm.hbSeq++
+	seq := nm.hbSeq
+	rm.eng.After(delay, func() { rm.nmHeartbeat(nm, seq) })
 }
 
 // Shutdown stops heartbeat rescheduling.
@@ -216,6 +243,13 @@ func (rm *RM) FailNode(host netsim.NodeID) error {
 	if nm.dead {
 		return nil
 	}
+	rm.expireNode(nm)
+	return nil
+}
+
+// expireNode declares a node lost: the common back half of the instant
+// FailNode path and heartbeat-expiry detection after CrashNode.
+func (rm *RM) expireNode(nm *nodeManager) {
 	nm.dead = true
 	lost := nm.containers
 	nm.containers = nil
@@ -239,10 +273,62 @@ func (rm *RM) FailNode(host netsim.NodeID) error {
 	// Applications learn about the node loss (as they do from the RM's
 	// node reports) so they can re-run completed work that lived there.
 	for _, fn := range rm.failureWatchers {
-		fn(host)
+		fn(nm.host)
 	}
 	// Freed capacity elsewhere may now satisfy queued requests.
 	rm.pump()
+}
+
+// CrashNode models a whole-node (or NM-process) crash with realistic
+// delayed detection: heartbeats stop immediately, but the RM keeps the
+// node's state until NMExpiry elapses without a beat, then declares it
+// lost exactly as FailNode does. A node recovered before expiry was
+// never "failed" from the RM's point of view — only a heartbeat gap
+// happened. Crashing a crashed or dead node is a no-op.
+func (rm *RM) CrashNode(host netsim.NodeID) error {
+	nm, ok := rm.nmIndex[host]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, host)
+	}
+	if nm.dead || nm.crashed {
+		return nil
+	}
+	nm.crashed = true
+	nm.epoch++
+	e := nm.epoch
+	rm.eng.After(rm.cfg.NMExpiry, func() {
+		if nm.epoch == e && nm.crashed && !nm.dead {
+			rm.expireNode(nm)
+		}
+	})
+	return nil
+}
+
+// RecoverNode rejoins a crashed or lost NodeManager: it re-registers
+// with the RM and resumes heartbeating, and — when the node had already
+// been declared lost — its slots go back into the schedulable pool.
+// Containers lost in the outage stay lost. Recovering a live node is a
+// no-op.
+func (rm *RM) RecoverNode(host netsim.NodeID) error {
+	nm, ok := rm.nmIndex[host]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, host)
+	}
+	if !nm.dead && !nm.crashed {
+		return nil
+	}
+	wasDead := nm.dead
+	nm.dead = false
+	nm.crashed = false
+	nm.epoch++
+	if nm.host != rm.rmHost {
+		rm.control(nm.host, rm.rmHost, flows.PortRMTracker, "yarn/nmRegister")
+	}
+	rm.startHeartbeatLoop(nm, rm.cfg.NMHeartbeat)
+	if wasDead {
+		// Recovered slots can serve queued requests right away.
+		rm.pump()
+	}
 	return nil
 }
 
@@ -257,20 +343,21 @@ func (rm *RM) NodeAlive(host netsim.NodeID) bool {
 	return ok && !nm.dead
 }
 
-func (rm *RM) nmHeartbeat(nm *nodeManager) {
-	if rm.stopped || nm.dead {
+func (rm *RM) nmHeartbeat(nm *nodeManager, seq int) {
+	if rm.stopped || nm.dead || nm.crashed || seq != nm.hbSeq {
 		return
 	}
 	if nm.host != rm.rmHost {
 		rm.control(nm.host, rm.rmHost, flows.PortRMTracker, "yarn/nmHeartbeat")
 	}
 	rm.scheduleOn(nm)
-	rm.eng.After(rm.cfg.NMHeartbeat, func() { rm.nmHeartbeat(nm) })
+	rm.eng.After(rm.cfg.NMHeartbeat, func() { rm.nmHeartbeat(nm, seq) })
 }
 
-// control fires a small RPC exchange flow.
+// control fires a small RPC exchange flow. Negative endpoints (no AM
+// placed yet, say) are skipped.
 func (rm *RM) control(src, dst netsim.NodeID, port int, label string) {
-	if src == dst {
+	if src == dst || src < 0 || dst < 0 {
 		return
 	}
 	_, err := rm.net.StartFlow(netsim.FlowSpec{
@@ -291,7 +378,7 @@ func (rm *RM) control(src, dst netsim.NodeID, port int, label string) {
 // preferring this host (or indifferent) win first (data locality), then
 // any request that has out-waited LocalityWait, FIFO within each class.
 func (rm *RM) scheduleOn(nm *nodeManager) {
-	if nm.dead {
+	if nm.dead || nm.crashed {
 		return
 	}
 	now := rm.eng.Now()
@@ -356,7 +443,7 @@ func (rm *RM) grant(nm *nodeManager, req *ContainerRequest) {
 // frees up between heartbeats.
 func (rm *RM) pump() {
 	for _, nm := range rm.nms {
-		if !nm.dead && nm.used < rm.cfg.SlotsPerNode {
+		if !nm.dead && !nm.crashed && nm.used < rm.cfg.SlotsPerNode {
 			rm.scheduleOn(nm)
 		}
 	}
@@ -384,6 +471,12 @@ func (rm *RM) Submit(client netsim.NodeID, onAM func(app *App)) *App {
 		priority:  PriorityAM,
 		submitted: rm.eng.Now(),
 		assign: func(c *Container) {
+			if app.done {
+				// The job finished (or aborted) while this AM attempt
+				// was still queued; give the slot straight back.
+				c.Release()
+				return
+			}
 			app.am = c
 			rm.eng.After(0, func() { app.amHeartbeat() })
 			onAM(app)
@@ -399,8 +492,14 @@ func (rm *RM) enqueue(req *ContainerRequest) {
 // ID returns the application's cluster-unique id.
 func (a *App) ID() int { return a.id }
 
-// AMHost returns the host running the ApplicationMaster.
-func (a *App) AMHost() netsim.NodeID { return a.am.Host() }
+// AMHost returns the host running the ApplicationMaster, or -1 if the
+// AM container has not been granted yet.
+func (a *App) AMHost() netsim.NodeID {
+	if a.am == nil {
+		return -1
+	}
+	return a.am.Host()
+}
 
 // OnAMLost registers the handler fired if the AM's host fails.
 func (a *App) OnAMLost(fn func()) { a.am.OnLost(fn) }
@@ -440,6 +539,11 @@ func (a *App) Finish() {
 		return
 	}
 	a.done = true
+	if a.am == nil {
+		// Finished before the AM container was granted (a restart window);
+		// the queued request releases itself on grant.
+		return
+	}
 	if !a.am.lost {
 		a.rm.control(a.AMHost(), a.rm.rmHost, flows.PortRMScheduler, "yarn/unregisterAM")
 	}

@@ -20,6 +20,10 @@ type FlowSpec struct {
 	Label string
 	// OnComplete, if non-nil, runs when the last byte is delivered.
 	OnComplete func(*Flow)
+	// OnAbort, if non-nil, runs when the flow is torn down before
+	// completion (its path died and no reroute existed, or its endpoint
+	// process was killed). Exactly one of OnComplete/OnAbort fires.
+	OnAbort func(*Flow)
 }
 
 // RateSegment records the allocated rate of a flow from Start until the
@@ -44,6 +48,7 @@ type Flow struct {
 	segments  []RateSegment
 	completeE *sim.Event
 	done      bool
+	aborted   bool
 	active    bool
 	// listIdx is this flow's position in Network.flows while active, so
 	// removal never scans the active set.
@@ -65,8 +70,26 @@ func (f *Flow) Start() sim.Time { return f.start }
 // End returns when the last byte arrived (valid once done).
 func (f *Flow) End() sim.Time { return f.end }
 
-// Done reports whether the flow has completed.
+// Done reports whether the flow has finished (completed or aborted).
 func (f *Flow) Done() bool { return f.done }
+
+// Aborted reports whether the flow was torn down before delivering all
+// its bytes (path failure with no reroute, or endpoint death).
+func (f *Flow) Aborted() bool { return f.aborted }
+
+// Transferred returns the bytes actually delivered so far. For completed
+// flows this equals SizeBytes; for aborted flows it is the partial
+// progress captures should account for.
+func (f *Flow) Transferred() int64 {
+	rem := int64(f.remaining + 0.5)
+	if rem < 0 {
+		rem = 0
+	}
+	if rem > f.spec.SizeBytes {
+		rem = f.spec.SizeBytes
+	}
+	return f.spec.SizeBytes - rem
+}
 
 // Segments returns the rate history (read-only view).
 func (f *Flow) Segments() []RateSegment { return f.segments }
@@ -142,8 +165,9 @@ type Network struct {
 	freezeBuf []*Flow
 
 	// Stats counters.
-	completed  uint64
-	totalBytes float64
+	completed    uint64
+	abortedCount uint64
+	totalBytes   float64
 }
 
 // NewNetwork creates a Network bound to the engine and topology.
@@ -191,8 +215,17 @@ func flowHash(s FlowSpec, id uint64) uint64 {
 	return h
 }
 
+// noRouteTimeout is how long a flow opened towards an unreachable
+// destination (network partition) lingers before aborting — the TCP
+// connect-timeout stand-in. Retrying layers observe the abort and apply
+// their own backoff on top.
+const noRouteTimeout = sim.Time(1_000_000_000)
+
 // StartFlow opens a transfer. It returns an error if src/dst are not hosts
-// or the size is negative.
+// or the size is negative. A destination currently unreachable because of
+// link faults is NOT an error: the flow is created and aborts (firing
+// OnAbort, never OnComplete) after a connect timeout, as a real connection
+// attempt into a partition would.
 func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 	if !n.topo.IsHost(spec.Src) || !n.topo.IsHost(spec.Dst) {
 		return nil, fmt.Errorf("netsim: flow endpoints must be hosts (%d -> %d)", spec.Src, spec.Dst)
@@ -212,7 +245,14 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 	if spec.Src != spec.Dst {
 		path, err := n.topo.Path(spec.Src, spec.Dst, flowHash(spec, f.id))
 		if err != nil {
-			return nil, err
+			// Partitioned: park the flow and abort after the connect
+			// timeout. (Build guarantees full reachability, so this only
+			// happens once link faults are in play.)
+			for _, t := range n.taps {
+				t.FlowStarted(f)
+			}
+			n.eng.After(noRouteTimeout, func() { n.abort(f) })
+			return f, nil
 		}
 		f.path = path
 		latency = n.topo.PathLatencyNs(path)
@@ -229,6 +269,9 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 
 	// The flow starts transferring after propagation latency.
 	n.eng.After(sim.Time(latency), func() {
+		if f.done {
+			return // aborted while still propagating
+		}
 		f.activated = n.eng.Now()
 		f.last = f.activated
 		f.active = true
@@ -239,6 +282,18 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 			d := durationFor(f.remaining, f.rate)
 			f.completeE = n.eng.After(d, func() { n.finish(f) })
 			return
+		}
+		if !n.topo.pathUp(f.path) {
+			// A link on the precomputed path went down during the
+			// propagation window: reroute if the fabric still connects
+			// the endpoints, abort otherwise.
+			path, err := n.topo.Path(f.spec.Src, f.spec.Dst, flowHash(f.spec, f.id))
+			if err != nil {
+				f.active = false
+				n.abort(f)
+				return
+			}
+			f.path = path
 		}
 		f.listIdx = len(n.flows)
 		n.flows = append(n.flows, f)
@@ -465,18 +520,7 @@ func (n *Network) finish(f *Flow) {
 			return
 		}
 		f.remaining = 0
-		// Remove from the active set, preserving order: the flow knows
-		// its own position, so no scan — just close the gap and renumber
-		// the tail.
-		i := f.listIdx
-		last := len(n.flows) - 1
-		copy(n.flows[i:], n.flows[i+1:])
-		n.flows[last] = nil
-		n.flows = n.flows[:last]
-		for j := i; j < last; j++ {
-			n.flows[j].listIdx = j
-		}
-		n.linkRemove(f)
+		n.removeActive(f)
 		n.markDirty()
 	}
 	f.done = true
@@ -491,6 +535,131 @@ func (n *Network) finish(f *Flow) {
 		f.spec.OnComplete(f)
 	}
 }
+
+// removeActive deletes f from the active set, preserving order: the flow
+// knows its own position, so no scan — just close the gap and renumber
+// the tail — and drops it from the per-link index.
+func (n *Network) removeActive(f *Flow) {
+	i := f.listIdx
+	last := len(n.flows) - 1
+	copy(n.flows[i:], n.flows[i+1:])
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	for j := i; j < last; j++ {
+		n.flows[j].listIdx = j
+	}
+	n.linkRemove(f)
+}
+
+// abort tears a flow down before completion: it leaves the active set,
+// its partial progress is kept readable via Transferred, taps observe the
+// (aborted) completion, and OnAbort — not OnComplete — fires. Aborting a
+// finished flow is a no-op.
+func (n *Network) abort(f *Flow) {
+	if f.done {
+		return
+	}
+	if f.active {
+		n.settle()
+		n.removeActive(f)
+		n.markDirty()
+	}
+	f.completeE.Cancel()
+	f.done = true
+	f.aborted = true
+	f.active = false
+	f.end = n.eng.Now()
+	n.abortedCount++
+	for _, t := range n.taps {
+		t.FlowCompleted(f)
+	}
+	if f.spec.OnAbort != nil {
+		f.spec.OnAbort(f)
+	}
+}
+
+// SetLinkState takes a link down or brings it back up, recomputing routes.
+// Active flows whose path crosses a downed link are rerouted over the
+// surviving fabric when a route remains and aborted otherwise (firing
+// their OnAbort). Bringing a link up never disturbs in-flight flows —
+// they keep their current paths until they finish.
+func (n *Network) SetLinkState(lid LinkID, up bool) error {
+	if lid < 0 || int(lid) >= len(n.topo.links) {
+		return fmt.Errorf("netsim: link %d out of range", lid)
+	}
+	down := !up
+	if n.topo.linkDown[lid] == down {
+		return nil
+	}
+	n.settle()
+	if err := n.topo.SetLinkDown(lid, down); err != nil {
+		return err
+	}
+	if down {
+		// Snapshot: rerouting mutates the per-link index in place.
+		victims := make([]*Flow, len(n.linkFlows[lid]))
+		copy(victims, n.linkFlows[lid])
+		for _, f := range victims {
+			n.rerouteOrAbort(f)
+		}
+	}
+	n.markDirty()
+	return nil
+}
+
+// rerouteOrAbort moves an active flow onto a fresh shortest path, or
+// aborts it when the fabric no longer connects its endpoints.
+func (n *Network) rerouteOrAbort(f *Flow) {
+	path, err := n.topo.Path(f.spec.Src, f.spec.Dst, flowHash(f.spec, f.id))
+	if err != nil {
+		n.abort(f)
+		return
+	}
+	n.linkRemove(f)
+	f.path = path
+	n.linkInsert(f)
+}
+
+// SetLinkCapacityScale degrades (or restores) a link to factor × its
+// as-built capacity and triggers reallocation, modelling partial faults:
+// a flapping optic, an oversubscribed middlebox, a half-duplex fallback.
+func (n *Network) SetLinkCapacityScale(lid LinkID, factor float64) error {
+	if err := n.topo.SetLinkCapacityScale(lid, factor); err != nil {
+		return err
+	}
+	n.settle()
+	n.markDirty()
+	return nil
+}
+
+// AbortFlowsWhere aborts every actively-transferring flow matching pred
+// and returns how many were torn down (flows still in their propagation
+// window are too young to have endpoint state and are left alone).
+// Simulated daemon crashes use it to kill the TCP connections the dead
+// process owned.
+func (n *Network) AbortFlowsWhere(pred func(FlowSpec) bool) int {
+	victims := make([]*Flow, 0, 4)
+	for _, f := range n.flows {
+		if pred(f.spec) {
+			victims = append(victims, f)
+		}
+	}
+	for _, f := range victims {
+		n.abort(f)
+	}
+	return len(victims)
+}
+
+// Reachable reports whether the current fabric routes src to dst.
+func (n *Network) Reachable(src, dst NodeID) bool {
+	if src == dst {
+		return true
+	}
+	return len(n.topo.nextHops[src][dst]) > 0
+}
+
+// AbortedFlows returns the number of flows torn down by faults so far.
+func (n *Network) AbortedFlows() uint64 { return n.abortedCount }
 
 // ActiveFlows returns the number of currently transferring network flows.
 func (n *Network) ActiveFlows() int { return len(n.flows) }

@@ -26,8 +26,11 @@ type Link struct {
 	LatencyNs int64
 }
 
-// Topology is an immutable node/link graph with precomputed equal-cost
-// shortest-path routing.
+// Topology is a node/link graph with precomputed equal-cost shortest-path
+// routing. The graph shape is fixed after Build, but per-link operational
+// state (down links, degraded capacity) can change at runtime through
+// SetLinkDown / SetLinkCapacityScale — the substrate fault injection
+// drives. Routes are recomputed on every link up/down transition.
 type Topology struct {
 	names  []string
 	isHost []bool
@@ -38,6 +41,12 @@ type Topology struct {
 	// shortest path from src to dst.
 	nextHops [][][]LinkID
 	hosts    []NodeID
+	// baseCap[l] is the as-built capacity of link l; links[l].CapacityBps
+	// is the current (possibly degraded) capacity.
+	baseCap []float64
+	// linkDown[l] marks links administratively/faultily down; down links
+	// carry no flows and are excluded from routing.
+	linkDown []bool
 }
 
 // Builder accumulates nodes and links before routing is computed.
@@ -98,25 +107,57 @@ func (b *Builder) Build() (*Topology, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("netsim: empty topology")
 	}
+	t.baseCap = make([]float64, len(t.links))
+	for i, l := range t.links {
+		t.baseCap[i] = l.CapacityBps
+	}
+	t.linkDown = make([]bool, len(t.links))
+	t.recomputeRoutes()
+	// Validate host reachability (on the full, healthy graph).
+	for _, a := range t.hosts {
+		for _, c := range t.hosts {
+			if a != c && len(t.nextHops[a][c]) == 0 {
+				return nil, fmt.Errorf("netsim: host %s cannot reach host %s", t.names[a], t.names[c])
+			}
+		}
+	}
+	return t, nil
+}
+
+// recomputeRoutes rebuilds the all-pairs equal-cost next-hop tables over
+// the links currently up. Build calls it once on the full graph; link
+// up/down transitions call it again, so routing always reflects the
+// operational fabric. Down links never appear in any next-hop list; node
+// pairs separated by a partition simply have empty lists (Path errors).
+func (t *Topology) recomputeRoutes() {
+	n := len(t.names)
 	t.nextHops = make([][][]LinkID, n)
 	for src := 0; src < n; src++ {
 		t.nextHops[src] = make([][]LinkID, n)
 	}
 
-	// Reverse adjacency, flat-packed: radj[v] lists nodes with a link
-	// into v.
+	// Reverse adjacency over up links, flat-packed: radj[v] lists nodes
+	// with an up link into v.
 	deg := make([]int, n)
-	for _, l := range t.links {
+	upLinks := 0
+	for lid, l := range t.links {
+		if t.linkDown[lid] {
+			continue
+		}
 		deg[l.To]++
+		upLinks++
 	}
-	radjFlat := make([]NodeID, len(t.links))
+	radjFlat := make([]NodeID, upLinks)
 	radj := make([][]NodeID, n)
 	off := 0
 	for v := 0; v < n; v++ {
 		radj[v] = radjFlat[off : off : off+deg[v]]
 		off += deg[v]
 	}
-	for _, l := range t.links {
+	for lid, l := range t.links {
+		if t.linkDown[lid] {
+			continue
+		}
 		radj[l.To] = append(radj[l.To], l.From)
 	}
 
@@ -148,6 +189,9 @@ func (b *Builder) Build() (*Topology, error) {
 			}
 			for _, lid := range t.adj[u] {
 				v := t.links[lid].To
+				if t.linkDown[lid] {
+					continue
+				}
 				if distTo[v] >= 0 && distTo[v]+1 == distTo[u] {
 					total++
 				}
@@ -161,6 +205,9 @@ func (b *Builder) Build() (*Topology, error) {
 			start := len(arena)
 			for _, lid := range t.adj[u] {
 				v := t.links[lid].To
+				if t.linkDown[lid] {
+					continue
+				}
 				if distTo[v] >= 0 && distTo[v]+1 == distTo[u] {
 					arena = append(arena, lid)
 				}
@@ -170,15 +217,6 @@ func (b *Builder) Build() (*Topology, error) {
 			}
 		}
 	}
-	// Validate host reachability.
-	for _, a := range t.hosts {
-		for _, c := range t.hosts {
-			if a != c && len(t.nextHops[a][c]) == 0 {
-				return nil, fmt.Errorf("netsim: host %s cannot reach host %s", t.names[a], t.names[c])
-			}
-		}
-	}
-	return t, nil
 }
 
 // NumNodes returns the total node count (hosts + switches).
@@ -237,4 +275,61 @@ func (t *Topology) PathLatencyNs(path []LinkID) int64 {
 		total += t.links[lid].LatencyNs
 	}
 	return total
+}
+
+// NumLinks returns the directed link count.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// LinkDown reports whether link lid is currently down.
+func (t *Topology) LinkDown(lid LinkID) bool { return t.linkDown[lid] }
+
+// SetLinkDown marks link lid down (or back up) and recomputes routing.
+// Callers mutating link state mid-simulation should go through
+// Network.SetLinkState, which also fixes up in-flight flows.
+func (t *Topology) SetLinkDown(lid LinkID, down bool) error {
+	if lid < 0 || int(lid) >= len(t.links) {
+		return fmt.Errorf("netsim: link %d out of range", lid)
+	}
+	if t.linkDown[lid] == down {
+		return nil
+	}
+	t.linkDown[lid] = down
+	t.recomputeRoutes()
+	return nil
+}
+
+// SetLinkCapacityScale sets link lid's capacity to factor × its as-built
+// capacity (factor 1 restores full speed). The factor must be positive —
+// a zero-capacity link is modelled as down, not infinitely slow.
+func (t *Topology) SetLinkCapacityScale(lid LinkID, factor float64) error {
+	if lid < 0 || int(lid) >= len(t.links) {
+		return fmt.Errorf("netsim: link %d out of range", lid)
+	}
+	if factor <= 0 {
+		return fmt.Errorf("netsim: capacity scale %v must be positive", factor)
+	}
+	t.links[lid].CapacityBps = t.baseCap[lid] * factor
+	return nil
+}
+
+// ReverseLink returns the directed link running opposite to lid
+// (Connect always adds both directions), or -1 if none exists.
+func (t *Topology) ReverseLink(lid LinkID) LinkID {
+	l := t.links[lid]
+	for _, cand := range t.adj[l.To] {
+		if t.links[cand].To == l.From {
+			return cand
+		}
+	}
+	return -1
+}
+
+// pathUp reports whether every link on path is currently up.
+func (t *Topology) pathUp(path []LinkID) bool {
+	for _, lid := range path {
+		if t.linkDown[lid] {
+			return false
+		}
+	}
+	return true
 }

@@ -51,6 +51,7 @@ type Packet struct {
 const (
 	FlagFIN = 0x01
 	FlagSYN = 0x02
+	FlagRST = 0x04
 	FlagACK = 0x10
 )
 

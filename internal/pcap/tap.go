@@ -76,11 +76,14 @@ func (c *Capture) FlowCompleted(f *netsim.Flow) {
 		DstPort: uint16(spec.DstPort),
 		Proto:   ProtoTCP,
 	}
+	// Aborted flows (fault-injection teardowns) record the bytes that
+	// actually crossed the wire, not the intended size; for completed
+	// flows Transferred equals SizeBytes exactly.
 	c.truth = append(c.truth, FlowRecord{
 		Key:     base.Key(),
 		FirstNs: int64(f.Start()),
 		LastNs:  int64(f.End()),
-		Bytes:   spec.SizeBytes,
+		Bytes:   f.Transferred(),
 		Packets: 0,
 		Label:   spec.Label,
 	})
@@ -125,8 +128,9 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 	syn.Flags = FlagSYN
 	emit(syn)
 
-	// Data records paced across the flow's rate segments.
-	total := spec.SizeBytes
+	// Data records paced across the flow's rate segments. Aborted flows
+	// pace only the bytes that made it onto the wire.
+	total := f.Transferred()
 	if total > 0 {
 		chunk := int64(MSS)
 		if total/chunk > int64(c.maxPkts-2) {
@@ -181,10 +185,14 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 		}
 	}
 
-	// FIN closes the connection at flow end.
+	// FIN closes the connection at flow end; an aborted flow is torn
+	// down with RST instead.
 	fin := base
 	fin.TsNs = endNs
 	fin.Flags = FlagFIN
+	if f.Aborted() {
+		fin.Flags = FlagRST
+	}
 	emit(fin)
 }
 

@@ -1,0 +1,85 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// writeTrace serialises pkts into a fresh trace buffer.
+func writeTrace(t *testing.T, pkts []Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSalvageTruncatedTrace(t *testing.T) {
+	pkts := []Packet{
+		{TsNs: 1, Src: HostAddr(1), Dst: HostAddr(2), SrcPort: 1000, DstPort: 50010, Len: 1448, Proto: ProtoTCP, Flags: FlagACK},
+		{TsNs: 2, Src: HostAddr(2), Dst: HostAddr(3), SrcPort: 1001, DstPort: 13562, Len: 900, Proto: ProtoTCP, Flags: FlagACK},
+		{TsNs: 3, Src: HostAddr(3), Dst: HostAddr(1), SrcPort: 1002, DstPort: 50010, Len: 0, Proto: ProtoTCP, Flags: FlagRST},
+	}
+	raw := writeTrace(t, pkts)
+
+	// Cut mid-way through the final record, as a crashed capture would.
+	cut := raw[:len(raw)-recordSize/2]
+	got, err := ReadAllSalvage(bytes.NewReader(cut))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("salvage of truncated trace: err = %v, want ErrBadTrace", err)
+	}
+	if len(got) != 2 || !reflect.DeepEqual(got, []Packet{pkts[0], pkts[1]}) {
+		t.Fatalf("salvaged %d packets %+v, want the 2 intact records", len(got), got)
+	}
+
+	// ReadAll on the same damage reports the error with the same prefix.
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.ReadAll()
+	if !errors.Is(err, ErrBadTrace) || len(all) != 2 {
+		t.Fatalf("ReadAll on truncated trace = %d packets, err %v", len(all), err)
+	}
+}
+
+func TestSalvageIntactAndHeaderDamage(t *testing.T) {
+	pkts := []Packet{
+		{TsNs: 7, Src: HostAddr(4), Dst: HostAddr(5), SrcPort: 1003, DstPort: 8020, Len: 64, Proto: ProtoTCP, Flags: FlagACK},
+	}
+	raw := writeTrace(t, pkts)
+
+	got, err := ReadAllSalvage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("salvage of intact trace: %v", err)
+	}
+	if !reflect.DeepEqual(got, pkts) {
+		t.Fatalf("salvage of intact trace = %+v, want %+v", got, pkts)
+	}
+
+	// Flip a magic byte: nothing salvageable, typed error.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	got, err = ReadAllSalvage(bytes.NewReader(bad))
+	if !errors.Is(err, ErrBadTrace) || got != nil {
+		t.Fatalf("salvage with bad magic = %+v, err %v, want nil + ErrBadTrace", got, err)
+	}
+
+	// A header cut short is also typed, not an io error.
+	got, err = ReadAllSalvage(bytes.NewReader(raw[:4]))
+	if !errors.Is(err, ErrBadTrace) || got != nil {
+		t.Fatalf("salvage with short header = %+v, err %v, want nil + ErrBadTrace", got, err)
+	}
+}

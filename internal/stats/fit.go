@@ -15,6 +15,13 @@ var ErrInsufficientData = errors.New("stats: insufficient data to fit")
 // sample (e.g. non-positive values for a log-normal).
 var ErrUnsupportedData = errors.New("stats: data outside family support")
 
+// ErrDegenerateSample is returned when a sample has zero variance (all
+// values equal), which no spread-parameterised family can fit by maximum
+// likelihood. It wraps ErrUnsupportedData, so existing errors.Is checks
+// keep matching; callers wanting the constant-sample case specifically
+// can test for this error and fall back to FamilyConstant.
+var ErrDegenerateSample = fmt.Errorf("%w: degenerate zero-variance sample", ErrUnsupportedData)
+
 // Fit estimates the maximum-likelihood parameters of the given family for
 // the sample xs.
 func Fit(family Family, xs []float64) (Distribution, error) {
@@ -81,7 +88,7 @@ func fitNormal(xs []float64) (Distribution, error) {
 	m := meanOf(xs)
 	v := varianceOf(xs, m)
 	if v == 0 {
-		return nil, fmt.Errorf("%w: zero variance", ErrUnsupportedData)
+		return nil, fmt.Errorf("%w: zero variance for normal", ErrDegenerateSample)
 	}
 	return NewNormal(m, math.Sqrt(v))
 }
@@ -97,7 +104,7 @@ func fitLogNormal(xs []float64) (Distribution, error) {
 	m := meanOf(logs)
 	v := varianceOf(logs, m)
 	if v == 0 {
-		return nil, fmt.Errorf("%w: zero log-variance", ErrUnsupportedData)
+		return nil, fmt.Errorf("%w: zero log-variance for log-normal", ErrDegenerateSample)
 	}
 	return NewLogNormal(m, math.Sqrt(v))
 }
@@ -116,8 +123,8 @@ func fitGamma(xs []float64) (Distribution, error) {
 	meanLog /= float64(len(xs))
 	s := math.Log(m) - meanLog
 	if s <= 0 {
-		// Degenerate (all values equal up to fp noise).
-		return nil, fmt.Errorf("%w: gamma profile statistic %v", ErrUnsupportedData, s)
+		// All values equal up to fp noise.
+		return nil, fmt.Errorf("%w: gamma profile statistic %v", ErrDegenerateSample, s)
 	}
 	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
 	for i := 0; i < 50; i++ {
@@ -204,7 +211,7 @@ func fitPareto(xs []float64) (Distribution, error) {
 		sumLog += math.Log(x / xm)
 	}
 	if sumLog == 0 {
-		return nil, fmt.Errorf("%w: pareto on constant sample", ErrUnsupportedData)
+		return nil, fmt.Errorf("%w: pareto on constant sample", ErrDegenerateSample)
 	}
 	alpha := float64(len(xs)) / sumLog
 	return NewPareto(xm, alpha)
@@ -221,7 +228,7 @@ func fitUniform(xs []float64) (Distribution, error) {
 		}
 	}
 	if lo == hi {
-		return nil, fmt.Errorf("%w: uniform on constant sample", ErrUnsupportedData)
+		return nil, fmt.Errorf("%w: uniform on constant sample", ErrDegenerateSample)
 	}
 	return NewUniform(lo, hi)
 }

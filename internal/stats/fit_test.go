@@ -68,6 +68,34 @@ func TestFitRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestDegenerateSampleTyped(t *testing.T) {
+	// A zero-variance sample is a distinct, typed failure — callers can
+	// catch it and fall back to FamilyConstant — and it still satisfies
+	// the broader ErrUnsupportedData contract.
+	constant := []float64{5, 5, 5}
+	for _, fam := range []Family{FamilyNormal, FamilyLogNormal, FamilyGamma, FamilyPareto, FamilyUniform} {
+		_, err := Fit(fam, constant)
+		if !errors.Is(err, ErrDegenerateSample) {
+			t.Errorf("%s on constant sample: err = %v, want ErrDegenerateSample", fam, err)
+		}
+		if !errors.Is(err, ErrUnsupportedData) {
+			t.Errorf("%s: degenerate error does not wrap ErrUnsupportedData: %v", fam, err)
+		}
+	}
+	// The designated fallback accepts the same sample.
+	d, err := Fit(FamilyConstant, constant)
+	if err != nil {
+		t.Fatalf("constant family rejected constant sample: %v", err)
+	}
+	if got := d.Mean(); got != 5 {
+		t.Errorf("constant fit mean = %v, want 5", got)
+	}
+	// A spread-out sample must not trip the degenerate path.
+	if _, err := Fit(FamilyNormal, []float64{1, 2, 3}); err != nil {
+		t.Errorf("normal fit on spread sample: %v", err)
+	}
+}
+
 func TestSelectBestPicksGeneratingFamily(t *testing.T) {
 	// With plenty of data, AIC selection should recover the generating
 	// family (or an equivalent one) for distinctive shapes.
