@@ -175,3 +175,9 @@ func BenchmarkGenerateSchedule(b *testing.B) {
 // BenchmarkReplayFatTree measures schedule replay on a k=4 fat-tree
 // (stage 4; body shared via internal/benchcases).
 func BenchmarkReplayFatTree(b *testing.B) { benchcases.ReplayFatTree(b) }
+
+// BenchmarkReplayFatTreeTelemetry is BenchmarkReplayFatTree with a live
+// telemetry sink attached; the ns/op delta against the bare benchmark
+// bounds the instrumentation overhead (body shared via
+// internal/benchcases).
+func BenchmarkReplayFatTreeTelemetry(b *testing.B) { benchcases.ReplayFatTreeTelemetry(b) }

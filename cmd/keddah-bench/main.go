@@ -23,6 +23,7 @@ import (
 
 	"keddah/internal/benchcases"
 	"keddah/internal/experiments"
+	"keddah/internal/telemetry"
 )
 
 // writeTableCSV dumps one experiment table as <dir>/<id>.csv for plotting.
@@ -109,14 +110,16 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (E1..E16, A1..A3) or 'all'")
-		scale   = flag.Float64("scale", 1, "input-size multiplier (1 = paper scale)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		workers = flag.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS, 1 = serial)")
+		exp       = flag.String("exp", "all", "experiment id (E1..E16, A1..A3) or 'all'")
+		scale     = flag.Float64("scale", 1, "input-size multiplier (1 = paper scale)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers   = flag.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS, 1 = serial)")
 		benchJSON = flag.String("benchjson", "", "run the netsim/replay micro-benchmarks and write results as JSON to this path, then exit")
 	)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -134,7 +137,8 @@ func run() error {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	tel := tf.Telemetry()
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Telemetry: tel}
 	start := time.Now()
 	results := experiments.RunAll(ids, cfg, *workers)
 	// Results come back in id order whatever the completion order, so the
@@ -156,5 +160,5 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", res.ID, res.Elapsed.Seconds())
 	}
 	fmt.Fprintf(os.Stderr, "suite done in %.1fs\n", time.Since(start).Seconds())
-	return nil
+	return tf.Emit(tel, os.Stdout)
 }

@@ -17,6 +17,7 @@ import (
 	"keddah/internal/core"
 	"keddah/internal/flows"
 	"keddah/internal/pcap"
+	"keddah/internal/telemetry"
 	"keddah/internal/workload"
 )
 
@@ -45,6 +46,8 @@ func run() error {
 		failWorker = flag.Int("fail-worker", -1, "worker index to kill mid-session (-1 = none)")
 		failAt     = flag.Float64("fail-at", 30, "failure time in seconds (with -fail-worker)")
 	)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	spec := core.ClusterSpec{
@@ -85,6 +88,8 @@ func run() error {
 		opts.Failures = []core.FailureSpec{{WorkerIndex: *failWorker, AtNs: int64(*failAt * 1e9)}}
 		fmt.Fprintf(os.Stderr, "injecting worker %d failure at %.1fs\n", *failWorker, *failAt)
 	}
+	tel := tf.Telemetry()
+	opts.Telemetry = tel
 	ts, results, err := core.CaptureWith(spec, runSpecs, opts)
 	if err != nil {
 		return err
@@ -127,7 +132,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "failure recovery: %d blocks re-replicated (%.1f MB), %d containers lost\n",
 			ts.Stats.ReReplicatedBlocks, float64(ts.Stats.ReReplicatedBytes)/(1<<20), ts.Stats.LostContainers)
 	}
-	return nil
+	return tf.Emit(tel, os.Stdout)
 }
 
 // writePackets re-runs the capture with a streaming packet sink. Runs are

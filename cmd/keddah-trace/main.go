@@ -84,7 +84,10 @@ func run() error {
 			continue
 		}
 		sizes := ds.Sizes(ph)
-		e := stats.NewECDF(sizes)
+		e, err := stats.NewECDF(sizes)
+		if err != nil {
+			return fmt.Errorf("phase %s: %w", ph, err)
+		}
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f%%\t%.1f\t%.1f\n",
 			ph, n, float64(ds.Volume(ph))/(1<<20),
 			100*float64(ds.Volume(ph))/float64(maxInt64(1, bytes)),

@@ -46,7 +46,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pop := keddah.DescribeCoflows(coflows)
+	pop, err := keddah.DescribeCoflows(coflows)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\npopulation (%d coflows):\n", pop.Count)
 	fmt.Printf("  width:  median %.0f, p90 %.0f\n", pop.Width.P50, pop.Width.P90)
 	fmt.Printf("  size:   median %.1f MB, p90 %.1f MB\n", pop.Bytes.P50/(1<<20), pop.Bytes.P90/(1<<20))

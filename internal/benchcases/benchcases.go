@@ -10,6 +10,7 @@ import (
 	"keddah/internal/core"
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
+	"keddah/internal/telemetry"
 	"keddah/internal/workload"
 )
 
@@ -26,6 +27,7 @@ func Cases() []Case {
 	return []Case{
 		{"NetsimFanIn", NetsimFanIn},
 		{"ReplayFatTree", ReplayFatTree},
+		{"ReplayFatTreeTelemetry", ReplayFatTreeTelemetry},
 		{"CaptureTerasort", CaptureTerasort},
 	}
 }
@@ -84,6 +86,38 @@ func ReplayFatTree(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		recs, _, err := core.Replay(sched, core.ClusterSpec{Topology: "fattree", FatTreeK: 4, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			b.Fatal("no flows replayed")
+		}
+	}
+}
+
+// ReplayFatTreeTelemetry is ReplayFatTree with a live telemetry sink
+// attached: every counter, gauge and span hook fires. Comparing its
+// ns/op against ReplayFatTree in BENCH_netsim.json bounds the
+// instrumentation overhead (budget: ≤5%).
+func ReplayFatTreeTelemetry(b *testing.B) {
+	ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: 6},
+		[]workload.RunSpec{{Profile: "terasort", InputBytes: 512 << 20}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := core.Fit(ts, core.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := model.Generate(core.GenSpec{Workload: "terasort", Workers: 16, Jobs: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tel := telemetry.New()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := core.ReplayWith(sched, core.ClusterSpec{Topology: "fattree", FatTreeK: 4, Seed: 3}, tel)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -85,8 +85,9 @@ type Population struct {
 	Duration stats.Summary `json:"duration"`
 }
 
-// Describe computes population statistics over coflows.
-func Describe(cfs []Coflow) Population {
+// Describe computes population statistics over coflows. An empty
+// population returns stats.ErrEmptySample.
+func Describe(cfs []Coflow) (Population, error) {
 	widths := make([]float64, len(cfs))
 	sizes := make([]float64, len(cfs))
 	skews := make([]float64, len(cfs))
@@ -97,13 +98,21 @@ func Describe(cfs []Coflow) Population {
 		skews[i] = c.Skew
 		durs[i] = c.DurationSeconds()
 	}
-	return Population{
-		Count:    len(cfs),
-		Width:    stats.Describe(widths),
-		Bytes:    stats.Describe(sizes),
-		Skew:     stats.Describe(skews),
-		Duration: stats.Describe(durs),
+	p := Population{Count: len(cfs)}
+	var err error
+	if p.Width, err = stats.Describe(widths); err != nil {
+		return p, err
 	}
+	if p.Bytes, err = stats.Describe(sizes); err != nil {
+		return p, err
+	}
+	if p.Skew, err = stats.Describe(skews); err != nil {
+		return p, err
+	}
+	if p.Duration, err = stats.Describe(durs); err != nil {
+		return p, err
+	}
+	return p, nil
 }
 
 // BottleneckSender returns the sender address carrying the most bytes in

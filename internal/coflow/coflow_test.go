@@ -81,7 +81,10 @@ func TestDescribePopulation(t *testing.T) {
 		{Width: 4, Bytes: 400, Skew: 1.2, StartNs: 0, EndNs: 2e9},
 		{Width: 8, Bytes: 800, Skew: 1.6, StartNs: 0, EndNs: 4e9},
 	}
-	p := Describe(cfs)
+	p, err := Describe(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.Count != 2 {
 		t.Fatalf("count = %d", p.Count)
 	}

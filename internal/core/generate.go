@@ -5,12 +5,14 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"keddah/internal/flows"
 	"keddah/internal/netsim"
 	"keddah/internal/pcap"
 	"keddah/internal/sim"
 	"keddah/internal/stats"
+	"keddah/internal/telemetry"
 )
 
 // SynthFlow is one synthetic transfer in a generated schedule. Host
@@ -345,12 +347,24 @@ func ScheduleFromRecords(records []pcap.FlowRecord) []SynthFlow {
 // returns the captured flow records plus the simulated makespan — the
 // "for use with network simulators" half of the toolchain.
 func Replay(schedule []SynthFlow, cluster ClusterSpec) ([]pcap.FlowRecord, sim.Time, error) {
+	return ReplayWith(schedule, cluster, nil)
+}
+
+// ReplayWith is Replay with instrumentation: engine and network metrics
+// are attached to the replay substrate and the stage is counted and
+// timed. A nil Telemetry behaves exactly like Replay.
+func ReplayWith(schedule []SynthFlow, cluster ClusterSpec, tel *telemetry.Telemetry) ([]pcap.FlowRecord, sim.Time, error) {
+	wallStart := time.Now()
 	topo, err := cluster.BuildTopology()
 	if err != nil {
 		return nil, 0, err
 	}
 	eng := sim.New()
 	net := netsim.NewNetwork(eng, topo, netsim.Config{})
+	if tel != nil {
+		eng.SetMetrics(tel.Sim)
+		net.SetMetrics(tel.Net)
+	}
 	capture := pcap.NewCapture()
 	net.AddTap(capture)
 
@@ -390,6 +404,11 @@ func Replay(schedule []SynthFlow, cluster ClusterSpec) ([]pcap.FlowRecord, sim.T
 	end, err := eng.RunAll()
 	if err != nil {
 		return nil, 0, fmt.Errorf("replay: %w", err)
+	}
+	if tel != nil {
+		tel.Core.Replays.Inc()
+		tel.Core.ReplayWallMs.Add(float64(time.Since(wallStart).Milliseconds()))
+		tel.Trace.Add(telemetry.Span{Cat: "core", Name: "replay", Attr: cluster.Topology, EndNs: int64(end)})
 	}
 	return capture.Truth(), end, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"keddah/internal/faults"
 	"keddah/internal/flows"
@@ -11,6 +12,7 @@ import (
 	"keddah/internal/netsim"
 	"keddah/internal/pcap"
 	"keddah/internal/sim"
+	"keddah/internal/telemetry"
 	"keddah/internal/workload"
 )
 
@@ -134,6 +136,11 @@ type CaptureOpts struct {
 	// transient node crash+rejoin. An empty schedule changes nothing —
 	// captures are record-identical to a fault-free session.
 	Faults faults.Schedule
+	// Telemetry, when non-nil, instruments the whole session: counters
+	// and spans across every layer, and — when the Telemetry has a link
+	// timeline enabled — a per-link utilisation probe. The capture's
+	// traffic is unchanged by attaching it.
+	Telemetry *telemetry.Telemetry
 }
 
 // Capture runs the given workloads sequentially on a fresh cluster built
@@ -147,10 +154,12 @@ func Capture(spec ClusterSpec, runSpecs []workload.RunSpec) (*TraceSet, []worklo
 // CaptureWith is Capture with failure injection and other session options.
 func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts) (*TraceSet, []workload.RunResult, error) {
 	spec = spec.withDefaults()
+	wallStart := time.Now()
 	cluster, err := spec.BuildCluster()
 	if err != nil {
 		return nil, nil, fmt.Errorf("build cluster: %w", err)
 	}
+	cluster.AttachTelemetry(opts.Telemetry)
 	for _, f := range opts.Failures {
 		workers := cluster.Workers()
 		if f.WorkerIndex < 0 || f.WorkerIndex >= len(workers) {
@@ -165,6 +174,11 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 	}
 	capture := pcap.NewCapture()
 	cluster.Net.AddTap(capture)
+	var probe *netsim.UtilizationProbe
+	if tel := opts.Telemetry; tel != nil && tel.Links != nil {
+		probe = netsim.NewUtilizationProbe(cluster.Net, nil, sim.Time(tel.Links.IntervalNs))
+		probe.AttachTimeline(tel.Links)
+	}
 
 	results := make([]workload.RunResult, 0, len(runSpecs))
 	// Run workloads strictly one after another so each run's traffic is
@@ -188,8 +202,18 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 	if err := launch(0); err != nil {
 		return nil, nil, fmt.Errorf("launch first run: %w", err)
 	}
-	if _, err := cluster.RunToIdle(); err != nil {
+	if probe != nil {
+		probe.Start()
+	}
+	end, err := cluster.RunToIdle()
+	if err != nil {
 		return nil, nil, fmt.Errorf("simulate: %w", err)
+	}
+	if tel := opts.Telemetry; tel != nil {
+		tel.Core.Captures.Inc()
+		tel.Core.CaptureSimNs.SetMax(float64(end))
+		tel.Core.CaptureWallMs.Add(float64(time.Since(wallStart).Milliseconds()))
+		tel.Trace.Add(telemetry.Span{Cat: "core", Name: "capture", Attr: spec.Topology, EndNs: int64(end)})
 	}
 
 	ts, err := reduceCapture(spec, capture.Truth(), results)

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"time"
+
+	"keddah/internal/pcap"
+	"keddah/internal/telemetry"
+)
+
+// This file holds the instrumented variants of the toolchain stages.
+// Each is its bare counterpart plus a stage counter, a wall-clock
+// volatile gauge, and (where the stage has a simulated extent) a span.
+// A nil Telemetry makes every variant behave exactly like the original.
+
+// FitWith is Fit with stage telemetry.
+func FitWith(ts *TraceSet, opts FitOptions, tel *telemetry.Telemetry) (*Model, error) {
+	wallStart := time.Now()
+	m, err := Fit(ts, opts)
+	if tel != nil && err == nil {
+		tel.Core.Fits.Inc()
+		tel.Core.FitWallMs.Add(float64(time.Since(wallStart).Milliseconds()))
+	}
+	return m, err
+}
+
+// GenerateWith is Model.Generate with stage telemetry.
+func (m *Model) GenerateWith(spec GenSpec, tel *telemetry.Telemetry) ([]SynthFlow, error) {
+	wallStart := time.Now()
+	sched, err := m.Generate(spec)
+	if tel != nil && err == nil {
+		tel.Core.Generates.Inc()
+		tel.Core.GenerateWallMs.Add(float64(time.Since(wallStart).Milliseconds()))
+	}
+	return sched, err
+}
+
+// ValidateWith is Validate with stage telemetry.
+func ValidateWith(workload string, measured, generated []pcap.FlowRecord, tel *telemetry.Telemetry) Validation {
+	wallStart := time.Now()
+	v := Validate(workload, measured, generated)
+	if tel != nil {
+		tel.Core.Validates.Inc()
+		tel.Core.ValidateWallMs.Add(float64(time.Since(wallStart).Milliseconds()))
+	}
+	return v
+}

@@ -38,7 +38,7 @@ func runA1(cfg Config) ([]Table, error) {
 			Topology: "multirack", Workers: 16, Racks: 2, UplinkGbps: 4,
 			LocalityWaitNs: mode.waitNs, Seed: cfg.Seed,
 		}
-		ts, results, err := core.Capture(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}})
+		ts, results, err := core.CaptureWith(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}}, core.CaptureOpts{Telemetry: cfg.Telemetry})
 		if err != nil {
 			return nil, fmt.Errorf("A1 capture (%s): %w", mode.name, err)
 		}
@@ -76,7 +76,7 @@ func runA2(cfg Config) ([]Table, error) {
 			Topology: "multirack", Workers: 16, Racks: 2, UplinkGbps: 2,
 			Allocator: alloc, Seed: cfg.Seed,
 		}
-		ts, _, err := core.Capture(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}})
+		ts, _, err := core.CaptureWith(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}}, core.CaptureOpts{Telemetry: cfg.Telemetry})
 		if err != nil {
 			return nil, fmt.Errorf("A2 capture (%s): %w", alloc, err)
 		}
@@ -103,11 +103,11 @@ func runA3(cfg Config) ([]Table, error) {
 		Headers: []string{"workload", "phase", "full library KS", "full family",
 			"exp-only KS"},
 	}
-	full, err := core.Fit(ts, core.FitOptions{})
+	full, err := core.FitWith(ts, core.FitOptions{}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("A3 full fit: %w", err)
 	}
-	expOnly, err := core.Fit(ts, core.FitOptions{Candidates: []stats.Family{stats.FamilyExponential}})
+	expOnly, err := core.FitWith(ts, core.FitOptions{Candidates: []stats.Family{stats.FamilyExponential}}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("A3 exp-only fit: %w", err)
 	}

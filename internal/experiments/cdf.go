@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"keddah/internal/core"
 	"keddah/internal/flows"
 	"keddah/internal/stats"
@@ -25,7 +27,7 @@ func runE3(cfg Config) ([]Table, error) {
 	}
 	input := cfg.gb(8)
 	for _, prof := range workload.Names() {
-		ts, err := captureOne(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, prof, input, 0)
+		ts, err := captureOne(cfg, core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, prof, input, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -42,9 +44,15 @@ func runE3(cfg Config) ([]Table, error) {
 			if len(xs) == 0 {
 				continue
 			}
-			e := stats.NewECDF(xs)
+			e, err := stats.NewECDF(xs)
+			if err != nil {
+				return nil, fmt.Errorf("E3 %s/%s: %w", prof, ph, err)
+			}
 			q := func(p float64) string { return f2(e.Quantile(p) / (1 << 20)) }
-			sum := stats.Describe(xs)
+			sum, err := stats.Describe(xs)
+			if err != nil {
+				return nil, fmt.Errorf("E3 %s/%s: %w", prof, ph, err)
+			}
 			t.AddRow(prof, string(ph), itoa(len(xs)), q(0.10), q(0.25), q(0.50),
 				q(0.75), q(0.90), q(0.99), f2(sum.Mean/(1<<20)))
 		}

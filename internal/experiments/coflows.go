@@ -41,7 +41,10 @@ func runE13(cfg Config) ([]Table, error) {
 		if len(cfs) == 0 {
 			return nil, fmt.Errorf("E13: no coflows for %s", name)
 		}
-		pop := coflow.Describe(cfs)
+		pop, err := coflow.Describe(cfs)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s: %w", name, err)
+		}
 		// Bottleneck share of the first coflow (deterministic pick).
 		_, share, err := coflow.BottleneckSender(cfs[0], recs)
 		if err != nil {

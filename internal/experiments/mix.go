@@ -22,7 +22,7 @@ func runE12(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := core.Fit(ts, core.FitOptions{})
+	model, err := core.FitWith(ts, core.FitOptions{}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("fit: %w", err)
 	}
@@ -88,7 +88,7 @@ func runE12(cfg Config) ([]Table, error) {
 		{"2 racks, 1G uplink", core.ClusterSpec{Topology: "multirack", Workers: 16, Racks: 2, UplinkGbps: 1, Seed: cfg.Seed}},
 	}
 	for _, f := range fabrics {
-		recs, _, err := core.Replay(sched, f.spec)
+		recs, _, err := core.ReplayWith(sched, f.spec, cfg.Telemetry)
 		if err != nil {
 			return nil, fmt.Errorf("replay mix on %s: %w", f.name, err)
 		}

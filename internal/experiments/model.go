@@ -32,7 +32,7 @@ func corpus(cfg Config, profiles []string, repeats int) (*core.TraceSet, error) 
 			})
 		}
 	}
-	ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs)
+	ts, _, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs, core.CaptureOpts{Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, fmt.Errorf("corpus capture: %w", err)
 	}
@@ -47,7 +47,7 @@ func runE7(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := core.Fit(ts, core.FitOptions{})
+	model, err := core.FitWith(ts, core.FitOptions{}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("fit: %w", err)
 	}
@@ -106,7 +106,7 @@ func runE8(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := core.Fit(ts, core.FitOptions{})
+	model, err := core.FitWith(ts, core.FitOptions{}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("fit: %w", err)
 	}
@@ -133,11 +133,11 @@ func runE8(cfg Config) ([]Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("generate %s: %w", prof, err)
 		}
-		gen, _, err := core.Replay(sched, core.ClusterSpec{Workers: 16, Seed: cfg.Seed + 7})
+		gen, _, err := core.ReplayWith(sched, core.ClusterSpec{Workers: 16, Seed: cfg.Seed + 7}, cfg.Telemetry)
 		if err != nil {
 			return nil, fmt.Errorf("replay %s: %w", prof, err)
 		}
-		v := core.Validate(prof, measured, gen)
+		v := core.ValidateWith(prof, measured, gen, cfg.Telemetry)
 		for _, pc := range v.Phases {
 			t.AddRow(prof, string(pc.Phase), itoa(pc.MeasuredFlows), itoa(pc.GeneratedFlows),
 				mb(pc.MeasuredBytes), mb(pc.GeneratedBytes),

@@ -23,7 +23,7 @@ func runE9(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := core.Fit(ts, core.FitOptions{})
+	model, err := core.FitWith(ts, core.FitOptions{}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("fit: %w", err)
 	}
@@ -60,7 +60,7 @@ func runE9(cfg Config) ([]Table, error) {
 		{"fat-tree k=4", core.ClusterSpec{Topology: "fattree", FatTreeK: 4, Seed: cfg.Seed}},
 	}
 	for _, f := range fabrics {
-		recs, _, err := core.Replay(sched, f.spec)
+		recs, _, err := core.ReplayWith(sched, f.spec, cfg.Telemetry)
 		if err != nil {
 			return nil, fmt.Errorf("replay on %s: %w", f.name, err)
 		}
@@ -105,9 +105,9 @@ func meanDuration(recs []pcap.FlowRecord, phases ...flows.Phase) float64 {
 func p99Duration(recs []pcap.FlowRecord, ph flows.Phase) float64 {
 	ds := flows.NewDataset(recs)
 	durs := ds.Durations(ph)
-	if len(durs) == 0 {
-		return 0
+	e, err := stats.NewECDF(durs)
+	if err != nil {
+		return 0 // empty sample: no flows in this phase
 	}
-	e := stats.NewECDF(durs)
 	return e.Quantile(0.99)
 }

@@ -30,11 +30,11 @@ func runE15(cfg Config) ([]Table, error) {
 			InputPath:  fmt.Sprintf("/data/fit%d", i),
 		})
 	}
-	ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs)
+	ts, _, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs, core.CaptureOpts{Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, fmt.Errorf("E15 fit corpus: %w", err)
 	}
-	model, err := core.Fit(ts, core.FitOptions{})
+	model, err := core.FitWith(ts, core.FitOptions{}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("E15 fit: %w", err)
 	}
@@ -42,8 +42,9 @@ func runE15(cfg Config) ([]Table, error) {
 
 	// Ground truth at the target size (unseen by the model).
 	target := cfg.gb(8)
-	truth, truthResults, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: cfg.Seed + 1},
-		[]workload.RunSpec{{Profile: "terasort", InputBytes: target}})
+	truth, truthResults, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed + 1},
+		[]workload.RunSpec{{Profile: "terasort", InputBytes: target}},
+		core.CaptureOpts{Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, fmt.Errorf("E15 target capture: %w", err)
 	}
@@ -60,12 +61,12 @@ func runE15(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("E15 generate: %w", err)
 	}
-	gen, _, err := core.Replay(sched, core.ClusterSpec{Workers: 16, Seed: cfg.Seed + 2})
+	gen, _, err := core.ReplayWith(sched, core.ClusterSpec{Workers: 16, Seed: cfg.Seed + 2}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("E15 replay: %w", err)
 	}
 
-	v := core.Validate("terasort", truth.Runs[0].Records, gen)
+	v := core.ValidateWith("terasort", truth.Runs[0].Records, gen, cfg.Telemetry)
 	t := Table{
 		ID:    "E15",
 		Title: "Scaling validation: model fitted at {1,2,4} GB, tested at 8 GB",

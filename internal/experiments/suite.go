@@ -13,6 +13,8 @@ import (
 	"sync"
 	"text/tabwriter"
 	"time"
+
+	"keddah/internal/telemetry"
 )
 
 // Config scales the suite. Scale multiplies every input size: 1.0 runs
@@ -23,6 +25,10 @@ type Config struct {
 	// Verbose enables per-step progress notes on Out.
 	Verbose bool
 	Out     io.Writer
+	// Telemetry, when non-nil, instruments every capture and replay an
+	// experiment runs. Its instruments are concurrency-safe, so one
+	// Telemetry may be shared across a parallel RunAll.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) withDefaults() Config {

@@ -23,7 +23,7 @@ func runE4(cfg Config) ([]Table, error) {
 	}
 	input := cfg.gb(4)
 	for _, repl := range []int{1, 2, 3, 4} {
-		ts, err := captureOne(core.ClusterSpec{Workers: 16, Replication: repl, Seed: cfg.Seed},
+		ts, err := captureOne(cfg, core.ClusterSpec{Workers: 16, Replication: repl, Seed: cfg.Seed},
 			"sort", input, 8)
 		if err != nil {
 			return nil, err
@@ -53,7 +53,7 @@ func runE5(cfg Config) ([]Table, error) {
 		if block > input {
 			block = input
 		}
-		ts, err := captureOne(core.ClusterSpec{Workers: 16, BlockSize: block, Seed: cfg.Seed},
+		ts, err := captureOne(cfg, core.ClusterSpec{Workers: 16, BlockSize: block, Seed: cfg.Seed},
 			"terasort", input, 8)
 		if err != nil {
 			return nil, err
@@ -86,7 +86,7 @@ func runE6(cfg Config) ([]Table, error) {
 	// 16 workers × 4 slots = 64 slots: 128/256 reducers need multiple
 	// waves, exposing the per-task overhead that turns the curve back up.
 	for _, reducers := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
-		ts, err := captureOne(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, "sort", input, reducers)
+		ts, err := captureOne(cfg, core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, "sort", input, reducers)
 		if err != nil {
 			return nil, err
 		}

@@ -22,7 +22,7 @@ func runE14(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := core.Fit(ts, core.FitOptions{})
+	model, err := core.FitWith(ts, core.FitOptions{}, cfg.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("fit: %w", err)
 	}

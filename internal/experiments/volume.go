@@ -15,12 +15,12 @@ func init() {
 
 // captureOne runs a single workload at one input size on a fresh cluster
 // and returns the resulting per-round runs.
-func captureOne(spec core.ClusterSpec, profile string, input int64, reducers int) (*core.TraceSet, error) {
-	ts, _, err := core.Capture(spec, []workload.RunSpec{{
+func captureOne(cfg Config, spec core.ClusterSpec, profile string, input int64, reducers int) (*core.TraceSet, error) {
+	ts, _, err := core.CaptureWith(spec, []workload.RunSpec{{
 		Profile:    profile,
 		InputBytes: input,
 		Reducers:   reducers,
-	}})
+	}}, core.CaptureOpts{Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, fmt.Errorf("capture %s@%d: %w", profile, input, err)
 	}
@@ -43,7 +43,7 @@ func runE1(cfg Config) ([]Table, error) {
 	for _, prof := range workload.Names() {
 		for _, gbs := range sizes {
 			input := cfg.gb(gbs)
-			ts, err := captureOne(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, prof, input, 0)
+			ts, err := captureOne(cfg, core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, prof, input, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +78,7 @@ func runE2(cfg Config) ([]Table, error) {
 	}
 	input := cfg.gb(4)
 	for _, reducers := range []int{4, 8, 16, 32} {
-		ts, err := captureOne(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, "terasort", input, reducers)
+		ts, err := captureOne(cfg, core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, "terasort", input, reducers)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ import (
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
 	"keddah/internal/stats"
+	"keddah/internal/telemetry"
 )
 
 // Kind selects the fault mechanism.
@@ -123,36 +124,70 @@ func Inject(c *hadoop.Cluster, s Schedule) error {
 	if err := s.Validate(topo.NumLinks(), len(workers)); err != nil {
 		return err
 	}
+	tel := c.Telemetry()
 	for _, f := range s.Faults {
 		f := f
 		at := sim.Time(f.AtNs)
 		heal := sim.Time(f.AtNs + f.DurationNs)
+		record(tel, f)
 		switch f.Kind {
 		case LinkDown:
 			lid := netsim.LinkID(f.Link)
 			rev := topo.ReverseLink(lid)
-			if _, err := c.Eng.At(at, func() { setLinkPair(c.Net, lid, rev, false) }); err != nil {
+			if _, err := c.Eng.At(at, func() { inject(tel, f); setLinkPair(c.Net, lid, rev, false) }); err != nil {
 				return fmt.Errorf("faults: schedule %s: %w", f.target(), err)
 			}
-			if _, err := c.Eng.At(heal, func() { setLinkPair(c.Net, lid, rev, true) }); err != nil {
+			if _, err := c.Eng.At(heal, func() { healed(tel, f); setLinkPair(c.Net, lid, rev, true) }); err != nil {
 				return fmt.Errorf("faults: schedule %s heal: %w", f.target(), err)
 			}
 		case LinkDegrade:
 			lid := netsim.LinkID(f.Link)
 			rev := topo.ReverseLink(lid)
-			if _, err := c.Eng.At(at, func() { scaleLinkPair(c.Net, lid, rev, f.Factor) }); err != nil {
+			if _, err := c.Eng.At(at, func() { inject(tel, f); scaleLinkPair(c.Net, lid, rev, f.Factor) }); err != nil {
 				return fmt.Errorf("faults: schedule %s: %w", f.target(), err)
 			}
-			if _, err := c.Eng.At(heal, func() { scaleLinkPair(c.Net, lid, rev, 1) }); err != nil {
+			if _, err := c.Eng.At(heal, func() { healed(tel, f); scaleLinkPair(c.Net, lid, rev, 1) }); err != nil {
 				return fmt.Errorf("faults: schedule %s heal: %w", f.target(), err)
 			}
 		case NodeCrash:
 			if err := c.CrashWorker(workers[f.Worker], at, heal); err != nil {
 				return fmt.Errorf("faults: schedule %s: %w", f.target(), err)
 			}
+			// CrashWorker schedules its own events; bracket them with the
+			// counters at the same instants.
+			if _, err := c.Eng.At(at, func() { inject(tel, f) }); err != nil {
+				return fmt.Errorf("faults: schedule %s: %w", f.target(), err)
+			}
+			if _, err := c.Eng.At(heal, func() { healed(tel, f) }); err != nil {
+				return fmt.Errorf("faults: schedule %s heal: %w", f.target(), err)
+			}
 		}
 	}
 	return nil
+}
+
+// record adds the fault's lifetime as a span; injection counters fire at
+// the scheduled instants via inject/healed.
+func record(tel *telemetry.Telemetry, f Fault) {
+	if tel == nil {
+		return
+	}
+	tel.Trace.Add(telemetry.Span{
+		Cat: "fault", Name: string(f.Kind), Attr: f.target(),
+		StartNs: f.AtNs, EndNs: f.AtNs + f.DurationNs,
+	})
+}
+
+func inject(tel *telemetry.Telemetry, f Fault) {
+	if tel != nil {
+		tel.Fault.Injected(string(f.Kind)).Inc()
+	}
+}
+
+func healed(tel *telemetry.Telemetry, f Fault) {
+	if tel != nil {
+		tel.Fault.Healed(string(f.Kind)).Inc()
+	}
 }
 
 // setLinkPair flips both directions of a link; a missing reverse (never

@@ -14,6 +14,7 @@ import (
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
 	"keddah/internal/stats"
+	"keddah/internal/telemetry"
 )
 
 // Config assembles a cluster over an existing topology.
@@ -38,7 +39,26 @@ type Cluster struct {
 	workers []netsim.NodeID
 	pending int
 	started bool
+	tel     *telemetry.Telemetry
 }
+
+// AttachTelemetry wires instrumentation through every cluster layer:
+// engine event counts, network flow metrics, HDFS and YARN counters and
+// spans, and (via Submit) per-job MapReduce metrics. Attach before
+// submitting work; a nil receiver or nil argument is a no-op.
+func (c *Cluster) AttachTelemetry(t *telemetry.Telemetry) {
+	if c == nil || t == nil {
+		return
+	}
+	c.tel = t
+	c.Eng.SetMetrics(t.Sim)
+	c.Net.SetMetrics(t.Net)
+	c.FS.SetTelemetry(t.HDFS, t.Trace)
+	c.RM.SetTelemetry(t.Yarn, t.Trace)
+}
+
+// Telemetry returns the attached instrumentation, or nil.
+func (c *Cluster) Telemetry() *telemetry.Telemetry { return c.tel }
 
 // New builds a cluster on topo: the first host is the master (NameNode +
 // ResourceManager), the rest are workers (DataNode + NodeManager each).
@@ -120,6 +140,9 @@ func (c *Cluster) Submit(cfg mapreduce.JobConfig, done func(mapreduce.Result)) e
 	job, err := mapreduce.NewJob(cfg, c.FS, c.RM, c.rng.Fork())
 	if err != nil {
 		return err
+	}
+	if c.tel != nil {
+		job.SetTelemetry(c.tel.MR, c.tel.Trace)
 	}
 	c.pending++
 	return job.Submit(c.master, func(r mapreduce.Result) {

@@ -92,6 +92,7 @@ func (fs *FS) reReplicateAfter(failed netsim.NodeID) {
 			live := fs.liveReplicas(blk)
 			if len(live) == 0 {
 				fs.LostBlocks++
+				fs.metrics.LostBlocks.Inc()
 				continue
 			}
 			// Copy from a surviving replica to a fresh live node.
@@ -118,6 +119,8 @@ func (fs *FS) reReplicateAfter(failed netsim.NodeID) {
 					blkRef.Replicas = append(blkRef.Replicas, target)
 					fs.ReReplicatedBytes += size
 					fs.ReReplicatedBlocks++
+					fs.metrics.ReReplicatedBlocks.Inc()
+					fs.metrics.ReReplicatedBytes.Add(size)
 				},
 			})
 			if err != nil {

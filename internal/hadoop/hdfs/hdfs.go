@@ -15,6 +15,7 @@ import (
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
 	"keddah/internal/stats"
+	"keddah/internal/telemetry"
 )
 
 // Config holds the filesystem-wide parameters the paper varies.
@@ -119,6 +120,16 @@ type FS struct {
 	UnderReplicated    int64
 	PipelineRecoveries int64
 	ReadRetries        int64
+
+	metrics telemetry.HDFSMetrics
+	tracer  *telemetry.Tracer
+}
+
+// SetTelemetry attaches filesystem instrumentation (zero-value metrics
+// and a nil tracer detach it).
+func (fs *FS) SetTelemetry(m telemetry.HDFSMetrics, tr *telemetry.Tracer) {
+	fs.metrics = m
+	fs.tracer = tr
 }
 
 // New creates an FS. The namenode must be a host in the network; every
@@ -179,6 +190,7 @@ func (fs *FS) heartbeat(dn netsim.NodeID) {
 		return
 	}
 	if dn != fs.namenode {
+		fs.metrics.Heartbeats.Inc()
 		fs.control(dn, fs.namenode, flows.PortNameNodeRPC, "hdfs/heartbeat")
 	}
 	fs.eng.After(fs.cfg.HeartbeatInterval, func() { fs.heartbeat(dn) })

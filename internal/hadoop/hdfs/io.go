@@ -6,6 +6,7 @@ import (
 	"keddah/internal/flows"
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
+	"keddah/internal/telemetry"
 )
 
 // File returns the block list of a stored file. Reading a file whose
@@ -103,6 +104,7 @@ func (fs *FS) WriteFile(client netsim.NodeID, path string, size int64, replicati
 		}
 		blk := Block{ID: fs.nextBlock, Size: bsize, Replicas: pipeline}
 		fs.nextBlock++
+		pipeStart := fs.eng.Now()
 
 		// One flow per pipeline hop, all streaming concurrently. A hop
 		// torn down by a fault goes through pipeline recovery: resume the
@@ -117,9 +119,16 @@ func (fs *FS) WriteFile(client netsim.NodeID, path string, size int64, replicati
 			if remainingHops == 0 {
 				if len(blk.Replicas) == 0 {
 					fs.LostBlocks++
+					fs.metrics.LostBlocks.Inc()
 				}
 				f.blocks = append(f.blocks, blk)
 				fs.BytesWritten += bsize
+				fs.metrics.BlocksWritten.Inc()
+				fs.metrics.BytesWritten.Add(bsize)
+				fs.tracer.Add(telemetry.Span{
+					Cat: "hdfs", Name: "pipeline", Attr: fmt.Sprintf("%s#%d", path, blk.ID),
+					StartNs: int64(pipeStart), EndNs: int64(fs.eng.Now()),
+				})
 				writeBlock(i + 1)
 			}
 		}
@@ -186,6 +195,7 @@ func (fs *FS) WriteFile(client netsim.NodeID, path string, size int64, replicati
 				return
 			}
 			fs.PipelineRecoveries++
+			fs.metrics.PipelineRecoveries.Inc()
 			if !fs.dead[dst] {
 				// The DataNode survived — a link fault cut the stream;
 				// resume the block from where it broke.
@@ -296,6 +306,7 @@ func (fs *FS) readBlockAttempt(client netsim.NodeID, blk Block, label string, do
 			panic(fmt.Sprintf("hdfs: block %d unreadable after %d retries", blk.ID, attempt))
 		}
 		fs.ReadRetries++
+		fs.metrics.ReadRetries.Inc()
 		fs.eng.After(retryBackoff(fs.cfg.ReadRetryBase, attempt), func() {
 			fs.readBlockAttempt(client, blk, label, done, attempt+1)
 		})
@@ -325,6 +336,8 @@ func (fs *FS) readBlockAttempt(client netsim.NodeID, blk Block, label string, do
 		Label:     lbl,
 		OnComplete: func(*netsim.Flow) {
 			fs.BytesRead += blk.Size
+			fs.metrics.BlocksRead.Inc()
+			fs.metrics.BytesRead.Add(blk.Size)
 			if done != nil {
 				done(replica)
 			}

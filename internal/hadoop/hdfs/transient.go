@@ -24,6 +24,7 @@ func (fs *FS) CrashDataNode(host netsim.NodeID) error {
 	fs.dead[host] = true
 	fs.epoch[host]++
 	e := fs.epoch[host]
+	fs.metrics.DNCrashes.Inc()
 
 	// The crashed process drops its TCP connections: every data-port
 	// flow it was sourcing or sinking resets.
@@ -58,6 +59,7 @@ func (fs *FS) RecoverDataNode(host netsim.NodeID) error {
 	}
 	delete(fs.dead, host)
 	fs.epoch[host]++
+	fs.metrics.DNRejoins.Inc()
 
 	fs.control(host, fs.namenode, flows.PortNameNodeRPC, "hdfs/register")
 	if host != fs.namenode {

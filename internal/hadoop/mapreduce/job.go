@@ -17,6 +17,7 @@ import (
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
 	"keddah/internal/stats"
+	"keddah/internal/telemetry"
 )
 
 // JobConfig describes one MapReduce job. Byte selectivities come from the
@@ -182,6 +183,16 @@ type Job struct {
 	redsQueued int
 	result     Result
 	finished   bool
+
+	metrics telemetry.MRMetrics
+	tracer  *telemetry.Tracer
+}
+
+// SetTelemetry attaches job instrumentation (zero-value metrics and a
+// nil tracer detach it). Call before Submit.
+func (j *Job) SetTelemetry(m telemetry.MRMetrics, tr *telemetry.Tracer) {
+	j.metrics = m
+	j.tracer = tr
 }
 
 // NewJob validates the configuration and binds the job to its substrates.
@@ -227,6 +238,7 @@ func (j *Job) Submit(client netsim.NodeID, done func(Result)) error {
 		j.result.InputBytes += b.Size
 	}
 	j.client = client
+	j.metrics.JobsSubmitted.Inc()
 	j.rm.WatchNodeFailures(j.onNodeFailed)
 	j.app = j.rm.Submit(client, func(*yarn.App) { j.onAMStarted() })
 	return nil
@@ -260,6 +272,7 @@ func (j *Job) onAMLost() {
 		return
 	}
 	j.result.AMRestarts++
+	j.metrics.AMRestarts.Inc()
 	j.app = j.rm.Submit(j.client, func(*yarn.App) {
 		j.app.OnAMLost(j.onAMLost)
 	})
@@ -283,6 +296,7 @@ func (j *Job) speculationTick() {
 			if now-j.mapStart[i] > limit {
 				j.specDone[i] = true
 				j.result.SpeculativeMaps++
+				j.metrics.MapsSpeculative.Inc()
 				j.requestMap(i)
 			}
 		}
@@ -292,6 +306,7 @@ func (j *Job) speculationTick() {
 
 // requestMap asks YARN for a container to run (or re-run) map i.
 func (j *Job) requestMap(i int) {
+	j.metrics.MapAttempts.Inc()
 	j.app.RequestContainer(yarn.PriorityMap, j.splits[i].Replicas, func(c *yarn.Container) {
 		j.runMapTask(i, c)
 	})
@@ -305,10 +320,20 @@ func (j *Job) abort() {
 	j.finished = true
 	j.result.Failed = true
 	j.result.Finished = j.eng.Now()
+	j.metrics.JobsFailed.Inc()
+	j.traceJob()
 	j.app.Finish()
 	if j.done != nil {
 		j.done(j.result)
 	}
+}
+
+// traceJob records the job-level span once the result is final.
+func (j *Job) traceJob() {
+	j.tracer.Add(telemetry.Span{
+		Cat: "mr", Name: "job", Attr: j.cfg.Name,
+		StartNs: int64(j.result.Submitted), EndNs: int64(j.result.Finished),
+	})
 }
 
 // lognormalJitter returns exp(N(0, sigma²)) — a multiplicative straggler
@@ -337,6 +362,8 @@ func (j *Job) maybeFinish() {
 	}
 	j.finished = true
 	j.result.Finished = j.eng.Now()
+	j.metrics.JobsCompleted.Inc()
+	j.traceJob()
 	j.app.Finish()
 	if j.done != nil {
 		j.done(j.result)

@@ -9,6 +9,7 @@ import (
 	"keddah/internal/hadoop/yarn"
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
+	"keddah/internal/telemetry"
 )
 
 // reducer is one reduce task attempt: it shuffles a partition from every
@@ -23,20 +24,21 @@ type reducer struct {
 	attempt    int
 	container  *yarn.Container
 	host       netsim.NodeID
+	started    sim.Time
 	pending    []int // map indexes ready to fetch
 	queued     map[int]bool
 	fetchedSet map[int]bool
 	// retries counts fault-aborted fetch attempts per map index;
 	// hostFail counts them per serving host — at MaxFetchFailures the
 	// host is blacklisted for this shuffle and the AM re-runs the map.
-	retries    map[int]int
-	hostFail   map[netsim.NodeID]int
-	blacklist  map[netsim.NodeID]bool
-	active     int
-	bytes      int64
-	shuffled   bool // all partitions fetched; merge/reduce underway
-	done       bool // committed
-	dead       bool // attempt superseded after container loss
+	retries   map[int]int
+	hostFail  map[netsim.NodeID]int
+	blacklist map[netsim.NodeID]bool
+	active    int
+	bytes     int64
+	shuffled  bool // all partitions fetched; merge/reduce underway
+	done      bool // committed
+	dead      bool // attempt superseded after container loss
 }
 
 // runReducer starts reduce task ri on the granted container and
@@ -59,6 +61,7 @@ func (j *Job) runReducer(ri int, c *yarn.Container) {
 		attempt:    attempt,
 		container:  c,
 		host:       c.Host(),
+		started:    j.eng.Now(),
 		queued:     make(map[int]bool, len(j.splits)),
 		fetchedSet: make(map[int]bool, len(j.splits)),
 		retries:    make(map[int]int),
@@ -73,6 +76,7 @@ func (j *Job) runReducer(ri int, c *yarn.Container) {
 		}
 		r.dead = true
 		j.result.ReexecutedReducers++
+		j.metrics.ReducersReexecuted.Inc()
 		j.requestReducer(ri)
 	})
 	j.umbilical(r.host, func() bool { return !r.done && !r.dead })
@@ -157,6 +161,7 @@ func (r *reducer) startFetch(mapIdx int) {
 	if r.retries[mapIdx] > 0 {
 		lbl = j.cfg.Name + "/shuffle-retry"
 	}
+	j.metrics.ShuffleFetches.Inc()
 	_, err := j.net.StartFlow(netsim.FlowSpec{
 		Src:       src,
 		Dst:       r.host,
@@ -180,9 +185,11 @@ func (r *reducer) startFetch(mapIdx int) {
 				return
 			}
 			j.result.ShuffleRetries++
+			j.metrics.ShuffleRetries.Inc()
 			r.hostFail[src]++
 			if r.hostFail[src] >= j.cfg.MaxFetchFailures && !r.blacklist[src] {
 				r.blacklist[src] = true
+				j.metrics.ShuffleBlacklists.Inc()
 				r.queued[mapIdx] = false
 				j.onFetchFailures(mapIdx, src, epoch)
 				r.pump()
@@ -239,6 +246,10 @@ func (r *reducer) finishShuffle() {
 				return
 			}
 			r.done = true
+			j.tracer.Add(telemetry.Span{
+				Cat: "mr", Name: "reduce", Attr: fmt.Sprintf("%s/r%d-a%d", j.cfg.Name, r.idx, r.attempt),
+				StartNs: int64(r.started), EndNs: int64(j.eng.Now()),
+			})
 			j.controlFlow(r.host, j.app.AMHost(), flows.PortAMUmbilical, j.cfg.Name+"/reduceDone")
 			r.container.Release()
 			j.redsDone++

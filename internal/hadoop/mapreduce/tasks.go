@@ -7,6 +7,7 @@ import (
 	"keddah/internal/hadoop/hdfs"
 	"keddah/internal/hadoop/yarn"
 	"keddah/internal/netsim"
+	"keddah/internal/telemetry"
 )
 
 // umbilical sends periodic task→AM progress reports while alive() holds.
@@ -74,6 +75,7 @@ func (j *Job) runMapTask(i int, c *yarn.Container) {
 		j.mapStart[i] = 0
 		j.specDone[i] = false
 		j.result.ReexecutedMaps++
+		j.metrics.MapsReexecuted.Inc()
 		j.requestMap(i)
 	})
 	j.umbilical(host, func() bool { return !taskDone && !stale() })
@@ -119,6 +121,11 @@ func (j *Job) runMapTask(i int, c *yarn.Container) {
 				j.result.MapOutBytes += out
 				j.mapDurSum += (j.eng.Now() - attemptStart).Seconds()
 				j.mapDurN++
+				j.metrics.MapsCompleted.Inc()
+				j.tracer.Add(telemetry.Span{
+					Cat: "mr", Name: "map", Attr: fmt.Sprintf("%s/m%d", j.cfg.Name, i),
+					StartNs: int64(attemptStart), EndNs: int64(j.eng.Now()),
+				})
 				// Completion report to the AM.
 				j.controlFlow(host, j.app.AMHost(), flows.PortAMUmbilical, j.cfg.Name+"/mapDone")
 				c.Release()
@@ -195,6 +202,7 @@ func (j *Job) onNodeFailed(host netsim.NodeID) {
 		j.specDone[i] = false
 		j.mapsDone--
 		j.result.ReexecutedMaps++
+		j.metrics.MapsReexecuted.Inc()
 		for _, r := range j.reducers {
 			if r != nil {
 				r.invalidateMap(i)
@@ -222,6 +230,7 @@ func (j *Job) onFetchFailures(mapIdx int, host netsim.NodeID, epoch int) {
 	j.specDone[mapIdx] = false
 	j.mapsDone--
 	j.result.ReexecutedMaps++
+	j.metrics.MapsReexecuted.Inc()
 	for _, r := range j.reducers {
 		if r != nil {
 			r.invalidateMap(mapIdx)
@@ -271,6 +280,7 @@ func (j *Job) maybeLaunchReducers() {
 
 // requestReducer asks YARN for a container to run (or re-run) reducer ri.
 func (j *Job) requestReducer(ri int) {
+	j.metrics.ReduceAttempts.Inc()
 	j.app.RequestContainer(yarn.PriorityReduce, nil, func(c *yarn.Container) {
 		j.runReducer(ri, c)
 	})

@@ -15,6 +15,7 @@ import (
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
 	"keddah/internal/stats"
+	"keddah/internal/telemetry"
 )
 
 // Config holds the resource-layer parameters.
@@ -174,6 +175,16 @@ type RM struct {
 	LostContainers int64
 
 	failureWatchers []func(host netsim.NodeID)
+
+	metrics telemetry.YarnMetrics
+	tracer  *telemetry.Tracer
+}
+
+// SetTelemetry attaches resource-layer instrumentation (zero-value
+// metrics and a nil tracer detach it).
+func (rm *RM) SetTelemetry(m telemetry.YarnMetrics, tr *telemetry.Tracer) {
+	rm.metrics = m
+	rm.tracer = tr
 }
 
 // New creates an RM with a NodeManager on each worker host.
@@ -251,6 +262,7 @@ func (rm *RM) FailNode(host netsim.NodeID) error {
 // FailNode path and heartbeat-expiry detection after CrashNode.
 func (rm *RM) expireNode(nm *nodeManager) {
 	nm.dead = true
+	rm.metrics.NodeExpiries.Inc()
 	lost := nm.containers
 	nm.containers = nil
 	nm.used = 0
@@ -258,6 +270,7 @@ func (rm *RM) expireNode(nm *nodeManager) {
 		c.lost = true
 		c.app.running--
 		rm.LostContainers++
+		rm.metrics.ContainersLost.Inc()
 		if !c.delivered {
 			// The host died during container launch: the owner never
 			// saw the handle, so the original request goes back into
@@ -321,6 +334,7 @@ func (rm *RM) RecoverNode(host netsim.NodeID) error {
 	nm.dead = false
 	nm.crashed = false
 	nm.epoch++
+	rm.metrics.NodeRejoins.Inc()
 	if nm.host != rm.rmHost {
 		rm.control(nm.host, rm.rmHost, flows.PortRMTracker, "yarn/nmRegister")
 	}
@@ -348,6 +362,7 @@ func (rm *RM) nmHeartbeat(nm *nodeManager, seq int) {
 		return
 	}
 	if nm.host != rm.rmHost {
+		rm.metrics.NMHeartbeats.Inc()
 		rm.control(nm.host, rm.rmHost, flows.PortRMTracker, "yarn/nmHeartbeat")
 	}
 	rm.scheduleOn(nm)
@@ -422,9 +437,15 @@ func (rm *RM) scheduleOn(nm *nodeManager) {
 func (rm *RM) grant(nm *nodeManager, req *ContainerRequest) {
 	nm.used++
 	rm.Assigned++
+	rm.metrics.ContainersGranted.Inc()
 	if req.preferred[nm.host] {
 		rm.LocalAssigned++
+		rm.metrics.ContainersLocal.Inc()
 	}
+	rm.tracer.Add(telemetry.Span{
+		Cat: "yarn", Name: "schedule", Attr: fmt.Sprintf("app%d/pri%d", req.app.id, req.priority),
+		StartNs: int64(req.submitted), EndNs: int64(rm.eng.Now()),
+	})
 	req.app.running++
 	c := &Container{app: req.app, nm: nm, req: req}
 	nm.containers = append(nm.containers, c)
@@ -487,6 +508,7 @@ func (rm *RM) Submit(client netsim.NodeID, onAM func(app *App)) *App {
 
 func (rm *RM) enqueue(req *ContainerRequest) {
 	rm.queue = append(rm.queue, req)
+	rm.metrics.QueueDepthMax.SetMax(float64(len(rm.queue)))
 }
 
 // ID returns the application's cluster-unique id.
@@ -508,6 +530,7 @@ func (a *App) amHeartbeat() {
 	if a.done || a.rm.stopped || a.am.lost {
 		return
 	}
+	a.rm.metrics.AMHeartbeats.Inc()
 	a.rm.control(a.AMHost(), a.rm.rmHost, flows.PortRMScheduler, "yarn/amHeartbeat")
 	a.rm.eng.After(a.rm.cfg.AMHeartbeat, func() { a.amHeartbeat() })
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"keddah/internal/sim"
+	"keddah/internal/telemetry"
 )
 
 // FlowSpec describes a transfer to start on the network.
@@ -168,7 +169,13 @@ type Network struct {
 	completed    uint64
 	abortedCount uint64
 	totalBytes   float64
+
+	metrics telemetry.NetMetrics
 }
+
+// SetMetrics attaches network instrumentation. The zero value detaches
+// it (every hook degrades to a nil check).
+func (n *Network) SetMetrics(m telemetry.NetMetrics) { n.metrics = m }
 
 // NewNetwork creates a Network bound to the engine and topology.
 func NewNetwork(eng *sim.Engine, topo *Topology, cfg Config) *Network {
@@ -240,6 +247,7 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 		remaining: float64(spec.SizeBytes),
 	}
 	n.seq++
+	n.metrics.FlowsStarted.Inc()
 
 	var latency int64
 	if spec.Src != spec.Dst {
@@ -413,6 +421,8 @@ func (n *Network) reallocate() {
 		return
 	}
 	n.resetScratch(nf)
+	n.metrics.Reallocs.Inc()
+	n.metrics.ActiveFlowsMax.SetMax(float64(nf))
 
 	switch {
 	case n.cfg.Allocator == AllocEqualSplit:
@@ -528,6 +538,8 @@ func (n *Network) finish(f *Flow) {
 	f.end = n.eng.Now()
 	n.completed++
 	n.totalBytes += float64(f.spec.SizeBytes)
+	n.metrics.FlowsCompleted.Inc()
+	n.metrics.FlowBytes.Observe(f.spec.SizeBytes)
 	for _, t := range n.taps {
 		t.FlowCompleted(f)
 	}
@@ -570,6 +582,7 @@ func (n *Network) abort(f *Flow) {
 	f.active = false
 	f.end = n.eng.Now()
 	n.abortedCount++
+	n.metrics.FlowsAborted.Inc()
 	for _, t := range n.taps {
 		t.FlowCompleted(f)
 	}
@@ -595,6 +608,7 @@ func (n *Network) SetLinkState(lid LinkID, up bool) error {
 	if err := n.topo.SetLinkDown(lid, down); err != nil {
 		return err
 	}
+	n.metrics.LinkTransitions.Inc()
 	if down {
 		// Snapshot: rerouting mutates the per-link index in place.
 		victims := make([]*Flow, len(n.linkFlows[lid]))
@@ -618,6 +632,7 @@ func (n *Network) rerouteOrAbort(f *Flow) {
 	n.linkRemove(f)
 	f.path = path
 	n.linkInsert(f)
+	n.metrics.Reroutes.Inc()
 }
 
 // SetLinkCapacityScale degrades (or restores) a link to factor × its

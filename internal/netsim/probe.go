@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"keddah/internal/sim"
+	"keddah/internal/telemetry"
 )
 
 // UtilSample is one utilization observation of a link set.
@@ -22,7 +23,12 @@ type UtilizationProbe struct {
 	interval sim.Time
 	samples  []UtilSample
 	running  bool
+	timeline *telemetry.LinkTimeline
 }
+
+// AttachTimeline mirrors every sample into a telemetry link timeline
+// (utilisation plus the per-link active flow count). Pass nil to detach.
+func (p *UtilizationProbe) AttachTimeline(tl *telemetry.LinkTimeline) { p.timeline = tl }
 
 // NewUtilizationProbe probes the given links every interval. An empty
 // link list probes every link.
@@ -61,6 +67,16 @@ func (p *UtilizationProbe) tick() {
 		}
 	}
 	p.samples = append(p.samples, sample)
+	if p.timeline != nil {
+		for i, lid := range p.links {
+			p.timeline.Append(telemetry.LinkPoint{
+				AtNs:  sample.AtNs,
+				Link:  int(lid),
+				Util:  sample.Utilization[i],
+				Flows: len(p.net.linkFlows[lid]),
+			})
+		}
+	}
 	if p.net.ActiveFlows() == 0 && p.net.eng.Pending() <= 1 {
 		p.running = false
 		return

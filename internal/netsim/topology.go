@@ -8,8 +8,16 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
+	"math"
 )
+
+// ErrBadLink is the typed error wrapped by Build when a link was added
+// with a non-positive (or NaN) capacity or a negative latency. Builders
+// used to accept such links silently; the flows they carried would then
+// never drain (zero rate) or crash the allocator (NaN rates).
+var ErrBadLink = errors.New("netsim: invalid link parameters")
 
 // NodeID identifies a node (host or switch) in a Topology.
 type NodeID int
@@ -106,6 +114,19 @@ func (b *Builder) Build() (*Topology, error) {
 	n := len(t.names)
 	if n == 0 {
 		return nil, fmt.Errorf("netsim: empty topology")
+	}
+	// Every link must have a usable capacity and latency before routing:
+	// Build is the single funnel all builders (Star, MultiRack, FatTree,
+	// hand-assembled) pass through.
+	for i, l := range t.links {
+		if !(l.CapacityBps > 0) || math.IsInf(l.CapacityBps, 1) {
+			return nil, fmt.Errorf("%w: link %d (%s -> %s) capacity %v bps",
+				ErrBadLink, i, t.names[l.From], t.names[l.To], l.CapacityBps)
+		}
+		if l.LatencyNs < 0 {
+			return nil, fmt.Errorf("%w: link %d (%s -> %s) negative latency %d ns",
+				ErrBadLink, i, t.names[l.From], t.names[l.To], l.LatencyNs)
+		}
 	}
 	t.baseCap = make([]float64, len(t.links))
 	for i, l := range t.links {

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Regression: the builders used to accept non-positive (and NaN/Inf)
+// capacities silently; flows on such links never drained or produced NaN
+// rates in the allocator. Build now rejects them with ErrBadLink.
+func TestBuildersRejectBadCapacity(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Topology, error)
+	}{
+		{"star zero", func() (*Topology, error) { return Star(5, 0) }},
+		{"star negative", func() (*Topology, error) { return Star(5, -Gbps) }},
+		{"star NaN", func() (*Topology, error) { return Star(5, math.NaN()) }},
+		{"star +Inf", func() (*Topology, error) { return Star(5, math.Inf(1)) }},
+		{"multirack zero uplink", func() (*Topology, error) { return MultiRack(2, 4, Gbps, 0) }},
+		{"multirack negative host", func() (*Topology, error) { return MultiRack(2, 4, -1, 10*Gbps) }},
+		{"fattree zero", func() (*Topology, error) { return FatTree(4, 0) }},
+		{"hand-built negative latency", func() (*Topology, error) {
+			b := NewBuilder()
+			a := b.AddHost("a", 0)
+			c := b.AddHost("b", 0)
+			b.Connect(a, c, Gbps, -1)
+			return b.Build()
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			topo, err := c.build()
+			if !errors.Is(err, ErrBadLink) {
+				t.Fatalf("err = %v, want ErrBadLink", err)
+			}
+			if topo != nil {
+				t.Fatal("bad topology returned non-nil")
+			}
+		})
+	}
+}
+
+// Valid capacities must keep building: the validation only rejects the
+// degenerate cases.
+func TestBuildersAcceptGoodCapacity(t *testing.T) {
+	if _, err := Star(5, Gbps); err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	if _, err := MultiRack(2, 4, Gbps, 10*Gbps); err != nil {
+		t.Fatalf("MultiRack: %v", err)
+	}
+	if _, err := FatTree(4, 10*Gbps); err != nil {
+		t.Fatalf("FatTree: %v", err)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"keddah/internal/telemetry"
 )
 
 // Time is simulated time measured from the start of the run.
@@ -90,7 +92,12 @@ type Engine struct {
 	// MaxEvents bounds a single Run; 0 means the default of 500 million.
 	MaxEvents uint64
 	processed uint64
+	metrics   telemetry.SimMetrics
 }
+
+// SetMetrics attaches engine instrumentation. The zero value detaches
+// it (every hook degrades to a nil check).
+func (e *Engine) SetMetrics(m telemetry.SimMetrics) { e.metrics = m }
 
 // New returns an Engine with the clock at zero and an empty queue.
 func New() *Engine {
@@ -116,6 +123,7 @@ func (e *Engine) At(t Time, fn func()) (*Event, error) {
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	e.metrics.HeapDepthMax.SetMax(float64(len(e.queue)))
 	return ev, nil
 }
 
@@ -181,6 +189,7 @@ func (e *Engine) Run(until Time) (Time, error) {
 			return e.now, ErrHorizon
 		}
 		e.processed++
+		e.metrics.Events.Inc()
 		e.now = next.at
 		next.fn()
 	}
@@ -215,6 +224,7 @@ func (e *Engine) Step() bool {
 		}
 		next := heap.Pop(&e.queue).(*Event)
 		e.processed++
+		e.metrics.Events.Inc()
 		e.now = next.at
 		next.fn()
 		return true

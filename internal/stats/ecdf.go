@@ -1,21 +1,31 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"sort"
 )
+
+// ErrEmptySample is returned by constructors and summaries that need at
+// least one observation. Callers used to get NaN-filled results back;
+// the typed error makes the empty case detectable with errors.Is.
+var ErrEmptySample = errors.New("stats: empty sample")
 
 // ECDF is an empirical cumulative distribution function over a sample.
 type ECDF struct {
 	sorted []float64
 }
 
-// NewECDF builds an ECDF. The input is copied and sorted.
-func NewECDF(xs []float64) *ECDF {
+// NewECDF builds an ECDF. The input is copied and sorted. An empty
+// sample returns ErrEmptySample.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	return &ECDF{sorted: s}
+	return &ECDF{sorted: s}, nil
 }
 
 // Len returns the sample size.
@@ -89,14 +99,18 @@ type Summary struct {
 	GeometricMeanLog float64 `json:"geoMeanLog"` // mean of ln(x) for positive samples; NaN otherwise
 }
 
-// Describe computes descriptive statistics of xs.
-func Describe(xs []float64) Summary {
+// Describe computes descriptive statistics of xs. An empty sample
+// returns ErrEmptySample.
+func Describe(xs []float64) (Summary, error) {
 	var s Summary
 	s.N = len(xs)
 	if s.N == 0 {
-		return s
+		return s, ErrEmptySample
 	}
-	e := NewECDF(xs)
+	e, err := NewECDF(xs)
+	if err != nil {
+		return s, err
+	}
 	s.Min = e.sorted[0]
 	s.Max = e.sorted[len(e.sorted)-1]
 	s.P25 = e.Quantile(0.25)
@@ -141,7 +155,7 @@ func Describe(xs []float64) Summary {
 	if allPos {
 		s.GeometricMeanLog = lsum / float64(s.N)
 	}
-	return s
+	return s, nil
 }
 
 // Histogram bins xs into nbins equal-width bins over [min,max] and returns

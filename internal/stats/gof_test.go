@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -131,7 +132,10 @@ func TestKolmogorovQLimits(t *testing.T) {
 }
 
 func TestECDFBasics(t *testing.T) {
-	e := NewECDF([]float64{3, 1, 2, 2})
+	e, err := NewECDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.Len() != 4 {
 		t.Fatalf("len = %d", e.Len())
 	}
@@ -153,19 +157,35 @@ func TestECDFBasics(t *testing.T) {
 }
 
 func TestECDFQuantileEdges(t *testing.T) {
-	e := NewECDF([]float64{5, 1, 3})
+	e, err := NewECDF([]float64{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.Quantile(0) != 1 || e.Quantile(1) != 5 {
 		t.Error("quantile edges wrong")
 	}
-	empty := NewECDF(nil)
-	if !math.IsNaN(empty.Quantile(0.5)) {
-		t.Error("empty ECDF quantile should be NaN")
+}
+
+// Regression: empty samples used to yield NaN-filled results; now both
+// constructors report a typed error the caller can test for.
+func TestEmptySampleTypedError(t *testing.T) {
+	if _, err := NewECDF(nil); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("NewECDF(nil) err = %v, want ErrEmptySample", err)
+	}
+	if _, err := NewECDF([]float64{}); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("NewECDF(empty) err = %v, want ErrEmptySample", err)
+	}
+	if s, err := Describe(nil); !errors.Is(err, ErrEmptySample) || s.N != 0 {
+		t.Errorf("Describe(nil) = %+v, %v, want zero summary and ErrEmptySample", s, err)
 	}
 }
 
 func TestDescribe(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 100}
-	s := Describe(xs)
+	s, err := Describe(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.N != 5 || s.Min != 1 || s.Max != 100 || s.Sum != 110 {
 		t.Errorf("summary basics wrong: %+v", s)
 	}
@@ -181,12 +201,12 @@ func TestDescribe(t *testing.T) {
 	if math.IsNaN(s.GeometricMeanLog) {
 		t.Error("geometric mean log should exist for positive data")
 	}
-	neg := Describe([]float64{-1, 1})
+	neg, err := Describe([]float64{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !math.IsNaN(neg.GeometricMeanLog) {
 		t.Error("geometric mean log should be NaN with non-positive data")
-	}
-	if z := Describe(nil); z.N != 0 {
-		t.Error("empty describe")
 	}
 }
 
@@ -218,7 +238,10 @@ func TestECDFMonotoneProperty(t *testing.T) {
 				return true
 			}
 		}
-		e := NewECDF(xs)
+		e, err := NewECDF(xs)
+		if err != nil {
+			return len(xs) == 0 // only the empty sample may error
+		}
 		sort.Float64s(qs)
 		prev := -1.0
 		for _, q := range qs {

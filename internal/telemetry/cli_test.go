@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagsDisabledByDefault(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Enabled() {
+		t.Error("enabled with no flags")
+	}
+	if f.Telemetry() != nil {
+		t.Error("telemetry built with no flags")
+	}
+	// Emit on a nil session is a no-op.
+	if err := f.Emit(nil, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsMetricsStdout(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	tel := f.Telemetry()
+	if tel == nil {
+		t.Fatal("telemetry not built")
+	}
+	if tel.Links != nil {
+		t.Error("link timeline enabled without -links-out")
+	}
+	tel.MR.JobsCompleted.Inc()
+	var out bytes.Buffer
+	if err := f.Emit(tel, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "keddah_mr_jobs_completed_total 1") {
+		t.Error("prometheus exposition missing from stdout")
+	}
+	if !strings.Contains(s, `"counters"`) {
+		t.Error("JSON snapshot missing from stdout")
+	}
+}
+
+func TestFlagsFileOutputs(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "tel")
+	tracePath := filepath.Join(dir, "spans.csv")
+	linksPath := filepath.Join(dir, "links.csv")
+
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.Register(fs)
+	args := []string{"-metrics-out", prefix, "-trace-out", tracePath, "-links-out", linksPath}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	tel := f.Telemetry()
+	if tel.Links == nil {
+		t.Fatal("-links-out did not enable the link timeline")
+	}
+	tel.Sim.Events.Inc()
+	tel.Trace.Add(Span{Cat: "mr", Name: "job", StartNs: 1, EndNs: 2})
+	tel.Links.Append(LinkPoint{AtNs: 5, Link: 0, Util: 1, Flows: 1})
+
+	var out bytes.Buffer
+	if err := f.Emit(tel, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("file-only flags wrote to stdout")
+	}
+	for path, want := range map[string]string{
+		prefix + ".prom": "keddah_sim_events_total 1",
+		prefix + ".json": `"keddah_sim_events_total"`,
+		tracePath:        "mr,job",
+		linksPath:        "at_ns,link,util,flows",
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !strings.Contains(string(data), want) {
+			t.Errorf("%s missing %q:\n%s", path, want, data)
+		}
+	}
+}

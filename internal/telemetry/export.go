@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteJSON writes the deterministic snapshot as indented JSON. For a
+// fixed seed and capture configuration the bytes are identical run to
+// run: wall-clock gauges are excluded and every section is name-sorted.
+func (t *Telemetry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(t.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// formatFloat renders a gauge or bound value the way Prometheus clients
+// do (shortest round-trip representation).
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) || v == math.MaxFloat64 {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every instrument — including volatile
+// wall-clock gauges — in the Prometheus text exposition format.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	s := t.Reg.Snapshot(true)
+
+	lastName := ""
+	for _, c := range s.Counters {
+		if c.Name != lastName {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", c.Name, c.Help, c.Name)
+			lastName = c.Name
+		}
+		if c.Labels != "" {
+			fmt.Fprintf(bw, "%s{%s} %d\n", c.Name, c.Labels, c.Value)
+		} else {
+			fmt.Fprintf(bw, "%s %d\n", c.Name, c.Value)
+		}
+	}
+	lastName = ""
+	for _, g := range s.Gauges {
+		if g.Name != lastName {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n", g.Name, g.Help, g.Name)
+			lastName = g.Name
+		}
+		if g.Labels != "" {
+			fmt.Fprintf(bw, "%s{%s} %s\n", g.Name, g.Labels, formatFloat(g.Value))
+		} else {
+			fmt.Fprintf(bw, "%s %s\n", g.Name, formatFloat(g.Value))
+		}
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", h.Name, h.Help, h.Name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", h.Name, formatFloat(b.LE), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_sum %d\n", h.Name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", h.Name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// WriteSpanCSV writes the span timeline (empty but valid CSV when no
+// tracer is attached).
+func (t *Telemetry) WriteSpanCSV(w io.Writer) error {
+	var tr *Tracer
+	if t != nil {
+		tr = t.Trace
+	}
+	return tr.WriteCSV(w)
+}

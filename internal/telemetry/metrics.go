@@ -1,0 +1,232 @@
+package telemetry
+
+// The metric catalog: one value struct per instrumented layer. The zero
+// value of each struct holds nil instruments, so a layer that was never
+// attached pays only a nil check per hook — that is the disabled path.
+
+// SimMetrics instruments the discrete-event engine.
+type SimMetrics struct {
+	// Events counts processed events.
+	Events *Counter
+	// HeapDepthMax tracks the event queue's high-water mark.
+	HeapDepthMax *Gauge
+}
+
+// NetMetrics instruments the flow-level network simulator.
+type NetMetrics struct {
+	FlowsStarted    *Counter
+	FlowsCompleted  *Counter
+	FlowsAborted    *Counter
+	Reallocs        *Counter // max-min reallocation passes
+	Reroutes        *Counter // flows moved to an alternate path after a link fault
+	LinkTransitions *Counter // SetLinkState up/down changes
+	ActiveFlowsMax  *Gauge
+	FlowBytes       *Histogram
+}
+
+// HDFSMetrics instruments the simulated DFS.
+type HDFSMetrics struct {
+	BlocksWritten      *Counter
+	BlocksRead         *Counter
+	BytesWritten       *Counter
+	BytesRead          *Counter
+	Heartbeats         *Counter
+	PipelineRecoveries *Counter
+	ReadRetries        *Counter
+	ReReplicatedBlocks *Counter
+	ReReplicatedBytes  *Counter
+	LostBlocks         *Counter
+	DNCrashes          *Counter
+	DNRejoins          *Counter
+}
+
+// YarnMetrics instruments the resource manager.
+type YarnMetrics struct {
+	NMHeartbeats      *Counter
+	AMHeartbeats      *Counter
+	ContainersGranted *Counter
+	ContainersLocal   *Counter
+	ContainersLost    *Counter
+	NodeExpiries      *Counter
+	NodeRejoins       *Counter
+	QueueDepthMax     *Gauge
+}
+
+// MRMetrics instruments the MapReduce runtime.
+type MRMetrics struct {
+	JobsSubmitted      *Counter
+	JobsCompleted      *Counter
+	JobsFailed         *Counter
+	MapAttempts        *Counter
+	MapsCompleted      *Counter
+	MapsReexecuted     *Counter
+	MapsSpeculative    *Counter
+	ReduceAttempts     *Counter
+	ReducersReexecuted *Counter
+	ShuffleFetches     *Counter
+	ShuffleRetries     *Counter
+	ShuffleBlacklists  *Counter
+	AMRestarts         *Counter
+}
+
+// FaultMetrics counts injected and healed faults per kind.
+type FaultMetrics struct {
+	injected map[string]*Counter
+	healed   map[string]*Counter
+}
+
+// Injected returns the injected-faults counter for kind (nil, hence a
+// no-op, when the metrics were never built or the kind is unknown).
+func (m FaultMetrics) Injected(kind string) *Counter { return m.injected[kind] }
+
+// Healed returns the healed-faults counter for kind.
+func (m FaultMetrics) Healed(kind string) *Counter { return m.healed[kind] }
+
+// CoreMetrics instruments the capture→fit→generate→validate toolchain.
+// The *WallMs gauges are volatile (wall-clock): Prometheus-only, never
+// in the deterministic JSON snapshot.
+type CoreMetrics struct {
+	Captures       *Counter
+	Fits           *Counter
+	Generates      *Counter
+	Validates      *Counter
+	Replays        *Counter
+	CaptureSimNs   *Gauge // high-water simulated end time across captures
+	CaptureWallMs  *Gauge
+	FitWallMs      *Gauge
+	GenerateWallMs *Gauge
+	ValidateWallMs *Gauge
+	ReplayWallMs   *Gauge
+}
+
+// Telemetry is one observability session: the registry, the full metric
+// catalog, the span tracer and (optionally) a link timeline. Share one
+// instance across concurrent captures — instruments are atomic and the
+// tracer locks — or use one per capture when per-run isolation matters.
+type Telemetry struct {
+	Reg   *Registry
+	Trace *Tracer
+	// Links, when non-nil, asks captures to sample per-link
+	// utilisation/flow-count timelines. Enable with EnableLinkTimeline;
+	// leave nil when several captures share this session (their
+	// simulated clocks would interleave in one series).
+	Links *LinkTimeline
+
+	Sim   SimMetrics
+	Net   NetMetrics
+	HDFS  HDFSMetrics
+	Yarn  YarnMetrics
+	MR    MRMetrics
+	Fault FaultMetrics
+	Core  CoreMetrics
+}
+
+// FaultKinds are the fault kinds pre-registered by New. Kept as strings
+// so telemetry does not import the faults package.
+var FaultKinds = []string{"linkDown", "linkDegrade", "nodeCrash"}
+
+// New builds a telemetry session with the full metric catalog
+// registered. Flow-size histogram buckets are powers of four from 256 B
+// to 4 GiB.
+func New() *Telemetry {
+	r := NewRegistry()
+	t := &Telemetry{Reg: r, Trace: NewTracer(0)}
+
+	t.Sim = SimMetrics{
+		Events:       r.Counter("keddah_sim_events_total", "Discrete events processed."),
+		HeapDepthMax: r.Gauge("keddah_sim_heap_depth_max", "Event queue high-water mark."),
+	}
+
+	var flowBounds []float64
+	for b := float64(256); b <= float64(4)*(1<<30); b *= 4 {
+		flowBounds = append(flowBounds, b)
+	}
+	t.Net = NetMetrics{
+		FlowsStarted:    r.Counter("keddah_net_flows_started_total", "Flows admitted to the network."),
+		FlowsCompleted:  r.Counter("keddah_net_flows_completed_total", "Flows that delivered all bytes."),
+		FlowsAborted:    r.Counter("keddah_net_flows_aborted_total", "Flows aborted by faults or timeouts."),
+		Reallocs:        r.Counter("keddah_net_reallocs_total", "Bandwidth reallocation passes."),
+		Reroutes:        r.Counter("keddah_net_reroutes_total", "Flows rerouted after link state changes."),
+		LinkTransitions: r.Counter("keddah_net_link_transitions_total", "Link up/down state changes."),
+		ActiveFlowsMax:  r.Gauge("keddah_net_active_flows_max", "Concurrent flow high-water mark."),
+		FlowBytes:       r.Histogram("keddah_net_flow_bytes", "Completed flow sizes in bytes.", flowBounds),
+	}
+
+	t.HDFS = HDFSMetrics{
+		BlocksWritten:      r.Counter("keddah_hdfs_blocks_written_total", "Blocks fully written through pipelines."),
+		BlocksRead:         r.Counter("keddah_hdfs_blocks_read_total", "Block reads completed."),
+		BytesWritten:       r.Counter("keddah_hdfs_bytes_written_total", "Bytes written (per replica hop payload counted once)."),
+		BytesRead:          r.Counter("keddah_hdfs_bytes_read_total", "Bytes read from DataNodes."),
+		Heartbeats:         r.Counter("keddah_hdfs_heartbeats_total", "DataNode heartbeats sent."),
+		PipelineRecoveries: r.Counter("keddah_hdfs_pipeline_recoveries_total", "Write pipelines rebuilt after a DataNode loss."),
+		ReadRetries:        r.Counter("keddah_hdfs_read_retries_total", "Block read attempts retried on another replica."),
+		ReReplicatedBlocks: r.Counter("keddah_hdfs_rereplicated_blocks_total", "Blocks re-replicated after node loss."),
+		ReReplicatedBytes:  r.Counter("keddah_hdfs_rereplicated_bytes_total", "Bytes moved by re-replication."),
+		LostBlocks:         r.Counter("keddah_hdfs_lost_blocks_total", "Blocks that lost all replicas."),
+		DNCrashes:          r.Counter("keddah_hdfs_dn_crashes_total", "DataNode crash events."),
+		DNRejoins:          r.Counter("keddah_hdfs_dn_rejoins_total", "DataNode rejoin (re-registration) events."),
+	}
+
+	t.Yarn = YarnMetrics{
+		NMHeartbeats:      r.Counter("keddah_yarn_nm_heartbeats_total", "NodeManager heartbeats."),
+		AMHeartbeats:      r.Counter("keddah_yarn_am_heartbeats_total", "ApplicationMaster heartbeats."),
+		ContainersGranted: r.Counter("keddah_yarn_containers_granted_total", "Containers allocated."),
+		ContainersLocal:   r.Counter("keddah_yarn_containers_local_total", "Containers allocated data-local."),
+		ContainersLost:    r.Counter("keddah_yarn_containers_lost_total", "Containers lost to node failures."),
+		NodeExpiries:      r.Counter("keddah_yarn_node_expiries_total", "NodeManagers declared lost by heartbeat expiry."),
+		NodeRejoins:       r.Counter("keddah_yarn_node_rejoins_total", "NodeManagers re-registered after a crash."),
+		QueueDepthMax:     r.Gauge("keddah_yarn_queue_depth_max", "Scheduler request-queue high-water mark."),
+	}
+
+	t.MR = MRMetrics{
+		JobsSubmitted:      r.Counter("keddah_mr_jobs_submitted_total", "MapReduce jobs submitted."),
+		JobsCompleted:      r.Counter("keddah_mr_jobs_completed_total", "MapReduce jobs completed."),
+		JobsFailed:         r.Counter("keddah_mr_jobs_failed_total", "MapReduce jobs aborted."),
+		MapAttempts:        r.Counter("keddah_mr_map_attempts_total", "Map task attempts launched."),
+		MapsCompleted:      r.Counter("keddah_mr_maps_completed_total", "Map tasks completed."),
+		MapsReexecuted:     r.Counter("keddah_mr_maps_reexecuted_total", "Map tasks re-executed after loss or fetch failures."),
+		MapsSpeculative:    r.Counter("keddah_mr_maps_speculative_total", "Speculative map attempts launched."),
+		ReduceAttempts:     r.Counter("keddah_mr_reduce_attempts_total", "Reduce task attempts launched."),
+		ReducersReexecuted: r.Counter("keddah_mr_reducers_reexecuted_total", "Reduce tasks re-executed after container loss."),
+		ShuffleFetches:     r.Counter("keddah_mr_shuffle_fetches_total", "Shuffle fetch flows started."),
+		ShuffleRetries:     r.Counter("keddah_mr_shuffle_retries_total", "Shuffle fetches retried after aborts."),
+		ShuffleBlacklists:  r.Counter("keddah_mr_shuffle_blacklists_total", "Shuffle source hosts blacklisted."),
+		AMRestarts:         r.Counter("keddah_mr_am_restarts_total", "ApplicationMaster restarts."),
+	}
+
+	t.Fault = FaultMetrics{injected: map[string]*Counter{}, healed: map[string]*Counter{}}
+	for _, k := range FaultKinds {
+		t.Fault.injected[k] = r.Counter("keddah_faults_injected_total", "Faults injected.", "kind", k)
+		t.Fault.healed[k] = r.Counter("keddah_faults_healed_total", "Faults healed (target recovered).", "kind", k)
+	}
+
+	t.Core = CoreMetrics{
+		Captures:       r.Counter("keddah_core_captures_total", "Capture sessions completed."),
+		Fits:           r.Counter("keddah_core_fits_total", "Model fits completed."),
+		Generates:      r.Counter("keddah_core_generates_total", "Schedule generations completed."),
+		Validates:      r.Counter("keddah_core_validates_total", "Validations completed."),
+		Replays:        r.Counter("keddah_core_replays_total", "Schedule replays completed."),
+		CaptureSimNs:   r.Gauge("keddah_core_capture_sim_ns", "Longest simulated capture duration (ns)."),
+		CaptureWallMs:  r.VolatileGauge("keddah_core_capture_wall_ms", "Wall-clock time spent capturing (ms, cumulative)."),
+		FitWallMs:      r.VolatileGauge("keddah_core_fit_wall_ms", "Wall-clock time spent fitting (ms, cumulative)."),
+		GenerateWallMs: r.VolatileGauge("keddah_core_generate_wall_ms", "Wall-clock time spent generating (ms, cumulative)."),
+		ValidateWallMs: r.VolatileGauge("keddah_core_validate_wall_ms", "Wall-clock time spent validating (ms, cumulative)."),
+		ReplayWallMs:   r.VolatileGauge("keddah_core_replay_wall_ms", "Wall-clock time spent replaying (ms, cumulative)."),
+	}
+	return t
+}
+
+// EnableLinkTimeline attaches a per-link utilisation timeline sampled
+// every intervalNs (<=0 selects 100 ms of simulated time).
+func (t *Telemetry) EnableLinkTimeline(intervalNs int64) *LinkTimeline {
+	t.Links = NewLinkTimeline(intervalNs)
+	return t.Links
+}
+
+// Snapshot returns the deterministic (volatile-excluded) snapshot.
+func (t *Telemetry) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	return t.Reg.Snapshot(false)
+}

@@ -1,0 +1,326 @@
+// Package telemetry is the toolchain's observability subsystem: cheap
+// atomic counters/gauges/histograms with deterministic snapshots, span
+// phase tracing keyed to simulated time, and per-link utilisation
+// timelines. It imports nothing from the rest of the repo so every layer
+// (sim, netsim, hadoop, faults, core) can hook into it without cycles.
+//
+// Every instrument method is nil-receiver safe: a disabled layer holds
+// nil instruments and each call degrades to a pointer test, which is what
+// keeps the instrumented-off overhead near zero.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help, labels string
+	v                  atomic.Int64
+}
+
+// Inc adds one. Safe on a nil counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued metric. Volatile gauges carry wall-clock
+// measurements: they appear in Prometheus exposition but are excluded
+// from the deterministic JSON snapshot.
+type Gauge struct {
+	name, help, labels string
+	volatile           bool
+	bits               atomic.Uint64
+}
+
+// Set stores v. Safe on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically adds v. Safe on a nil gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// deterministic high-water mark even under concurrent captures. Safe on
+// a nil gauge.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket integer distribution (e.g. flow sizes).
+type Histogram struct {
+	name, help string
+	bounds     []float64 // upper bucket bounds ("le"), ascending
+	buckets    []atomic.Int64
+	sum        atomic.Int64
+	count      atomic.Int64
+}
+
+// Observe records v. Safe on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, float64(v))
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Registry owns instrument registration. Instruments are created up
+// front (or lazily under the registry lock) and then updated lock-free;
+// snapshots sort by name so exports are deterministic.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// labelString renders k/v pairs as `k="v",...` with keys sorted. It
+// panics on an odd pair count (a programming error at registration).
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label key/value count")
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+func instrumentKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Counter registers (or returns the existing) counter. Safe on a nil
+// registry, which yields a nil no-op counter.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	labels := labelString(kv)
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help, labels: labels}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	return r.gauge(name, help, false, kv)
+}
+
+// VolatileGauge registers a gauge carrying wall-clock (non-deterministic)
+// data: exported to Prometheus, excluded from the JSON snapshot.
+func (r *Registry) VolatileGauge(name, help string, kv ...string) *Gauge {
+	return r.gauge(name, help, true, kv)
+}
+
+func (r *Registry) gauge(name, help string, volatile bool, kv []string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	labels := labelString(kv)
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help, labels: labels, volatile: volatile}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// ascending upper bucket bounds; an implicit +Inf bucket is added.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	h := &Histogram{name: name, help: help, bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+	r.histograms[name] = h
+	return h
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Help   string `json:"-"`
+	Value  int64  `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name     string  `json:"name"`
+	Labels   string  `json:"labels,omitempty"`
+	Help     string  `json:"-"`
+	Value    float64 `json:"value"`
+	Volatile bool    `json:"-"`
+}
+
+// BucketPoint is one cumulative histogram bucket.
+type BucketPoint struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramPoint is one histogram in a snapshot. Buckets are cumulative
+// in bound order; the final bucket is the +Inf catch-all (its LE is
+// reported as math.MaxFloat64 so the JSON stays finite).
+type HistogramPoint struct {
+	Name    string        `json:"name"`
+	Help    string        `json:"-"`
+	Buckets []BucketPoint `json:"buckets"`
+	Sum     int64         `json:"sum"`
+	Count   int64         `json:"count"`
+}
+
+// Snapshot is a point-in-time, name-sorted view of every instrument.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot captures every instrument. With includeVolatile false the
+// result is deterministic for a fixed seed (wall-clock gauges excluded).
+func (r *Registry) Snapshot(includeVolatile bool) Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: c.name, Labels: c.labels, Help: c.help, Value: c.Value()})
+	}
+	for _, g := range r.gauges {
+		if g.volatile && !includeVolatile {
+			continue
+		}
+		s.Gauges = append(s.Gauges, GaugePoint{Name: g.name, Labels: g.labels, Help: g.help, Value: g.Value(), Volatile: g.volatile})
+	}
+	for _, h := range r.histograms {
+		hp := HistogramPoint{Name: h.name, Help: h.help, Sum: h.sum.Load(), Count: h.count.Load()}
+		var cum int64
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := math.MaxFloat64
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hp.Buckets = append(hp.Buckets, BucketPoint{LE: le, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, hp)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].Labels < s.Counters[j].Labels
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return s.Gauges[i].Labels < s.Gauges[j].Labels
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the session:
+//
+//	/metrics       Prometheus text exposition (includes wall-clock gauges)
+//	/metrics.json  deterministic JSON snapshot
+//	/trace.csv     span timeline CSV
+//	/debug/pprof/  the standard net/http/pprof endpoints
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = t.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.csv", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		_ = t.WriteSpanCSV(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve blocks serving Handler on addr — run it in a goroutine alongside
+// a long capture to watch metrics live and grab pprof profiles.
+func (t *Telemetry) Serve(addr string) error {
+	return http.ListenAndServe(addr, t.Handler())
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Span is one traced phase episode on the simulated clock: a job, a
+// map/shuffle/reduce window, an HDFS write pipeline, a YARN scheduling
+// decision, or a fault's injected-to-healed interval.
+type Span struct {
+	// Cat groups spans by subsystem: "core", "mr", "hdfs", "yarn", "fault".
+	Cat string `json:"cat"`
+	// Name is the phase ("job", "map", "pipeline", "schedule", ...).
+	Name string `json:"name"`
+	// Attr carries the instance label (job name, block path, fault target).
+	Attr string `json:"attr,omitempty"`
+	// StartNs / EndNs are simulated times.
+	StartNs int64 `json:"startNs"`
+	EndNs   int64 `json:"endNs"`
+}
+
+// Tracer collects spans under a mutex with a bounded buffer. All methods
+// are nil-receiver safe so tracing can be compiled out by not attaching.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	limit   int
+	dropped int64
+}
+
+// NewTracer returns a tracer holding at most limit spans (<=0 selects
+// the default of 1<<20); beyond that spans are counted as dropped.
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Tracer{limit: limit}
+}
+
+// Add records a span. Safe on a nil tracer.
+func (t *Tracer) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans were discarded over the limit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy sorted by (start, cat, name, attr, end) — a
+// stable order even when spans were recorded from concurrent captures.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.StartNs != b.StartNs {
+			return a.StartNs < b.StartNs
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		return a.EndNs < b.EndNs
+	})
+	return out
+}
+
+// WriteCSV writes the sorted span timeline with a fixed header. Field
+// quoting/escaping follows encoding/csv, so attrs with commas or quotes
+// round-trip.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cat", "name", "attr", "start_ns", "end_ns", "duration_ns"}); err != nil {
+		return err
+	}
+	for _, s := range t.Spans() {
+		rec := []string{
+			s.Cat, s.Name, s.Attr,
+			strconv.FormatInt(s.StartNs, 10),
+			strconv.FormatInt(s.EndNs, 10),
+			strconv.FormatInt(s.EndNs-s.StartNs, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
