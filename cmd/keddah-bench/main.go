@@ -11,20 +11,23 @@ package main
 
 import (
 	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
-	"testing"
 	"time"
 
 	"keddah/internal/benchcases"
 	"keddah/internal/experiments"
 	"keddah/internal/telemetry"
 )
+
+// gatedBenchmarks are the cases the CI regression gate enforces: the
+// netsim hot path and the replay pipeline with and without telemetry.
+// CaptureTerasort is reported but not gated (its ns/op is dominated by
+// one-off model fitting and too noisy for a 15% bound).
+var gatedBenchmarks = []string{"NetsimFanIn", "ReplayFatTree", "ReplayFatTreeTelemetry"}
 
 // writeTableCSV dumps one experiment table as <dir>/<id>.csv for plotting.
 func writeTableCSV(dir string, t experiments.Table) error {
@@ -52,53 +55,42 @@ func writeTableCSV(dir string, t experiments.Table) error {
 	return f.Close()
 }
 
-// benchEntry is one benchmark's machine-readable result.
-type benchEntry struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
-}
-
-// benchReport is the BENCH_netsim.json schema.
-type benchReport struct {
-	GoVersion  string       `json:"goVersion"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Benchmarks []benchEntry `json:"benchmarks"`
-}
-
-// runBenchJSON executes the shared benchmark cases via testing.Benchmark
-// and writes ns/op, B/op and allocs/op as JSON to path.
-func runBenchJSON(path string) error {
-	report := benchReport{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-	for _, c := range benchcases.Cases() {
-		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
-		r := testing.Benchmark(c.Fn)
-		if r.N == 0 {
-			return fmt.Errorf("benchmark %s failed", c.Name)
-		}
-		report.Benchmarks = append(report.Benchmarks, benchEntry{
-			Name:        c.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "bench %s: %s %s\n", c.Name, r.String(), r.MemString())
-	}
-	data, err := json.MarshalIndent(report, "", "  ")
+// runBench executes the shared benchmark cases once and serves every
+// bench flag from that single run: -benchjson writes the machine-readable
+// report, -benchbaseline gates ns/op against a committed baseline, and
+// -benchdiff records the comparison (the CI artifact).
+func runBench(jsonPath, baselinePath, diffPath string) error {
+	report, err := benchcases.RunReport(os.Stderr)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if jsonPath != "" {
+		if err := report.WriteFile(jsonPath); err != nil {
+			return err
+		}
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	baseline, err := benchcases.LoadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	diffs, gateErr := benchcases.Gate(baseline, report, gatedBenchmarks, 0.15)
+	for _, d := range diffs {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(os.Stderr, "gate %-24s %9.0f -> %9.0f ns/op (%.2fx) %s\n",
+			d.Name, d.BaselineNs, d.CurrentNs, d.Ratio, verdict)
+	}
+	if diffPath != "" {
+		if err := benchcases.WriteDiffs(diffPath, diffs); err != nil {
+			return err
+		}
+	}
+	return gateErr
 }
 
 func main() {
@@ -117,13 +109,16 @@ func run() error {
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers   = flag.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS, 1 = serial)")
 		benchJSON = flag.String("benchjson", "", "run the netsim/replay micro-benchmarks and write results as JSON to this path, then exit")
+		benchBase = flag.String("benchbaseline", "", "compare the micro-benchmarks against this committed baseline JSON and fail on >15% ns/op regression, then exit")
+		benchDiff = flag.String("benchdiff", "", "with -benchbaseline, write the per-benchmark comparison as JSON to this path")
+		strict    = flag.Bool("strict-checks", false, "run every capture with the invariants layer enabled (read-only cross-layer checks; identical results, more wall time)")
 	)
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *benchJSON != "" {
-		return runBenchJSON(*benchJSON)
+	if *benchJSON != "" || *benchBase != "" {
+		return runBench(*benchJSON, *benchBase, *benchDiff)
 	}
 
 	if *list {
@@ -138,7 +133,7 @@ func run() error {
 		ids = []string{*exp}
 	}
 	tel := tf.Telemetry()
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Telemetry: tel}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Telemetry: tel, StrictChecks: *strict}
 	start := time.Now()
 	results := experiments.RunAll(ids, cfg, *workers)
 	// Results come back in id order whatever the completion order, so the

@@ -45,6 +45,7 @@ func run() error {
 		pcapOut    = flag.String("pcap", "", "optional packet trace output path")
 		failWorker = flag.Int("fail-worker", -1, "worker index to kill mid-session (-1 = none)")
 		failAt     = flag.Float64("fail-at", 30, "failure time in seconds (with -fail-worker)")
+		strict     = flag.Bool("strict-checks", false, "run the capture with the invariants layer enabled (read-only cross-layer checks; identical trace, more wall time)")
 	)
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
@@ -84,6 +85,7 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "capturing %d runs on %d workers (%s)...\n", len(runSpecs), *workers, *topology)
 	var opts core.CaptureOpts
+	opts.StrictChecks = *strict
 	if *failWorker >= 0 {
 		opts.Failures = []core.FailureSpec{{WorkerIndex: *failWorker, AtNs: int64(*failAt * 1e9)}}
 		fmt.Fprintf(os.Stderr, "injecting worker %d failure at %.1fs\n", *failWorker, *failAt)

@@ -1,0 +1,73 @@
+package benchcases
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Diff compares one benchmark between a committed baseline and the
+// current run. Ratio is current/baseline ns/op; Regressed marks ratios
+// beyond the gate's tolerance.
+type Diff struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baselineNsPerOp"`
+	CurrentNs  float64 `json:"currentNsPerOp"`
+	Ratio      float64 `json:"ratio"`
+	Regressed  bool    `json:"regressed"`
+}
+
+// ErrRegression is wrapped by Gate failures so callers can distinguish a
+// performance regression from an IO or schema problem.
+var ErrRegression = errors.New("benchcases: performance regression")
+
+// Gate compares the named benchmarks between baseline and current and
+// returns one Diff per name. It fails when a name is missing from either
+// report or when current ns/op exceeds baseline by more than maxRegress
+// (0.15 = +15%). Speedups never fail the gate: CI baselines are
+// refreshed by committing a new BENCH_netsim.json, not enforced both
+// ways (hardware jitter would make a two-sided gate flaky).
+func Gate(baseline, current Report, names []string, maxRegress float64) ([]Diff, error) {
+	diffs := make([]Diff, 0, len(names))
+	var failures []string
+	for _, name := range names {
+		b, ok := baseline.Lookup(name)
+		if !ok {
+			return diffs, fmt.Errorf("benchcases: baseline has no benchmark %q", name)
+		}
+		c, ok := current.Lookup(name)
+		if !ok {
+			return diffs, fmt.Errorf("benchcases: current run has no benchmark %q", name)
+		}
+		if b.NsPerOp <= 0 {
+			return diffs, fmt.Errorf("benchcases: baseline %q has non-positive ns/op %v", name, b.NsPerOp)
+		}
+		d := Diff{
+			Name:       name,
+			BaselineNs: b.NsPerOp,
+			CurrentNs:  c.NsPerOp,
+			Ratio:      c.NsPerOp / b.NsPerOp,
+		}
+		if d.Ratio > 1+maxRegress {
+			d.Regressed = true
+			failures = append(failures, fmt.Sprintf("%s %.2fx (%.0f -> %.0f ns/op)", name, d.Ratio, d.BaselineNs, d.CurrentNs))
+		}
+		diffs = append(diffs, d)
+	}
+	if len(failures) > 0 {
+		return diffs, fmt.Errorf("%w (>+%.0f%%): %s", ErrRegression, maxRegress*100, strings.Join(failures, "; "))
+	}
+	return diffs, nil
+}
+
+// WriteDiffs dumps gate results as indented JSON to path (the CI
+// artifact uploaded on regression).
+func WriteDiffs(path string, diffs []Diff) error {
+	data, err := json.MarshalIndent(diffs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,165 @@
+package benchcases
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(entries ...Entry) Report {
+	return Report{GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, Benchmarks: entries}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	base := report(
+		Entry{Name: "A", NsPerOp: 1000},
+		Entry{Name: "B", NsPerOp: 2000},
+	)
+	cases := []struct {
+		name      string
+		current   Report
+		gated     []string
+		wantErr   error  // nil = pass
+		wantMsg   string // substring of a non-regression error
+		regressed int    // Diffs with Regressed set
+	}{
+		{
+			name:    "within tolerance",
+			current: report(Entry{Name: "A", NsPerOp: 1100}, Entry{Name: "B", NsPerOp: 2000}),
+			gated:   []string{"A", "B"},
+		},
+		{
+			name:    "speedup never fails",
+			current: report(Entry{Name: "A", NsPerOp: 100}, Entry{Name: "B", NsPerOp: 50}),
+			gated:   []string{"A", "B"},
+		},
+		{
+			name:      "regression beyond tolerance",
+			current:   report(Entry{Name: "A", NsPerOp: 1300}, Entry{Name: "B", NsPerOp: 2000}),
+			gated:     []string{"A", "B"},
+			wantErr:   ErrRegression,
+			regressed: 1,
+		},
+		{
+			name:    "name missing from current",
+			current: report(Entry{Name: "A", NsPerOp: 1000}),
+			gated:   []string{"A", "B"},
+			wantMsg: "no benchmark",
+		},
+		{
+			name:    "name missing from baseline",
+			current: report(Entry{Name: "C", NsPerOp: 5}),
+			gated:   []string{"C"},
+			wantMsg: "baseline has no benchmark",
+		},
+		{
+			name:    "corrupt baseline entry",
+			current: report(Entry{Name: "Z", NsPerOp: 5}),
+			gated:   []string{"Z"},
+			wantMsg: "non-positive",
+		},
+	}
+	baseWithZ := base
+	baseWithZ.Benchmarks = append(baseWithZ.Benchmarks, Entry{Name: "Z", NsPerOp: 0})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := base
+			if tc.name == "corrupt baseline entry" {
+				b = baseWithZ
+			}
+			diffs, err := Gate(b, tc.current, tc.gated, 0.15)
+			if tc.wantErr == nil && tc.wantMsg == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v", err)
+				}
+				if len(diffs) != len(tc.gated) {
+					t.Fatalf("got %d diffs, want %d", len(diffs), len(tc.gated))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("gate passed, want failure")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error %v does not match %v", err, tc.wantErr)
+			}
+			if tc.wantErr == nil && errors.Is(err, ErrRegression) {
+				t.Fatalf("schema error %v misclassified as regression", err)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+			got := 0
+			for _, d := range diffs {
+				if d.Regressed {
+					got++
+				}
+			}
+			if got != tc.regressed {
+				t.Fatalf("%d diffs regressed, want %d", got, tc.regressed)
+			}
+		})
+	}
+}
+
+func TestGateDiffContents(t *testing.T) {
+	base := report(Entry{Name: "A", NsPerOp: 1000})
+	cur := report(Entry{Name: "A", NsPerOp: 1500})
+	diffs, err := Gate(base, cur, []string{"A"}, 0.15)
+	if !errors.Is(err, ErrRegression) {
+		t.Fatalf("err = %v, want ErrRegression", err)
+	}
+	if len(diffs) != 1 {
+		t.Fatalf("got %d diffs, want 1", len(diffs))
+	}
+	d := diffs[0]
+	if d.Name != "A" || d.BaselineNs != 1000 || d.CurrentNs != 1500 || d.Ratio != 1.5 || !d.Regressed {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+func TestReportRoundTripAndDiffArtifact(t *testing.T) {
+	dir := t.TempDir()
+	r := report(Entry{Name: "A", Iterations: 7, NsPerOp: 123.5, BytesPerOp: 64, AllocsPerOp: 2})
+	path := filepath.Join(dir, "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoVersion != r.GoVersion || len(got.Benchmarks) != 1 || got.Benchmarks[0] != r.Benchmarks[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	diffPath := filepath.Join(dir, "diff.json")
+	if err := WriteDiffs(diffPath, []Diff{{Name: "A", BaselineNs: 1, CurrentNs: 2, Ratio: 2, Regressed: true}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(diffPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "A"`, `"ratio": 2`, `"regressed": true`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("diff artifact missing %q", want)
+		}
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading a missing report did not error")
+	}
+}
+
+func TestGatedBenchmarkNamesExist(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range Cases() {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"NetsimFanIn", "ReplayFatTree", "ReplayFatTreeTelemetry", "CaptureTerasort"} {
+		if !names[want] {
+			t.Errorf("shared benchmark %q missing from Cases()", want)
+		}
+	}
+}

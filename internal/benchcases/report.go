@@ -1,0 +1,94 @@
+package benchcases
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Entry is one benchmark's machine-readable result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// Report is the BENCH_netsim.json schema: a full run of Cases plus the
+// environment the numbers were measured in.
+type Report struct {
+	GoVersion  string  `json:"goVersion"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Lookup returns the named benchmark's entry.
+func (r Report) Lookup(name string) (Entry, bool) {
+	for _, e := range r.Benchmarks {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// RunReport executes every shared benchmark case via testing.Benchmark
+// and collects ns/op, B/op and allocs/op. Progress notes go to progress
+// when non-nil.
+func RunReport(progress io.Writer) (Report, error) {
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range Cases() {
+		if progress != nil {
+			fmt.Fprintf(progress, "bench %s...\n", c.Name)
+		}
+		r := testing.Benchmark(c.Fn)
+		if r.N == 0 {
+			return report, fmt.Errorf("benchmark %s failed", c.Name)
+		}
+		report.Benchmarks = append(report.Benchmarks, Entry{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		if progress != nil {
+			fmt.Fprintf(progress, "bench %s: %s %s\n", c.Name, r.String(), r.MemString())
+		}
+	}
+	return report, nil
+}
+
+// WriteFile marshals the report as indented JSON to path.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a Report previously written by WriteFile (or the
+// committed BENCH_netsim.json baseline).
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}

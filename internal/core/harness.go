@@ -9,6 +9,7 @@ import (
 	"keddah/internal/hadoop"
 	"keddah/internal/hadoop/hdfs"
 	"keddah/internal/hadoop/yarn"
+	"keddah/internal/invariants"
 	"keddah/internal/netsim"
 	"keddah/internal/pcap"
 	"keddah/internal/sim"
@@ -141,6 +142,12 @@ type CaptureOpts struct {
 	// timeline enabled — a per-link utilisation probe. The capture's
 	// traffic is unchanged by attaching it.
 	Telemetry *telemetry.Telemetry
+	// StrictChecks runs the invariants layer during the session: sampled
+	// cross-layer sweeps after engine steps plus end-of-capture packet
+	// train and conservation checks. Checks are read-only, so the
+	// captured traffic is byte-identical either way. Binaries built with
+	// the keddah_checks tag force this on for every capture.
+	StrictChecks bool
 }
 
 // Capture runs the given workloads sequentially on a fresh cluster built
@@ -174,6 +181,14 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 	}
 	capture := pcap.NewCapture()
 	cluster.Net.AddTap(capture)
+	var checker *invariants.Checker
+	if opts.StrictChecks || invariants.BuildEnabled {
+		var copts invariants.Options
+		if opts.Telemetry != nil {
+			copts.Tracer = opts.Telemetry.Trace
+		}
+		checker = invariants.Attach(cluster, copts)
+	}
 	var probe *netsim.UtilizationProbe
 	if tel := opts.Telemetry; tel != nil && tel.Links != nil {
 		probe = netsim.NewUtilizationProbe(cluster.Net, nil, sim.Time(tel.Links.IntervalNs))
@@ -208,6 +223,12 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 	end, err := cluster.RunToIdle()
 	if err != nil {
 		return nil, nil, fmt.Errorf("simulate: %w", err)
+	}
+	if checker != nil {
+		faultFree := len(opts.Failures) == 0 && len(opts.Faults.Faults) == 0
+		if err := checker.Final(capture, faultFree); err != nil {
+			return nil, nil, err
+		}
 	}
 	if tel := opts.Telemetry; tel != nil {
 		tel.Core.Captures.Inc()

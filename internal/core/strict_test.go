@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"keddah/internal/telemetry"
+)
+
+// TestStrictChecksLockstep is the read-only guarantee of the invariants
+// layer: a strictly checked capture — with or without telemetry, fault
+// free or under the chaos schedule — must produce a TraceSet that is
+// record-identical to the unchecked one. The checks may only observe.
+func TestStrictChecksLockstep(t *testing.T) {
+	spec, runs := chaosSpecAndRuns()
+	cases := []struct {
+		name string
+		bare CaptureOpts
+	}{
+		{name: "fault-free", bare: CaptureOpts{}},
+		{name: "chaos schedule", bare: CaptureOpts{Faults: chaosSchedule()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, _, err := CaptureWith(spec, runs, tc.bare)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strictOpts := tc.bare
+			strictOpts.StrictChecks = true
+			strict, _, err := CaptureWith(spec, runs, strictOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, strict) {
+				t.Error("strict checks changed the capture")
+			}
+			telOpts := strictOpts
+			telOpts.Telemetry = telemetry.New()
+			both, _, err := CaptureWith(spec, runs, telOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, both) {
+				t.Error("strict checks with telemetry changed the capture")
+			}
+		})
+	}
+}

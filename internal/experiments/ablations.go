@@ -38,7 +38,7 @@ func runA1(cfg Config) ([]Table, error) {
 			Topology: "multirack", Workers: 16, Racks: 2, UplinkGbps: 4,
 			LocalityWaitNs: mode.waitNs, Seed: cfg.Seed,
 		}
-		ts, results, err := core.CaptureWith(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}}, core.CaptureOpts{Telemetry: cfg.Telemetry})
+		ts, results, err := core.CaptureWith(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}}, core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 		if err != nil {
 			return nil, fmt.Errorf("A1 capture (%s): %w", mode.name, err)
 		}
@@ -76,7 +76,7 @@ func runA2(cfg Config) ([]Table, error) {
 			Topology: "multirack", Workers: 16, Racks: 2, UplinkGbps: 2,
 			Allocator: alloc, Seed: cfg.Seed,
 		}
-		ts, _, err := core.CaptureWith(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}}, core.CaptureOpts{Telemetry: cfg.Telemetry})
+		ts, _, err := core.CaptureWith(spec, []workload.RunSpec{{Profile: "terasort", InputBytes: input}}, core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 		if err != nil {
 			return nil, fmt.Errorf("A2 capture (%s): %w", alloc, err)
 		}

@@ -45,7 +45,7 @@ func runE16(cfg Config) ([]Table, error) {
 
 		// Healthy baseline: calibrates the fault window and anchors the
 		// stretch and KS columns.
-		ts0, res0, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Telemetry: cfg.Telemetry})
+		ts0, res0, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 		if err != nil {
 			return nil, fmt.Errorf("E16 %s baseline: %w", fabric, err)
 		}
@@ -81,7 +81,7 @@ func runE16(cfg Config) ([]Table, error) {
 					MinFactor:     0.1,
 					MaxFactor:     0.5,
 				})
-				ts, res, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Faults: sched, Telemetry: cfg.Telemetry})
+				ts, res, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Faults: sched, Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 				if err != nil {
 					return nil, fmt.Errorf("E16 %s %s n=%d: %w", fabric, kind, n, err)
 				}

@@ -31,7 +31,7 @@ func runE11(cfg Config) ([]Table, error) {
 	runSpec := []workload.RunSpec{{Profile: "terasort", InputBytes: input}}
 
 	// Healthy baseline (also calibrates the failure instant).
-	ts0, res0, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Telemetry: cfg.Telemetry})
+	ts0, res0, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 	if err != nil {
 		return nil, fmt.Errorf("E11 baseline: %w", err)
 	}
@@ -44,8 +44,9 @@ func runE11(cfg Config) ([]Table, error) {
 	failAt := int64(round0.Submitted) + int64(round0.Duration())/2
 	for _, victim := range []int{3, 7} {
 		ts, res, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{
-			Failures:  []core.FailureSpec{{WorkerIndex: victim, AtNs: failAt}},
-			Telemetry: cfg.Telemetry,
+			Failures:     []core.FailureSpec{{WorkerIndex: victim, AtNs: failAt}},
+			Telemetry:    cfg.Telemetry,
+			StrictChecks: cfg.StrictChecks,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E11 failure run: %w", err)

@@ -32,7 +32,7 @@ func corpus(cfg Config, profiles []string, repeats int) (*core.TraceSet, error) 
 			})
 		}
 	}
-	ts, _, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs, core.CaptureOpts{Telemetry: cfg.Telemetry})
+	ts, _, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs, core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 	if err != nil {
 		return nil, fmt.Errorf("corpus capture: %w", err)
 	}

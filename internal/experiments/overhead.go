@@ -89,7 +89,7 @@ func runE10(cfg Config) ([]Table, error) {
 
 		// Stage: model fitting (on the ground-truth dataset, which has
 		// job attribution).
-		ts, _, err := core.Capture(spec, []workload.RunSpec{{Profile: "sort", InputBytes: input}})
+		ts, _, err := core.CaptureWith(spec, []workload.RunSpec{{Profile: "sort", InputBytes: input}}, core.CaptureOpts{StrictChecks: cfg.StrictChecks})
 		if err != nil {
 			return nil, err
 		}
@@ -125,15 +125,17 @@ func telemetryOverhead(cfg Config) (*Table, error) {
 	spec := core.ClusterSpec{Workers: 16, Seed: cfg.Seed}
 	runSpec := []workload.RunSpec{{Profile: "sort", InputBytes: input}}
 
+	// StrictChecks (when set) applies to both sides so the comparison
+	// isolates the telemetry cost.
 	start := time.Now()
-	if _, _, err := core.Capture(spec, runSpec); err != nil {
+	if _, _, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{StrictChecks: cfg.StrictChecks}); err != nil {
 		return nil, fmt.Errorf("E10b bare: %w", err)
 	}
 	bareMs := time.Since(start).Seconds() * 1000
 
 	tel := telemetry.New()
 	start = time.Now()
-	if _, _, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Telemetry: tel}); err != nil {
+	if _, _, err := core.CaptureWith(spec, runSpec, core.CaptureOpts{Telemetry: tel, StrictChecks: cfg.StrictChecks}); err != nil {
 		return nil, fmt.Errorf("E10b instrumented: %w", err)
 	}
 	instMs := time.Since(start).Seconds() * 1000

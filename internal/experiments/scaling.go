@@ -30,7 +30,7 @@ func runE15(cfg Config) ([]Table, error) {
 			InputPath:  fmt.Sprintf("/data/fit%d", i),
 		})
 	}
-	ts, _, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs, core.CaptureOpts{Telemetry: cfg.Telemetry})
+	ts, _, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed}, specs, core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 	if err != nil {
 		return nil, fmt.Errorf("E15 fit corpus: %w", err)
 	}
@@ -44,7 +44,7 @@ func runE15(cfg Config) ([]Table, error) {
 	target := cfg.gb(8)
 	truth, truthResults, err := core.CaptureWith(core.ClusterSpec{Workers: 16, Seed: cfg.Seed + 1},
 		[]workload.RunSpec{{Profile: "terasort", InputBytes: target}},
-		core.CaptureOpts{Telemetry: cfg.Telemetry})
+		core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 	if err != nil {
 		return nil, fmt.Errorf("E15 target capture: %w", err)
 	}

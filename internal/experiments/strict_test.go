@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStrictChecksPreserveTables: running an experiment with the
+// invariants layer on must produce exactly the tables a bare run
+// produces — across capture paths with failures (E11) and fault
+// schedules (E16) as well as the plain sweep path (E4).
+func TestStrictChecksPreserveTables(t *testing.T) {
+	for _, id := range []string{"E4", "E11", "E16"} {
+		t.Run(id, func(t *testing.T) {
+			bare, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := quickCfg()
+			cfg.StrictChecks = true
+			strict, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(bare, strict) {
+				t.Errorf("%s: strict checks changed the result tables", id)
+			}
+		})
+	}
+}

@@ -29,6 +29,11 @@ type Config struct {
 	// experiment runs. Its instruments are concurrency-safe, so one
 	// Telemetry may be shared across a parallel RunAll.
 	Telemetry *telemetry.Telemetry
+	// StrictChecks runs every capture with the invariants layer enabled
+	// (core.CaptureOpts.StrictChecks): sampled cross-layer sweeps plus
+	// end-of-capture conservation checks. Checks are read-only, so
+	// results are identical; only wall time changes.
+	StrictChecks bool
 }
 
 func (c Config) withDefaults() Config {

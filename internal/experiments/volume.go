@@ -20,7 +20,7 @@ func captureOne(cfg Config, spec core.ClusterSpec, profile string, input int64, 
 		Profile:    profile,
 		InputBytes: input,
 		Reducers:   reducers,
-	}}, core.CaptureOpts{Telemetry: cfg.Telemetry})
+	}}, core.CaptureOpts{Telemetry: cfg.Telemetry, StrictChecks: cfg.StrictChecks})
 	if err != nil {
 		return nil, fmt.Errorf("capture %s@%d: %w", profile, input, err)
 	}

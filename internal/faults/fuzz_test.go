@@ -1,0 +1,48 @@
+package faults
+
+import "testing"
+
+// FuzzFaultScheduleValidate checks the generator/validator contract
+// under arbitrary options: whatever the bounds, Random must neither
+// panic nor emit a schedule its own Validate rejects (Inject relies on
+// this to fail fast instead of mid-simulation), and equal seeds must
+// reproduce the schedule exactly.
+func FuzzFaultScheduleValidate(f *testing.F) {
+	f.Add(int64(1), 4, 16, 8, int64(0), int64(60_000_000_000))
+	f.Add(int64(99), 0, 1, 1, int64(-5), int64(-5))
+	f.Add(int64(-7), 32, 3, 100, int64(1_000_000_000), int64(500_000_000))
+	f.Fuzz(func(t *testing.T, seed int64, n, links, workers int, winStart, winEnd int64) {
+		if n < 0 || n > 64 || links < 1 || links > 1<<20 || workers < 1 || workers > 1<<20 {
+			t.Skip()
+		}
+		opts := RandomOpts{
+			N:             n,
+			Links:         links,
+			Workers:       workers,
+			WindowStartNs: winStart,
+			WindowEndNs:   winEnd,
+		}
+		if winStart < 0 {
+			// Negative injection times are invalid by construction; the
+			// generator does not defend against a caller asking for them.
+			t.Skip()
+		}
+		s := Random(seed, opts)
+		if err := s.Validate(links, workers); err != nil {
+			t.Fatalf("Random(%d, %+v) emitted an invalid schedule: %v", seed, opts, err)
+		}
+		if len(s.Faults) > n {
+			t.Fatalf("asked for %d faults, got %d", n, len(s.Faults))
+		}
+		// Determinism: the same seed and options reproduce the schedule.
+		s2 := Random(seed, opts)
+		if len(s2.Faults) != len(s.Faults) {
+			t.Fatalf("same seed drew %d then %d faults", len(s.Faults), len(s2.Faults))
+		}
+		for i := range s.Faults {
+			if s.Faults[i] != s2.Faults[i] {
+				t.Fatalf("fault %d differs across identical draws: %+v vs %+v", i, s.Faults[i], s2.Faults[i])
+			}
+		}
+	})
+}

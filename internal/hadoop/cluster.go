@@ -40,6 +40,23 @@ type Cluster struct {
 	pending int
 	started bool
 	tel     *telemetry.Telemetry
+	jobs    []*mapreduce.Job
+	// stepCheck, when set, runs after every event RunToIdle processes;
+	// a non-nil error aborts the run (the invariant-checking hook).
+	stepCheck func() error
+}
+
+// SetStepCheck installs a hook run after every event processed by
+// RunToIdle. The invariants layer uses it to sample cross-layer checks;
+// a returned error stops the run and is propagated to the caller.
+func (c *Cluster) SetStepCheck(fn func() error) { c.stepCheck = fn }
+
+// Jobs returns every MapReduce job submitted to the cluster, in
+// submission order (live and finished alike).
+func (c *Cluster) Jobs() []*mapreduce.Job {
+	out := make([]*mapreduce.Job, len(c.jobs))
+	copy(out, c.jobs)
+	return out
 }
 
 // AttachTelemetry wires instrumentation through every cluster layer:
@@ -144,6 +161,7 @@ func (c *Cluster) Submit(cfg mapreduce.JobConfig, done func(mapreduce.Result)) e
 	if c.tel != nil {
 		job.SetTelemetry(c.tel.MR, c.tel.Trace)
 	}
+	c.jobs = append(c.jobs, job)
 	c.pending++
 	return job.Submit(c.master, func(r mapreduce.Result) {
 		c.pending--
@@ -257,6 +275,11 @@ func (c *Cluster) RunToIdle() (sim.Time, error) {
 	for c.pending > 0 {
 		if !c.Eng.Step() {
 			return c.Eng.Now(), fmt.Errorf("hadoop: event queue drained with %d tasks pending", c.pending)
+		}
+		if c.stepCheck != nil {
+			if err := c.stepCheck(); err != nil {
+				return c.Eng.Now(), err
+			}
 		}
 	}
 	end := c.Eng.Now()

@@ -95,19 +95,35 @@ func (fs *FS) reReplicateAfter(failed netsim.NodeID) {
 				fs.metrics.LostBlocks.Inc()
 				continue
 			}
-			// Copy from a surviving replica to a fresh live node.
+			// Copy from a surviving replica to a fresh live node. Targets
+			// of still-in-flight copies count as holding the block —
+			// otherwise two overlapping failure detections could pick the
+			// same target and pin a duplicate replica.
 			holding := make(map[netsim.NodeID]bool, len(blk.Replicas)+1)
 			for _, r := range blk.Replicas {
 				holding[r] = true
+			}
+			for t := range fs.pendingRepl[blk] {
+				holding[t] = true
 			}
 			target := fs.randomDNWhere(holding, func(id netsim.NodeID) bool { return !fs.dead[id] })
 			if target < 0 {
 				fs.UnderReplicated++
 				continue
 			}
+			if fs.pendingRepl[blk] == nil {
+				fs.pendingRepl[blk] = make(map[netsim.NodeID]bool, 1)
+			}
+			fs.pendingRepl[blk][target] = true
 			src := live[fs.rng.Intn(len(live))]
 			blkRef := blk
 			size := blk.Size
+			clearPending := func() {
+				delete(fs.pendingRepl[blkRef], target)
+				if len(fs.pendingRepl[blkRef]) == 0 {
+					delete(fs.pendingRepl, blkRef)
+				}
+			}
 			_, err := fs.net.StartFlow(netsim.FlowSpec{
 				Src:       src,
 				Dst:       target,
@@ -116,12 +132,17 @@ func (fs *FS) reReplicateAfter(failed netsim.NodeID) {
 				SizeBytes: size,
 				Label:     "hdfs/reReplication",
 				OnComplete: func(*netsim.Flow) {
+					clearPending()
 					blkRef.Replicas = append(blkRef.Replicas, target)
 					fs.ReReplicatedBytes += size
 					fs.ReReplicatedBlocks++
 					fs.metrics.ReReplicatedBlocks.Inc()
 					fs.metrics.ReReplicatedBytes.Add(size)
 				},
+				// A copy torn down by a fault (source or target crash)
+				// leaves the block under-replicated; a later detection may
+				// retry. Either way the target is no longer pending.
+				OnAbort: func(*netsim.Flow) { clearPending() },
 			})
 			if err != nil {
 				panic(fmt.Sprintf("hdfs: re-replication flow: %v", err))

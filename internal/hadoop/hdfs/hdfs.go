@@ -108,6 +108,13 @@ type FS struct {
 	// detection only fires if the node's epoch is unchanged, so a crashed
 	// node that rejoins before detection is never re-replicated.
 	epoch map[netsim.NodeID]int
+	// lastEpochCheck snapshots epoch between invariant checks to assert
+	// monotonicity (lazily allocated by VerifyInvariants).
+	lastEpochCheck map[int64]int
+	// pendingRepl tracks in-flight re-replication targets per block — the
+	// NameNode's PendingReplicationBlocks role — so overlapping failure
+	// detections never copy the same block to the same target twice.
+	pendingRepl map[*Block]map[netsim.NodeID]bool
 
 	// Stats.
 	BytesWritten       int64
@@ -145,15 +152,16 @@ func New(net *netsim.Network, namenode netsim.NodeID, datanodes []netsim.NodeID,
 	dns := make([]netsim.NodeID, len(datanodes))
 	copy(dns, datanodes)
 	return &FS{
-		cfg:       cfg,
-		net:       net,
-		eng:       net.Engine(),
-		rng:       rng,
-		namenode:  namenode,
-		datanodes: dns,
-		files:     make(map[string]*file),
-		dead:      make(map[netsim.NodeID]bool),
-		epoch:     make(map[netsim.NodeID]int),
+		cfg:         cfg,
+		net:         net,
+		eng:         net.Engine(),
+		rng:         rng,
+		namenode:    namenode,
+		datanodes:   dns,
+		files:       make(map[string]*file),
+		dead:        make(map[netsim.NodeID]bool),
+		epoch:       make(map[netsim.NodeID]int),
+		pendingRepl: make(map[*Block]map[netsim.NodeID]bool),
 	}, nil
 }
 

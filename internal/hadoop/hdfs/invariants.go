@@ -1,0 +1,91 @@
+package hdfs
+
+import "fmt"
+
+// ReplicatedBytes returns the bytes the current replica placement pins
+// on disk: Σ over appended blocks of Size × replica count. Fault-free,
+// this equals the bytes that crossed the wire on write-pipeline flows —
+// the capture-level conservation the invariants layer asserts.
+func (fs *FS) ReplicatedBytes() int64 {
+	var sum int64
+	for _, f := range fs.files {
+		for bi := range f.blocks {
+			sum += f.blocks[bi].Size * int64(len(f.blocks[bi].Replicas))
+		}
+	}
+	return sum
+}
+
+// VerifyInvariants checks the filesystem's conservation and consistency
+// properties. It is read-only with respect to the simulation (no flows,
+// no events, no randomness); it only maintains a private epoch snapshot
+// used to assert monotonicity between consecutive checks.
+//
+// Checked properties:
+//   - BytesWritten equals the summed size of every appended block
+//     (pipelines in flight have not been appended or charged yet).
+//   - Every replica names a known DataNode and appears at most once per
+//     block; no block holds more replicas than there are DataNodes.
+//   - Blocks with zero replicas never exceed the LostBlocks counter.
+//   - Stats counters are non-negative.
+//   - Per-DataNode life epochs never move backwards.
+func (fs *FS) VerifyInvariants() error {
+	var sumBlockBytes, zeroReplica int64
+	for _, f := range fs.files {
+		for bi := range f.blocks {
+			blk := &f.blocks[bi]
+			sumBlockBytes += blk.Size
+			if len(blk.Replicas) == 0 {
+				zeroReplica++
+			}
+			if len(blk.Replicas) > len(fs.datanodes) {
+				return fmt.Errorf("hdfs: block %d has %d replicas but only %d datanodes", blk.ID, len(blk.Replicas), len(fs.datanodes))
+			}
+			for ri, r := range blk.Replicas {
+				if !fs.isDataNode(r) {
+					return fmt.Errorf("hdfs: block %d replica on non-DataNode host %d", blk.ID, r)
+				}
+				for _, prev := range blk.Replicas[:ri] {
+					if prev == r {
+						return fmt.Errorf("hdfs: block %d holds duplicate replica on host %d", blk.ID, r)
+					}
+				}
+			}
+		}
+	}
+	if fs.BytesWritten != sumBlockBytes {
+		return fmt.Errorf("hdfs: BytesWritten %d but appended blocks sum to %d", fs.BytesWritten, sumBlockBytes)
+	}
+	if zeroReplica > fs.LostBlocks {
+		return fmt.Errorf("hdfs: %d blocks with zero replicas but only %d recorded lost", zeroReplica, fs.LostBlocks)
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"BytesWritten", fs.BytesWritten},
+		{"BytesRead", fs.BytesRead},
+		{"LocalReads", fs.LocalReads},
+		{"RemoteReads", fs.RemoteReads},
+		{"ReReplicatedBytes", fs.ReReplicatedBytes},
+		{"ReReplicatedBlocks", fs.ReReplicatedBlocks},
+		{"LostBlocks", fs.LostBlocks},
+		{"UnderReplicated", fs.UnderReplicated},
+		{"PipelineRecoveries", fs.PipelineRecoveries},
+		{"ReadRetries", fs.ReadRetries},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("hdfs: counter %s negative: %d", c.name, c.v)
+		}
+	}
+	if fs.lastEpochCheck == nil {
+		fs.lastEpochCheck = make(map[int64]int, len(fs.epoch))
+	}
+	for id, e := range fs.epoch {
+		if prev, ok := fs.lastEpochCheck[int64(id)]; ok && e < prev {
+			return fmt.Errorf("hdfs: DataNode %d epoch moved backwards (%d -> %d)", id, prev, e)
+		}
+		fs.lastEpochCheck[int64(id)] = e
+	}
+	return nil
+}

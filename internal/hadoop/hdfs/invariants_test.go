@@ -1,0 +1,106 @@
+package hdfs
+
+import (
+	"strings"
+	"testing"
+
+	"keddah/internal/netsim"
+)
+
+// writtenFS builds an FS with one 3-replica file fully written.
+func writtenFS(t *testing.T) (*FS, netsim.NodeID) {
+	t.Helper()
+	fs, net, _, master := testFS(t, Config{BlockSize: 32 << 20, Replication: 3})
+	if err := fs.WriteFile(master, "/f", 96<<20, 0, "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Engine().RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	return fs, master
+}
+
+// TestVerifyInvariantsCatchesCorruption checks each HDFS invariant fires
+// on a deliberately corrupted filesystem and stays silent on a healthy
+// one.
+func TestVerifyInvariantsCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(fs *FS)
+		want    string // "" = healthy, must stay nil
+	}{
+		{
+			name:    "healthy",
+			corrupt: func(fs *FS) {},
+		},
+		{
+			name:    "bytes written drift",
+			corrupt: func(fs *FS) { fs.BytesWritten++ },
+			want:    "BytesWritten",
+		},
+		{
+			name: "duplicate replica",
+			corrupt: func(fs *FS) {
+				b := &fs.files["/f"].blocks[0]
+				b.Replicas = append(b.Replicas, b.Replicas[0])
+			},
+			want: "duplicate replica",
+		},
+		{
+			name: "unrecorded block loss",
+			corrupt: func(fs *FS) {
+				fs.files["/f"].blocks[0].Replicas = nil
+			},
+			want: "zero replicas",
+		},
+		{
+			name:    "negative counter",
+			corrupt: func(fs *FS) { fs.ReadRetries = -1 },
+			want:    "negative",
+		},
+		{
+			name: "epoch moved backwards",
+			corrupt: func(fs *FS) {
+				dn := fs.datanodes[0]
+				fs.epoch[dn] = 2
+				if err := fs.VerifyInvariants(); err != nil {
+					t.Fatalf("snapshot check failed: %v", err)
+				}
+				fs.epoch[dn] = 1
+			},
+			want: "epoch moved backwards",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, _ := writtenFS(t)
+			if err := fs.VerifyInvariants(); err != nil {
+				t.Fatalf("freshly written FS fails invariants: %v", err)
+			}
+			tc.corrupt(fs)
+			err := fs.VerifyInvariants()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("healthy FS fails invariants: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corruption %q went undetected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReplicatedBytesMatchesPlacement: the conservation anchor used by
+// the capture-level wire check.
+func TestReplicatedBytesMatchesPlacement(t *testing.T) {
+	fs, _ := writtenFS(t)
+	// 96 MiB at replication 3.
+	if got, want := fs.ReplicatedBytes(), int64(3*96<<20); got != want {
+		t.Fatalf("ReplicatedBytes = %d, want %d", got, want)
+	}
+}

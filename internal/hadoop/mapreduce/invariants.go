@@ -1,0 +1,86 @@
+package mapreduce
+
+import "fmt"
+
+// VerifyInvariants checks the job's shuffle-conservation and
+// re-execution accounting. It is read-only with respect to the
+// simulation; it only maintains a private per-map epoch snapshot used to
+// assert monotonicity between consecutive checks.
+//
+// Checked properties:
+//   - mapsDone tracks exactly the splits with committed output: a map
+//     re-execution (node failure, fetch-failure escalation) zeroes the
+//     output and decrements the counter in lockstep, so completed work
+//     is never double-counted. (Only meaningful when MapSelectivity > 0
+//     — with zero selectivity a committed map's output is legally 0.)
+//   - Result.MapOutBytes covers at least the currently committed
+//     outputs (superseded attempts may have added more).
+//   - Per reducer attempt: its accumulated shuffle bytes equal the sum
+//     of the partition sizes it fetched.
+//   - Result.ShuffleBytes covers at least the current attempts' bytes,
+//     exactly when no reducer was ever re-executed.
+//   - Per-map attempt epochs never move backwards.
+func (j *Job) VerifyInvariants() error {
+	if j.splits == nil {
+		return nil // not submitted yet
+	}
+	if j.mapsDone < 0 || j.mapsDone > len(j.splits) {
+		return fmt.Errorf("mapreduce: %s mapsDone %d outside [0, %d]", j.cfg.Name, j.mapsDone, len(j.splits))
+	}
+	if j.redsDone < 0 || j.redsDone > j.cfg.NumReducers {
+		return fmt.Errorf("mapreduce: %s redsDone %d outside [0, %d]", j.cfg.Name, j.redsDone, j.cfg.NumReducers)
+	}
+	var committed int
+	var sumMapOut int64
+	for _, out := range j.mapOut {
+		if out < 0 {
+			return fmt.Errorf("mapreduce: %s negative map output %d", j.cfg.Name, out)
+		}
+		if out != 0 {
+			committed++
+		}
+		sumMapOut += out
+	}
+	if j.cfg.MapSelectivity > 0 && committed != j.mapsDone {
+		return fmt.Errorf("mapreduce: %s mapsDone %d but %d splits hold committed output (double-counted re-execution?)",
+			j.cfg.Name, j.mapsDone, committed)
+	}
+	if j.result.MapOutBytes < sumMapOut {
+		return fmt.Errorf("mapreduce: %s MapOutBytes %d below committed outputs %d", j.cfg.Name, j.result.MapOutBytes, sumMapOut)
+	}
+	var sumReducerBytes int64
+	for _, r := range j.reducers {
+		if r == nil {
+			continue
+		}
+		var fetched int64
+		for _, sz := range r.fetchedSet {
+			fetched += sz
+		}
+		if r.bytes != fetched {
+			return fmt.Errorf("mapreduce: %s reducer %d (attempt %d) shuffled %d bytes but fetched partitions sum to %d",
+				j.cfg.Name, r.idx, r.attempt, r.bytes, fetched)
+		}
+		sumReducerBytes += r.bytes
+	}
+	if j.result.ShuffleBytes < sumReducerBytes {
+		return fmt.Errorf("mapreduce: %s ShuffleBytes %d below current attempts' %d", j.cfg.Name, j.result.ShuffleBytes, sumReducerBytes)
+	}
+	if j.result.ReexecutedReducers == 0 && j.result.ShuffleBytes != sumReducerBytes {
+		return fmt.Errorf("mapreduce: %s ShuffleBytes %d != Σ reducer bytes %d with no re-executed reducers",
+			j.cfg.Name, j.result.ShuffleBytes, sumReducerBytes)
+	}
+	if j.epochCheck == nil {
+		j.epochCheck = make([]int, len(j.splits))
+	}
+	for i, e := range j.mapEpoch {
+		if e < j.epochCheck[i] {
+			return fmt.Errorf("mapreduce: %s map %d epoch moved backwards (%d -> %d)", j.cfg.Name, i, j.epochCheck[i], e)
+		}
+		j.epochCheck[i] = e
+	}
+	return nil
+}
+
+// Name returns the job's configured name (for check diagnostics).
+func (j *Job) Name() string { return j.cfg.Name }

@@ -1,0 +1,125 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"keddah/internal/hadoop/hdfs"
+)
+
+// finishedJob runs a small terasort-shaped job to completion and returns
+// the job handle for invariant probing.
+func finishedJob(t *testing.T) *Job {
+	t.Helper()
+	r := newRig(t, 64<<20, hdfs.Config{BlockSize: 16 << 20})
+	job, err := NewJob(JobConfig{
+		Name: "inv", InputPath: "/in", OutputPath: "/out",
+		NumReducers: 2, MapSelectivity: 1, ReduceSelectivity: 1,
+	}, r.fs, r.rm, r.rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := job.Submit(r.net.Topology().Hosts()[0], func(Result) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	for !done {
+		if !r.eng.Step() {
+			t.Fatal("queue drained before job finished")
+		}
+	}
+	return job
+}
+
+// TestJobVerifyInvariantsCatchesCorruption checks each MapReduce
+// invariant fires on deliberately corrupted job state — in particular a
+// duplicated (double-counted) map output — and stays silent on a
+// completed healthy job.
+func TestJobVerifyInvariantsCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, j *Job)
+		want    string // "" = healthy, must stay nil
+	}{
+		{
+			name:    "healthy",
+			corrupt: func(t *testing.T, j *Job) {},
+		},
+		{
+			name: "duplicated map output",
+			// A re-executed map whose superseded attempt was not zeroed
+			// double-counts bytes: committed outputs exceed MapOutBytes.
+			corrupt: func(t *testing.T, j *Job) { j.mapOut[0] += 1000 },
+			want:    "MapOutBytes",
+		},
+		{
+			name:    "maps done drift",
+			corrupt: func(t *testing.T, j *Job) { j.mapsDone-- },
+			want:    "double-counted",
+		},
+		{
+			name: "reducer fetch accounting drift",
+			corrupt: func(t *testing.T, j *Job) {
+				for _, r := range j.reducers {
+					if r != nil {
+						r.bytes++
+						return
+					}
+				}
+				t.Skip("no reducer attempt retained")
+			},
+			want: "fetched partitions",
+		},
+		{
+			name:    "shuffle bytes drift",
+			corrupt: func(t *testing.T, j *Job) { j.result.ShuffleBytes++ },
+			want:    "ShuffleBytes",
+		},
+		{
+			name: "map epoch moved backwards",
+			corrupt: func(t *testing.T, j *Job) {
+				j.mapEpoch[0] = 3
+				if err := j.VerifyInvariants(); err != nil {
+					t.Fatalf("snapshot check failed: %v", err)
+				}
+				j.mapEpoch[0] = 1
+			},
+			want: "epoch moved backwards",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := finishedJob(t)
+			if err := j.VerifyInvariants(); err != nil {
+				t.Fatalf("finished job fails invariants: %v", err)
+			}
+			tc.corrupt(t, j)
+			err := j.VerifyInvariants()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("healthy job fails invariants: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corruption %q went undetected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestJobVerifyInvariantsNilBeforeSubmit: an unsubmitted job has no
+// state to check.
+func TestJobVerifyInvariantsNilBeforeSubmit(t *testing.T) {
+	r := newRig(t, 16<<20, hdfs.Config{BlockSize: 16 << 20})
+	job, err := NewJob(JobConfig{Name: "idle", InputPath: "/in", OutputPath: "/out", NumReducers: 1}, r.fs, r.rm, r.rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.VerifyInvariants(); err != nil {
+		t.Fatalf("unsubmitted job fails invariants: %v", err)
+	}
+}

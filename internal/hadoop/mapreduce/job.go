@@ -183,6 +183,9 @@ type Job struct {
 	redsQueued int
 	result     Result
 	finished   bool
+	// epochCheck snapshots mapEpoch between invariant checks to assert
+	// per-map attempt epochs never move backwards (lazily allocated).
+	epochCheck []int
 
 	metrics telemetry.MRMetrics
 	tracer  *telemetry.Tracer

@@ -19,15 +19,18 @@ import (
 // scratch on a new container — its already-shuffled bytes are wasted,
 // exactly the failure cost real deployments pay.
 type reducer struct {
-	job        *Job
-	idx        int
-	attempt    int
-	container  *yarn.Container
-	host       netsim.NodeID
-	started    sim.Time
-	pending    []int // map indexes ready to fetch
-	queued     map[int]bool
-	fetchedSet map[int]bool
+	job       *Job
+	idx       int
+	attempt   int
+	container *yarn.Container
+	host      netsim.NodeID
+	started   sim.Time
+	pending   []int // map indexes ready to fetch
+	queued    map[int]bool
+	// fetchedSet maps each fetched map index to the partition bytes
+	// pulled, so shuffle conservation (bytes == Σ fetched sizes) is
+	// checkable per reducer.
+	fetchedSet map[int]int64
 	// retries counts fault-aborted fetch attempts per map index;
 	// hostFail counts them per serving host — at MaxFetchFailures the
 	// host is blacklisted for this shuffle and the AM re-runs the map.
@@ -63,7 +66,7 @@ func (j *Job) runReducer(ri int, c *yarn.Container) {
 		host:       c.Host(),
 		started:    j.eng.Now(),
 		queued:     make(map[int]bool, len(j.splits)),
-		fetchedSet: make(map[int]bool, len(j.splits)),
+		fetchedSet: make(map[int]int64, len(j.splits)),
 		retries:    make(map[int]int),
 		hostFail:   make(map[netsim.NodeID]int),
 		blacklist:  make(map[netsim.NodeID]bool),
@@ -90,9 +93,13 @@ func (j *Job) runReducer(ri int, c *yarn.Container) {
 	r.pump()
 }
 
-// mapReady queues a completed map's partition for fetching.
+// mapReady queues a completed map's partition for fetching. A partition
+// fetched from a since-lost map attempt is kept, not re-pulled: the
+// reducer spilled it locally, so a re-executed map must not trigger a
+// duplicate shuffle (invalidateMap may have cleared queued while the
+// original fetch was still in flight).
 func (r *reducer) mapReady(mapIdx int) {
-	if r.dead || r.done || r.queued[mapIdx] {
+	if _, fetched := r.fetchedSet[mapIdx]; fetched || r.dead || r.done || r.queued[mapIdx] {
 		return
 	}
 	r.queued[mapIdx] = true
@@ -104,7 +111,7 @@ func (r *reducer) mapReady(mapIdx int) {
 // the partition so the re-executed attempt's completion re-feeds it.
 // Already-fetched partitions are kept (the reducer spilled them locally).
 func (r *reducer) invalidateMap(mapIdx int) {
-	if r.dead || r.done || r.fetchedSet[mapIdx] || !r.queued[mapIdx] {
+	if _, fetched := r.fetchedSet[mapIdx]; fetched || r.dead || r.done || !r.queued[mapIdx] {
 		return
 	}
 	r.queued[mapIdx] = false
@@ -174,7 +181,7 @@ func (r *reducer) startFetch(mapIdx int) {
 			if r.dead {
 				return
 			}
-			r.fetchedSet[mapIdx] = true
+			r.fetchedSet[mapIdx] = size
 			r.bytes += size
 			j.result.ShuffleBytes += size
 			r.pump()

@@ -246,7 +246,7 @@ func (j *Job) allFetched(mapIdx int) bool {
 		if r == nil || r.done {
 			continue
 		}
-		if !r.fetchedSet[mapIdx] {
+		if _, fetched := r.fetchedSet[mapIdx]; !fetched {
 			return false
 		}
 	}

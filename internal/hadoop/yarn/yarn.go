@@ -77,6 +77,9 @@ type nodeManager struct {
 	// while the RM still counts its state as live.
 	dead    bool
 	crashed bool
+	// crashedAt is when the current crash began (valid while crashed);
+	// invariant checks use it to bound detection latency by NMExpiry.
+	crashedAt sim.Time
 	// epoch counts life transitions; a pending expiry only fires when the
 	// node's epoch is unchanged, so crash→recover→crash sequences each
 	// get their own detection timer.
@@ -307,6 +310,7 @@ func (rm *RM) CrashNode(host netsim.NodeID) error {
 		return nil
 	}
 	nm.crashed = true
+	nm.crashedAt = rm.eng.Now()
 	nm.epoch++
 	e := nm.epoch
 	rm.eng.After(rm.cfg.NMExpiry, func() {

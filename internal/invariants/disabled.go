@@ -1,0 +1,7 @@
+//go:build !keddah_checks
+
+package invariants
+
+// BuildEnabled is false in default builds: invariant checking runs only
+// for captures that opt in via CaptureOpts.StrictChecks.
+const BuildEnabled = false

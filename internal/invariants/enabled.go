@@ -1,0 +1,8 @@
+//go:build keddah_checks
+
+package invariants
+
+// BuildEnabled reports whether the binary was built with the
+// keddah_checks tag, which forces invariant checking on for every
+// capture regardless of CaptureOpts.StrictChecks.
+const BuildEnabled = true

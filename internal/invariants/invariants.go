@@ -1,0 +1,78 @@
+// Package invariants is the runtime checking layer of the toolchain: it
+// asserts cross-layer conservation and ordering properties of a running
+// capture — link capacity and max-min optimality in netsim, byte
+// conservation in HDFS, slot accounting and failure-detection deadlines
+// in YARN, shuffle conservation and re-execution accounting in
+// MapReduce, and packet-train well-formedness in pcap.
+//
+// The layer is zero-cost when disabled: checks run only when a capture
+// opts in (core.CaptureOpts.StrictChecks) or the binary is built with
+// the keddah_checks tag (which turns BuildEnabled on and forces checks
+// for every capture). Checks are strictly read-only — they draw no
+// randomness and schedule no events — so a checked run's trajectory is
+// byte-identical to an unchecked one.
+package invariants
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"keddah/internal/telemetry"
+)
+
+// ErrViolation is wrapped by every Violation, so callers can classify
+// invariant failures with errors.Is regardless of layer.
+var ErrViolation = errors.New("invariants: violation")
+
+// maxContextSpans bounds how many telemetry spans a Violation carries.
+const maxContextSpans = 5
+
+// Violation is one failed invariant: which layer and rule fired, at what
+// simulated time, and — when a tracer was attached — the most recent
+// telemetry spans, which place the violation inside the phases that led
+// to it.
+type Violation struct {
+	// Layer is the subsystem that failed ("netsim", "hdfs", "yarn",
+	// "mr", "pcap").
+	Layer string
+	// Rule names the violated invariant ("link-capacity",
+	// "shuffle-conservation", ...).
+	Rule string
+	// AtNs is the simulated time of the check that fired.
+	AtNs int64
+	// Detail is the human-readable description with the observed values.
+	Detail string
+	// Spans holds the most recently started telemetry spans at the time
+	// of the violation (empty without an attached tracer).
+	Spans []telemetry.Span
+}
+
+// Error renders the violation with its span context.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariants: %s/%s violated at t=%dns: %s", v.Layer, v.Rule, v.AtNs, v.Detail)
+	for _, s := range v.Spans {
+		fmt.Fprintf(&b, "\n  in span %s/%s %s [%d..%d]", s.Cat, s.Name, s.Attr, s.StartNs, s.EndNs)
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrViolation) match.
+func (v *Violation) Unwrap() error { return ErrViolation }
+
+// violation wraps a layer check error into a Violation, attaching span
+// context from the tracer (nil-safe).
+func violation(layer, rule string, atNs int64, tracer *telemetry.Tracer, err error) *Violation {
+	v := &Violation{Layer: layer, Rule: rule, AtNs: atNs, Detail: err.Error()}
+	if spans := tracer.Spans(); len(spans) > 0 {
+		// Spans() sorts by start time; the tail is the most recent phase
+		// context.
+		n := len(spans)
+		if n > maxContextSpans {
+			spans = spans[n-maxContextSpans:]
+		}
+		v.Spans = spans
+	}
+	return v
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import "testing"
+
+// FuzzTopologyBuild drives the three fabric constructors with arbitrary
+// dimensions. Construction must never panic: it either fails with an
+// error or yields a topology whose hosts are all mutually routable and
+// whose links all carry positive capacity.
+func FuzzTopologyBuild(f *testing.F) {
+	f.Add(uint8(0), 17, 2, 8, 1.0, 10.0)
+	f.Add(uint8(1), 0, 4, 4, 1.0, 4.0)
+	f.Add(uint8(2), 3, 1, 6, 2.5, 0.0)
+	f.Fuzz(func(t *testing.T, fabric uint8, hosts, racks, k int, hostGbps, uplinkGbps float64) {
+		// Bound the dimensions so a single case stays cheap; the
+		// constructors' rejection paths still see negatives and zeros.
+		if hosts > 128 || hosts < -128 || racks > 16 || racks < -16 || k > 8 || k < -8 {
+			t.Skip()
+		}
+		var (
+			topo *Topology
+			err  error
+		)
+		switch fabric % 3 {
+		case 0:
+			topo, err = Star(hosts, hostGbps*Gbps)
+		case 1:
+			topo, err = MultiRack(racks, hosts, hostGbps*Gbps, uplinkGbps*Gbps)
+		case 2:
+			topo, err = FatTree(k, hostGbps*Gbps)
+		}
+		if err != nil {
+			return
+		}
+		if topo.NumNodes() <= 0 {
+			t.Fatalf("built topology with %d nodes and no error", topo.NumNodes())
+		}
+		for i, l := range topo.Links() {
+			if l.CapacityBps <= 0 {
+				t.Fatalf("link %d built with capacity %v", i, l.CapacityBps)
+			}
+		}
+		hostIDs := topo.Hosts()
+		for _, src := range hostIDs {
+			for _, dst := range hostIDs {
+				if src == dst {
+					continue
+				}
+				path, err := topo.Path(src, dst, 0)
+				if err != nil {
+					t.Fatalf("no path %d -> %d in freshly built fabric: %v", src, dst, err)
+				}
+				if len(path) == 0 {
+					t.Fatalf("empty path %d -> %d", src, dst)
+				}
+			}
+		}
+	})
+}

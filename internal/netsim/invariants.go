@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the read-only state checks consumed by the
+// internal/invariants layer. Both entry points are strictly observational:
+// they allocate only local scratch, draw no randomness, and schedule no
+// events, so a checked run's trajectory is identical to an unchecked one.
+
+// VerifyState checks the structural invariants of the active flow set:
+// the active list and the per-link flow index agree with each other, no
+// active flow crosses a downed link (SetLinkState reroutes or aborts
+// victims synchronously, so this holds even while a reallocation is
+// pending), and every flow's residue is within [0, SizeBytes]. When no
+// reallocation is pending it additionally verifies the allocation itself
+// via CheckInvariants (capacity and bottleneck conditions).
+func (n *Network) VerifyState() error {
+	for i, f := range n.flows {
+		if f.listIdx != i {
+			return fmt.Errorf("netsim: flow %d listIdx %d but held at position %d", f.id, f.listIdx, i)
+		}
+		if f.done || !f.active {
+			return fmt.Errorf("netsim: flow %d in active set but done=%v active=%v", f.id, f.done, f.active)
+		}
+		if f.remaining < 0 || f.remaining > float64(f.spec.SizeBytes) {
+			return fmt.Errorf("netsim: flow %d remaining %.3g outside [0, %d]", f.id, f.remaining, f.spec.SizeBytes)
+		}
+		if len(f.linkPos) != len(f.path) {
+			return fmt.Errorf("netsim: flow %d linkPos/path length mismatch (%d vs %d)", f.id, len(f.linkPos), len(f.path))
+		}
+		for j, lid := range f.path {
+			if n.topo.linkDown[lid] {
+				return fmt.Errorf("netsim: flow %d active on downed link %d", f.id, lid)
+			}
+			p := f.linkPos[j]
+			if p < 0 || p >= len(n.linkFlows[lid]) || n.linkFlows[lid][p] != f {
+				return fmt.Errorf("netsim: flow %d link index stale on link %d (pos %d)", f.id, lid, p)
+			}
+		}
+	}
+	indexed := 0
+	for _, lst := range n.linkFlows {
+		indexed += len(lst)
+	}
+	pathSum := 0
+	for _, f := range n.flows {
+		pathSum += len(f.path)
+	}
+	if indexed != pathSum {
+		return fmt.Errorf("netsim: per-link index holds %d entries, active paths cover %d", indexed, pathSum)
+	}
+	if n.reallocPending {
+		// Rates are stale until the coalesced dirty event fires at this
+		// same timestamp; the allocation conditions are not meaningful yet.
+		return nil
+	}
+	return n.CheckInvariants()
+}
+
+// CheckAllocatorOracle recomputes the max-min rate vector with the exact
+// arithmetic of referenceMaxMinRates — from-scratch progressive filling
+// into fresh local buffers — and compares it against the rates the
+// production incremental allocator installed. It returns nil when the
+// allocator is not AllocMaxMin, when a reallocation is pending (the
+// installed rates are intentionally stale), or when the vectors agree
+// within rateTolerance.
+func (n *Network) CheckAllocatorOracle() error {
+	if n.cfg.Allocator != AllocMaxMin || n.reallocPending || len(n.flows) == 0 {
+		return nil
+	}
+	remCap := make([]float64, len(n.topo.links))
+	cnt := make([]int, len(n.topo.links))
+	for i, l := range n.topo.links {
+		remCap[i] = l.CapacityBps
+	}
+	for _, f := range n.flows {
+		for _, lid := range f.path {
+			cnt[lid]++
+		}
+	}
+	rates := make([]float64, len(n.flows))
+	frozen := make([]bool, len(n.flows))
+	remaining := len(n.flows)
+	for remaining > 0 {
+		best := -1
+		bestShare := math.Inf(1)
+		for i := range remCap {
+			if cnt[i] == 0 {
+				continue
+			}
+			share := remCap[i] / float64(cnt[i])
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			// Stranded flows (no loaded links) freeze at the loopback
+			// rate, mirroring freezeStranded.
+			for i := range frozen {
+				if !frozen[i] {
+					rates[i] = n.cfg.LoopbackBps
+					frozen[i] = true
+					remaining--
+				}
+			}
+			break
+		}
+		for i, f := range n.flows {
+			if frozen[i] {
+				continue
+			}
+			crosses := false
+			for _, lid := range f.path {
+				if lid == LinkID(best) {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			rates[i] = bestShare
+			frozen[i] = true
+			remaining--
+			for _, lid := range f.path {
+				remCap[lid] -= bestShare
+				if remCap[lid] < 0 {
+					remCap[lid] = 0
+				}
+				cnt[lid]--
+			}
+		}
+	}
+	for i, f := range n.flows {
+		if !rateEqual(f.rate, rates[i]) {
+			return fmt.Errorf("netsim: flow %d rate %.6g bps diverges from max-min oracle %.6g bps", f.id, f.rate, rates[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzPcapReader throws arbitrary bytes at the trace reader. Whatever
+// the input, the reader must not panic, must never hand back a record
+// claiming more than MaxPacketLen payload, and must fail only with
+// ErrBadTrace-wrapping errors. Salvage additionally must agree with the
+// strict path on the decoded prefix.
+func FuzzPcapReader(f *testing.F) {
+	// Seed: a well-formed two-record trace from the real writer.
+	var good bytes.Buffer
+	w, err := NewWriter(&good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.WritePacket(Packet{TsNs: 1, Src: HostAddr(1), Dst: HostAddr(2), SrcPort: 999, DstPort: 50010, Proto: ProtoTCP, Flags: FlagSYN})
+	_ = w.WritePacket(Packet{TsNs: 2, Src: HostAddr(1), Dst: HostAddr(2), SrcPort: 999, DstPort: 50010, Len: 1448, Proto: ProtoTCP, Flags: FlagACK})
+	_ = w.Flush()
+	f.Add(good.Bytes())
+	// Seed: truncated record tail.
+	f.Add(good.Bytes()[:good.Len()-5])
+	// Seed: bad magic, short input.
+	f.Add([]byte("BOGUS!!!"))
+	f.Add([]byte("KD"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, strictErr := func() ([]Packet, error) {
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return r.ReadAll()
+		}()
+		if strictErr != nil && !errors.Is(strictErr, ErrBadTrace) {
+			t.Fatalf("strict read failed with non-ErrBadTrace error: %v", strictErr)
+		}
+		for i, p := range strict {
+			if p.Len > MaxPacketLen {
+				t.Fatalf("strict record %d claims %d bytes > MaxPacketLen", i, p.Len)
+			}
+		}
+
+		salvaged, salvageErr := ReadAllSalvage(bytes.NewReader(data))
+		if salvageErr != nil && !errors.Is(salvageErr, ErrBadTrace) {
+			t.Fatalf("salvage failed with non-ErrBadTrace error: %v", salvageErr)
+		}
+		if (strictErr == nil) != (salvageErr == nil) {
+			t.Fatalf("strict err %v but salvage err %v", strictErr, salvageErr)
+		}
+		// Salvage decodes exactly the records the strict path decoded
+		// before the first error.
+		if len(salvaged) != len(strict) {
+			t.Fatalf("salvage decoded %d records, strict %d", len(salvaged), len(strict))
+		}
+		for i := range strict {
+			if salvaged[i] != strict[i] {
+				t.Fatalf("record %d differs: salvage %+v strict %+v", i, salvaged[i], strict[i])
+			}
+		}
+	})
+}

@@ -89,9 +89,42 @@ func TestTraceTruncatedRecord(t *testing.T) {
 	}
 }
 
+// TestTraceRejectsHugeLength is the regression for the fuzz-found bug
+// where a record claiming an absurd payload length decoded silently and
+// poisoned downstream byte accounting: both the strict and salvage read
+// paths must reject it with ErrBadTrace. The same crasher input lives in
+// testdata/fuzz/FuzzPcapReader as a permanent fuzz corpus entry.
+func TestTraceRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.WritePacket(Packet{TsNs: 1, Len: 10, Proto: ProtoTCP, Flags: FlagACK})
+	_ = w.Flush()
+	data := buf.Bytes()
+	// Corrupt the record's Len field (offset 8-byte header + 20) to 2 GiB.
+	data[8+20], data[8+21], data[8+22], data[8+23] = 0xff, 0xff, 0xff, 0x7f
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("huge length: ReadPacket err = %v, want ErrBadTrace", err)
+	}
+
+	got, err := ReadAllSalvage(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("huge length: Salvage err = %v, want ErrBadTrace", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("huge length: salvaged %d records from a poisoned head, want 0", len(got))
+	}
+}
+
 func TestTraceRoundTripProperty(t *testing.T) {
 	f := func(ts int64, src, dst uint32, sp, dp uint16, ln uint32, flags uint8) bool {
-		p := Packet{TsNs: ts, Src: Addr(src), Dst: Addr(dst), SrcPort: sp, DstPort: dp, Len: ln, Proto: ProtoTCP, Flags: flags}
+		// Writers only ever produce lengths within the format's bound;
+		// over-bound lengths are exercised by TestTraceRejectsHugeLength.
+		p := Packet{TsNs: ts, Src: Addr(src), Dst: Addr(dst), SrcPort: sp, DstPort: dp, Len: ln % (MaxPacketLen + 1), Proto: ProtoTCP, Flags: flags}
 		var buf bytes.Buffer
 		w, err := NewWriter(&buf)
 		if err != nil {

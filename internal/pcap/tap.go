@@ -1,6 +1,7 @@
 package pcap
 
 import (
+	"fmt"
 	"sort"
 
 	"keddah/internal/netsim"
@@ -36,6 +37,8 @@ type Capture struct {
 	// (used to stream straight to a trace file).
 	sink func(Packet) error
 	err  error
+	// train is the per-flow synthesis scratch buffer, reused across flows.
+	train []Packet
 }
 
 var _ netsim.Tap = (*Capture)(nil)
@@ -95,8 +98,30 @@ func (c *Capture) FlowCompleted(f *netsim.Flow) {
 }
 
 // synthesize emits the flow's packet train (SYN, paced data, FIN) to the
-// sink or the in-memory buffer.
+// sink or the in-memory buffer. The train itself is built by appendTrain
+// into a reused scratch buffer.
 func (c *Capture) synthesize(f *netsim.Flow) {
+	c.train = appendTrain(c.train[:0], f, c.maxPkts)
+	for _, p := range c.train {
+		if c.err != nil {
+			return
+		}
+		if c.sink != nil {
+			if err := c.sink(p); err != nil {
+				c.err = err
+			}
+			continue
+		}
+		c.packets = append(c.packets, p)
+	}
+}
+
+// appendTrain appends the packet train for one finished flow to dst: a
+// SYN at flow start, data records paced across the flow's rate segments
+// (at most maxPkts records in total), and a FIN — or RST for an aborted
+// flow — at flow end. It is pure over the flow's observable state, so
+// invariant checks can rebuild a train without touching the capture.
+func appendTrain(dst []Packet, f *netsim.Flow, maxPkts int) []Packet {
 	spec := f.Spec()
 	base := Packet{
 		Src:     HostAddr(int(spec.Src)),
@@ -106,19 +131,6 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 		Proto:   ProtoTCP,
 	}
 
-	emit := func(p Packet) {
-		if c.err != nil {
-			return
-		}
-		if c.sink != nil {
-			if err := c.sink(p); err != nil {
-				c.err = err
-			}
-			return
-		}
-		c.packets = append(c.packets, p)
-	}
-
 	startNs := int64(f.Start())
 	endNs := int64(f.End())
 
@@ -126,15 +138,18 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 	syn := base
 	syn.TsNs = startNs
 	syn.Flags = FlagSYN
-	emit(syn)
+	dst = append(dst, syn)
 
 	// Data records paced across the flow's rate segments. Aborted flows
 	// pace only the bytes that made it onto the wire.
 	total := f.Transferred()
 	if total > 0 {
 		chunk := int64(MSS)
-		if total/chunk > int64(c.maxPkts-2) {
-			chunk = (total/int64(c.maxPkts-2) + MSS) / MSS * MSS
+		if budget := int64(maxPkts - 2); budget > 0 && total/chunk > budget {
+			chunk = (total/budget + MSS) / MSS * MSS
+		} else if budget <= 0 {
+			// No room for more than one data record between SYN and FIN.
+			chunk = total
 		}
 		segs := f.Segments()
 		emitted := int64(0)
@@ -170,7 +185,7 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 				}
 				p.Len = uint32(sz)
 				p.Flags = FlagACK
-				emit(p)
+				dst = append(dst, p)
 				sent += sz
 			}
 			emitted += toSend
@@ -181,7 +196,7 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 			p.TsNs = endNs
 			p.Len = uint32(total - emitted)
 			p.Flags = FlagACK
-			emit(p)
+			dst = append(dst, p)
 		}
 	}
 
@@ -193,7 +208,7 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 	if f.Aborted() {
 		fin.Flags = FlagRST
 	}
-	emit(fin)
+	return append(dst, fin)
 }
 
 // Packets returns buffered packets sorted by timestamp (stable across
@@ -215,4 +230,78 @@ func (c *Capture) Truth() []FlowRecord {
 	out := make([]FlowRecord, len(c.truth))
 	copy(out, c.truth)
 	return out
+}
+
+// CheckTrain verifies the well-formedness of one flow's packet train:
+// SYN/FIN (or RST) bracketing, a single 5-tuple throughout, positive
+// bounded data lengths, and non-decreasing timestamps. It returns a
+// descriptive error on the first violation.
+func CheckTrain(train []Packet) error {
+	if len(train) < 2 {
+		return fmt.Errorf("pcap: train of %d packets cannot bracket a connection", len(train))
+	}
+	key := train[0].Key()
+	if train[0].Flags != FlagSYN || train[0].Len != 0 {
+		return fmt.Errorf("pcap: train does not open with a bare SYN (flags %#x, len %d)", train[0].Flags, train[0].Len)
+	}
+	last := train[len(train)-1]
+	if (last.Flags != FlagFIN && last.Flags != FlagRST) || last.Len != 0 {
+		return fmt.Errorf("pcap: train does not close with FIN or RST (flags %#x, len %d)", last.Flags, last.Len)
+	}
+	for i, p := range train {
+		if p.Key() != key {
+			return fmt.Errorf("pcap: train mixes 5-tuples at record %d", i)
+		}
+		if i > 0 && p.TsNs < train[i-1].TsNs {
+			return fmt.Errorf("pcap: train timestamps regress at record %d (%d < %d)", i, p.TsNs, train[i-1].TsNs)
+		}
+		if i > 0 && i < len(train)-1 {
+			if p.Flags != FlagACK {
+				return fmt.Errorf("pcap: data record %d carries flags %#x, want ACK", i, p.Flags)
+			}
+			if p.Len == 0 || p.Len > MaxPacketLen {
+				return fmt.Errorf("pcap: data record %d length %d outside (0, %d]", i, p.Len, MaxPacketLen)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyTrains rebuilds the packet train of every flow awaiting lazy
+// synthesis — without consuming the pending queue or touching the packet
+// buffer — and checks each against CheckTrain plus the flow's own ground
+// truth: the SYN at flow start, the FIN/RST at flow end (RST exactly for
+// aborts), data bytes summing to the bytes the flow actually moved, and
+// coherent truth-record time bounds.
+func (c *Capture) VerifyTrains() error {
+	for _, f := range c.pending {
+		train := appendTrain(nil, f, c.maxPkts)
+		if err := CheckTrain(train); err != nil {
+			return fmt.Errorf("flow %d (%s): %w", f.ID(), f.Spec().Label, err)
+		}
+		last := train[len(train)-1]
+		if train[0].TsNs != int64(f.Start()) || last.TsNs != int64(f.End()) {
+			return fmt.Errorf("pcap: flow %d train spans [%d, %d], flow spans [%d, %d]",
+				f.ID(), train[0].TsNs, last.TsNs, int64(f.Start()), int64(f.End()))
+		}
+		if f.Aborted() != (last.Flags == FlagRST) {
+			return fmt.Errorf("pcap: flow %d aborted=%v but train closes with flags %#x", f.ID(), f.Aborted(), last.Flags)
+		}
+		var data int64
+		for _, p := range train[1 : len(train)-1] {
+			data += int64(p.Len)
+		}
+		if data != f.Transferred() {
+			return fmt.Errorf("pcap: flow %d train carries %d data bytes, flow moved %d", f.ID(), data, f.Transferred())
+		}
+	}
+	for i, tr := range c.truth {
+		if tr.FirstNs > tr.LastNs {
+			return fmt.Errorf("pcap: truth record %d (%s) ends before it starts (%d > %d)", i, tr.Label, tr.FirstNs, tr.LastNs)
+		}
+		if tr.Bytes < 0 {
+			return fmt.Errorf("pcap: truth record %d (%s) carries negative bytes %d", i, tr.Label, tr.Bytes)
+		}
+	}
+	return nil
 }

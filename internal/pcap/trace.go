@@ -21,6 +21,12 @@ const (
 // ErrBadTrace reports a malformed trace file.
 var ErrBadTrace = errors.New("pcap: malformed trace")
 
+// MaxPacketLen is the largest payload length a record may claim (1 GiB).
+// Synthesised records carry at most a few MSS of coalesced payload, so
+// anything near this bound is file corruption, not data; readers reject
+// such records instead of passing silently absurd lengths downstream.
+const MaxPacketLen = 1 << 30
+
 // Writer streams packets to a trace.
 type Writer struct {
 	w   *bufio.Writer
@@ -98,7 +104,7 @@ func (r *Reader) ReadPacket() (Packet, error) {
 		return Packet{}, fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
 	}
 	b := r.buf[:]
-	return Packet{
+	p := Packet{
 		TsNs:    int64(binary.LittleEndian.Uint64(b[0:])),
 		Src:     Addr(binary.LittleEndian.Uint32(b[8:])),
 		Dst:     Addr(binary.LittleEndian.Uint32(b[12:])),
@@ -107,7 +113,11 @@ func (r *Reader) ReadPacket() (Packet, error) {
 		Len:     binary.LittleEndian.Uint32(b[20:]),
 		Proto:   b[24],
 		Flags:   b[25],
-	}, nil
+	}
+	if p.Len > MaxPacketLen {
+		return Packet{}, fmt.Errorf("%w: record claims %d-byte payload (max %d)", ErrBadTrace, p.Len, MaxPacketLen)
+	}
+	return p, nil
 }
 
 // ReadAll drains the trace into memory.

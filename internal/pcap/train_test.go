@@ -1,0 +1,108 @@
+package pcap
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckTrainCatchesMalformedTrains table-drives CheckTrain over a
+// healthy train and each way a synthesised train can be malformed —
+// including non-monotone timestamps.
+func TestCheckTrainCatchesMalformedTrains(t *testing.T) {
+	good := func() []Packet { return flowPackets(1000, 4, 100, 1448) }
+	cases := []struct {
+		name   string
+		mutate func(tr []Packet) []Packet
+		want   string // "" = must stay nil
+	}{
+		{
+			name:   "healthy",
+			mutate: func(tr []Packet) []Packet { return tr },
+		},
+		{
+			name:   "too short to bracket",
+			mutate: func(tr []Packet) []Packet { return tr[:1] },
+			want:   "cannot bracket",
+		},
+		{
+			name: "missing SYN",
+			mutate: func(tr []Packet) []Packet {
+				tr[0].Flags = FlagACK
+				tr[0].Len = 10
+				return tr
+			},
+			want: "bare SYN",
+		},
+		{
+			name: "missing FIN",
+			mutate: func(tr []Packet) []Packet {
+				tr[len(tr)-1].Flags = FlagACK
+				return tr
+			},
+			want: "FIN or RST",
+		},
+		{
+			name: "non-monotone timestamps",
+			mutate: func(tr []Packet) []Packet {
+				tr[2].TsNs = tr[1].TsNs - 50
+				return tr
+			},
+			want: "timestamps regress",
+		},
+		{
+			name: "mixed 5-tuples",
+			mutate: func(tr []Packet) []Packet {
+				tr[2].SrcPort++
+				return tr
+			},
+			want: "mixes 5-tuples",
+		},
+		{
+			name: "empty data record",
+			mutate: func(tr []Packet) []Packet {
+				tr[2].Len = 0
+				return tr
+			},
+			want: "length 0",
+		},
+		{
+			name: "oversized data record",
+			mutate: func(tr []Packet) []Packet {
+				tr[2].Len = MaxPacketLen + 1
+				return tr
+			},
+			want: "outside",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckTrain(tc.mutate(good()))
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("healthy train rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed train %q accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVerifyTrainsOnRealCapture: every train a real capture synthesises
+// passes verification, and verifying does not consume the pending queue
+// (Packets() must still see every record afterwards).
+func TestVerifyTrainsOnRealCapture(t *testing.T) {
+	c := runCapturedFlows(t, 4, 10_000_000)
+	if err := c.VerifyTrains(); err != nil {
+		t.Fatalf("real capture fails train verification: %v", err)
+	}
+	if got := len(c.Packets()); got == 0 {
+		t.Fatal("VerifyTrains consumed the pending flows")
+	}
+	// RST bracketing is covered by the abort path in tap_test.go.
+}
