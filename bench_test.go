@@ -172,6 +172,17 @@ func BenchmarkGenerateSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkFitTerasort measures the full modelling stage (stage 2) over
+// a two-run terasort corpus: pooling, per-phase model selection across
+// the candidate families, and goodness-of-fit evaluation (body shared
+// via internal/benchcases so the CI gate measures the same workload).
+func BenchmarkFitTerasort(b *testing.B) { benchcases.FitTerasort(b) }
+
+// BenchmarkClassifyDataset measures dataset construction plus the
+// per-phase series extraction the fit stage leans on (body shared via
+// internal/benchcases).
+func BenchmarkClassifyDataset(b *testing.B) { benchcases.ClassifyDataset(b) }
+
 // BenchmarkReplayFatTree measures schedule replay on a k=4 fat-tree
 // (stage 4; body shared via internal/benchcases).
 func BenchmarkReplayFatTree(b *testing.B) { benchcases.ReplayFatTree(b) }

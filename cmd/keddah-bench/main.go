@@ -24,10 +24,18 @@ import (
 )
 
 // gatedBenchmarks are the cases the CI regression gate enforces: the
-// netsim hot path and the replay pipeline with and without telemetry.
-// CaptureTerasort is reported but not gated (its ns/op is dominated by
-// one-off model fitting and too noisy for a 15% bound).
-var gatedBenchmarks = []string{"NetsimFanIn", "ReplayFatTree", "ReplayFatTreeTelemetry"}
+// netsim hot path, the replay pipeline with and without telemetry, and
+// the modelling stage (fit + dataset classification), whose sort-once
+// sample pipeline this gate keeps honest. CaptureTerasort is reported
+// but not gated (its ns/op is dominated by one-off model fitting and
+// too noisy for a 15% bound).
+var gatedBenchmarks = []string{
+	"NetsimFanIn",
+	"ReplayFatTree",
+	"ReplayFatTreeTelemetry",
+	"FitTerasort",
+	"ClassifyDataset",
+}
 
 // writeTableCSV dumps one experiment table as <dir>/<id>.csv for plotting.
 func writeTableCSV(dir string, t experiments.Table) error {

@@ -20,7 +20,6 @@ import (
 
 	"keddah/internal/flows"
 	"keddah/internal/pcap"
-	"keddah/internal/stats"
 )
 
 func main() {
@@ -83,8 +82,7 @@ func run() error {
 		if n == 0 {
 			continue
 		}
-		sizes := ds.Sizes(ph)
-		e, err := stats.NewECDF(sizes)
+		e, err := ds.SizeSample(ph).ECDF()
 		if err != nil {
 			return fmt.Errorf("phase %s: %w", ph, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"keddah/internal/core"
+	"keddah/internal/flows"
 	"keddah/internal/netsim"
 	"keddah/internal/sim"
 	"keddah/internal/telemetry"
@@ -29,6 +30,66 @@ func Cases() []Case {
 		{"ReplayFatTree", ReplayFatTree},
 		{"ReplayFatTreeTelemetry", ReplayFatTreeTelemetry},
 		{"CaptureTerasort", CaptureTerasort},
+		{"FitTerasort", FitTerasort},
+		{"ClassifyDataset", ClassifyDataset},
+	}
+}
+
+// fitCorpus captures the small multi-run terasort corpus the modelling
+// benchmarks fit from (two runs at different input sizes so the
+// duration line and count/unit ratios see variation).
+func fitCorpus(b *testing.B) *core.TraceSet {
+	b.Helper()
+	ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: 6},
+		[]workload.RunSpec{
+			{Profile: "terasort", InputBytes: 512 << 20, JobName: "ts-a", InputPath: "/data/a"},
+			{Profile: "terasort", InputBytes: 640 << 20, JobName: "ts-b", InputPath: "/data/b"},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+// FitTerasort measures the modelling stage (toolchain stage 2): fitting
+// the per-phase size / inter-arrival / offset laws of a two-run terasort
+// corpus, including AIC model selection and the goodness-of-fit report.
+// The capture runs outside the timer.
+func FitTerasort(b *testing.B) {
+	ts := fitCorpus(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		model, err := core.Fit(ts, core.FitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if model.Jobs["terasort"] == nil {
+			b.Fatal("terasort model missing")
+		}
+	}
+}
+
+// ClassifyDataset measures the flow-classification and per-phase slicing
+// path the modelling stage leans on: building a classified dataset from
+// raw records, slicing every phase, and extracting the per-phase size,
+// duration and inter-arrival series.
+func ClassifyDataset(b *testing.B) {
+	ts := fitCorpus(b)
+	records := ts.Runs[0].Records
+	phases := append([]flows.Phase{}, flows.AllPhases...)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ds := flows.NewDataset(records)
+		total := 0
+		for _, ph := range phases {
+			sub := ds.ByPhase(ph)
+			total += len(sub.Sizes("")) + len(sub.Durations("")) + len(sub.InterArrivals(""))
+		}
+		if total == 0 {
+			b.Fatal("classification produced no per-phase series")
+		}
 	}
 }
 

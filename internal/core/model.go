@@ -1,11 +1,16 @@
 package core
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"keddah/internal/flows"
 	"keddah/internal/stats"
@@ -117,6 +122,12 @@ type FitOptions struct {
 	// MinSamples is the minimum flow count to fit a law from
 	// (default 8); smaller samples fall back to a Constant at the mean.
 	MinSamples int
+	// Workers bounds the fit worker pool: the per-(workload, phase)
+	// fitting tasks run on up to Workers goroutines (0 = GOMAXPROCS,
+	// 1 = serial). Every task is an independent pure function and the
+	// results are assembled in a fixed order, so the fitted model —
+	// including its serialised JSON — is byte-identical at any width.
+	Workers int
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -130,40 +141,141 @@ func (o FitOptions) withDefaults() FitOptions {
 // for every workload × phase it pools flows across runs, selects the
 // best-fitting distribution family by AIC for sizes, inter-arrivals and
 // phase start offsets, and derives the structural count scaling.
+//
+// The stage is split in two: a cheap serial pooling pass per workload,
+// then the expensive distribution fitting fanned out over a bounded
+// worker pool with one task per (workload, phase) plus one for the
+// cluster background model (see FitOptions.Workers).
 func Fit(ts *TraceSet, opts FitOptions) (*Model, error) {
 	opts = opts.withDefaults()
 	if len(ts.Runs) == 0 {
 		return nil, fmt.Errorf("core: trace set has no runs")
 	}
 	model := &Model{Jobs: make(map[string]*JobModel)}
+	names := ts.Workloads()
+	byWorkload := ts.ByWorkload()
 
-	for _, name := range ts.Workloads() {
-		runs := ts.ByWorkload()[name]
-		jm, err := fitWorkload(name, runs, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fit %s: %w", name, err)
-		}
-		model.Jobs[name] = jm
+	// Stage 1 (serial): pool per-phase samples for every workload.
+	pools := make([]*workloadPool, len(names))
+	for i, name := range names {
+		pools[i] = poolWorkload(name, byWorkload[name])
 	}
 
-	if len(ts.Background) > 0 && ts.BackgroundSpanNs > 0 && ts.BackgroundHosts > 0 {
-		bg, err := fitBackground(ts, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fit background: %w", err)
+	// Stage 2 (parallel): one fit task per pooled (workload, phase).
+	type phaseSlot struct {
+		pool *workloadPool
+		ph   flows.Phase
+		pm   *PhaseModel
+		err  error
+	}
+	var slots []*phaseSlot
+	var tasks []func()
+	for _, pool := range pools {
+		for _, ph := range flows.AllPhases {
+			pp, ok := pool.phases[ph]
+			if !ok {
+				continue
+			}
+			slot := &phaseSlot{pool: pool, ph: ph}
+			slots = append(slots, slot)
+			tasks = append(tasks, func() {
+				slot.pm, slot.err = fitPhase(slot.ph, pp, pool, opts)
+			})
+		}
+	}
+	var bg *PhaseModel
+	var bgErr error
+	fitBG := len(ts.Background) > 0 && ts.BackgroundSpanNs > 0 && ts.BackgroundHosts > 0
+	if fitBG {
+		tasks = append(tasks, func() { bg, bgErr = fitBackground(ts, opts) })
+	}
+	runTasks(tasks, opts.Workers)
+
+	// Assemble in deterministic (workload, phase) order; the first
+	// failure in that order wins, whatever finished first.
+	for _, slot := range slots {
+		if slot.err != nil {
+			return nil, fmt.Errorf("fit %s: %w", slot.pool.jm.Workload, slot.err)
+		}
+		slot.pool.jm.Phases[slot.ph] = slot.pm
+	}
+	if fitBG {
+		if bgErr != nil {
+			return nil, fmt.Errorf("fit background: %w", bgErr)
 		}
 		model.Background = bg
+	}
+	for _, pool := range pools {
+		model.Jobs[pool.jm.Workload] = pool.jm
 	}
 	return model, nil
 }
 
-// fitWorkload pools a workload's runs and fits every phase.
-func fitWorkload(name string, runs []*Run, opts FitOptions) (*JobModel, error) {
+// runTasks drains tasks on up to workers goroutines (0 = GOMAXPROCS,
+// 1 or a single task = inline serial execution).
+func runTasks(tasks []func(), workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// phasePool is one (workload, phase)'s pooled raw samples, ready for an
+// independent fit task.
+type phasePool struct {
+	sizes      []float64
+	inter      []float64
+	offsets    []float64
+	unitRatios []float64
+	count      float64
+	volume     float64
+}
+
+// workloadPool carries a workload's partially built JobModel (reference
+// parameters, duration line) plus its pooled per-phase samples.
+type workloadPool struct {
+	jm         *JobModel
+	phases     map[flows.Phase]*phasePool
+	totalBytes float64
+	runs       int
+}
+
+// poolWorkload pools a workload's runs into per-phase samples. Start
+// offsets, inter-arrivals and count/unit ratios are computed per run
+// (relative to that run's own start and configuration) before pooling;
+// shuffle flow sizes are normalized by the run's reducer count so the
+// fitted law transfers across configurations.
+func poolWorkload(name string, runs []*Run) *workloadPool {
 	jm := &JobModel{
 		Workload: name,
 		Phases:   make(map[flows.Phase]*PhaseModel, len(flows.AllPhases)),
 		RefRuns:  len(runs),
 	}
-	var totalBytes, totalInput, totalDur float64
+	var totalInput, totalDur float64
 	for _, r := range runs {
 		jm.RefInputBytes += r.InputBytes
 		jm.RefMaps += r.Maps
@@ -180,77 +292,82 @@ func fitWorkload(name string, runs []*Run, opts FitOptions) (*JobModel, error) {
 	jm.DurationSecs = totalDur / float64(n)
 	jm.DurIntercept, jm.DurSecsPerByte = fitDurationLine(runs)
 
-	// Pool per-phase samples across runs. Start offsets, inter-arrivals
-	// and count/unit ratios are computed per run (relative to that run's
-	// own start and configuration) before pooling; shuffle flow sizes
-	// are normalized by the run's reducer count so the fitted law
-	// transfers across configurations.
-	sizes := make(map[flows.Phase][]float64)
-	inter := make(map[flows.Phase][]float64)
-	offsets := make(map[flows.Phase][]float64)
-	unitRatios := make(map[flows.Phase][]float64)
-	counts := make(map[flows.Phase]float64)
-	volumes := make(map[flows.Phase]float64)
-
+	pool := &workloadPool{
+		jm:     jm,
+		phases: make(map[flows.Phase]*phasePool, len(flows.AllPhases)),
+		runs:   n,
+	}
 	for _, r := range runs {
 		ds := r.Dataset()
 		for _, ph := range flows.AllPhases {
-			sub := ds.ByPhase(ph)
-			if sub.Len() == 0 {
+			cnt := ds.Count(ph)
+			if cnt == 0 {
 				continue
 			}
+			pp, ok := pool.phases[ph]
+			if !ok {
+				pp = &phasePool{}
+				pool.phases[ph] = pp
+			}
+			// Per-phase series come straight off the dataset's phase index;
+			// no sub-dataset is materialized.
 			norm := sizeNormFactor(ph, r)
-			for _, sz := range sub.Sizes("") {
-				sizes[ph] = append(sizes[ph], sz*norm)
+			for _, sz := range ds.Sizes(ph) {
+				pp.sizes = append(pp.sizes, sz*norm)
 			}
-			inter[ph] = append(inter[ph], sub.InterArrivals("")...)
-			first, _ := sub.Span()
-			offsets[ph] = append(offsets[ph], float64(first-r.StartNs)/1e9)
+			pp.inter = append(pp.inter, ds.InterArrivals(ph)...)
+			first, _ := ds.PhaseSpan(ph)
+			pp.offsets = append(pp.offsets, float64(first-r.StartNs)/1e9)
 			if units := countUnits(ph, r); units > 0 {
-				unitRatios[ph] = append(unitRatios[ph], float64(sub.Len())/units)
+				pp.unitRatios = append(pp.unitRatios, float64(cnt)/units)
 			}
-			counts[ph] += float64(sub.Len())
-			volumes[ph] += float64(sub.Volume(""))
+			pp.count += float64(cnt)
+			pp.volume += float64(ds.Volume(ph))
 		}
-		totalBytes += float64(ds.Volume(""))
-	}
-
-	for _, ph := range flows.AllPhases {
-		if counts[ph] == 0 {
-			continue
-		}
-		pm := &PhaseModel{Samples: len(sizes[ph]), SizeNormalizer: sizeNormName(ph)}
-		pm.SizeMin, pm.SizeMax = sampleRange(sizes[ph])
-		atoms, rest := extractAtoms(sizes[ph])
-		pm.SizeAtoms = atoms
-		var err error
-		pm.Size, pm.SizeGoF, pm.Candidates, err = fitLaw(rest, opts)
-		if err != nil {
-			return nil, fmt.Errorf("phase %s sizes: %w", ph, err)
-		}
-		pm.InterArrival, _, _, err = fitLaw(inter[ph], opts)
-		if err != nil {
-			return nil, fmt.Errorf("phase %s inter-arrivals: %w", ph, err)
-		}
-		pm.StartOffset, _, _, err = fitLaw(offsets[ph], opts)
-		if err != nil {
-			return nil, fmt.Errorf("phase %s offsets: %w", ph, err)
-		}
-		if totalBytes > 0 {
-			pm.VolumeShare = volumes[ph] / totalBytes
-		}
-		pm.Unit = unitName(ph)
-		pm.CountPerUnit = meanOf(unitRatios[ph])
-		if pm.CountPerUnit == 0 {
-			pm.Unit = "job"
-			pm.CountPerUnit = counts[ph] / float64(n)
-		}
-		jm.Phases[ph] = pm
+		pool.totalBytes += float64(ds.Volume(""))
 	}
 	if totalInput > 0 {
-		jm.BytesPerInputByte = totalBytes / totalInput
+		jm.BytesPerInputByte = pool.totalBytes / totalInput
 	}
-	return jm, nil
+	return pool
+}
+
+// fitPhase fits one pooled (workload, phase): size law with atoms,
+// inter-arrival law, start-offset law and the structural count scaling.
+// It reads only its own pool (plus immutable workload totals), so any
+// number of fitPhase tasks can run concurrently.
+func fitPhase(ph flows.Phase, pp *phasePool, pool *workloadPool, opts FitOptions) (*PhaseModel, error) {
+	// One sort covers range, atom extraction and the size fit: atoms are
+	// contiguous runs in the sorted sample, and what remains is still
+	// sorted, so the fit below skips its own sort.
+	sizes := stats.NewSampleOwned(pp.sizes)
+	pm := &PhaseModel{Samples: sizes.Len(), SizeNormalizer: sizeNormName(ph)}
+	pm.SizeMin, pm.SizeMax = sizes.Min(), sizes.Max()
+	atoms, rest := extractAtoms(sizes.Values())
+	pm.SizeAtoms = atoms
+	var err error
+	pm.Size, pm.SizeGoF, pm.Candidates, err = fitLaw(stats.NewSampleSorted(rest), opts)
+	if err != nil {
+		return nil, fmt.Errorf("phase %s sizes: %w", ph, err)
+	}
+	pm.InterArrival, _, _, err = fitLaw(stats.NewSampleOwned(pp.inter), opts)
+	if err != nil {
+		return nil, fmt.Errorf("phase %s inter-arrivals: %w", ph, err)
+	}
+	pm.StartOffset, _, _, err = fitLaw(stats.NewSampleOwned(pp.offsets), opts)
+	if err != nil {
+		return nil, fmt.Errorf("phase %s offsets: %w", ph, err)
+	}
+	if pool.totalBytes > 0 {
+		pm.VolumeShare = pp.volume / pool.totalBytes
+	}
+	pm.Unit = unitName(ph)
+	pm.CountPerUnit = stats.Mean(pp.unitRatios)
+	if pm.CountPerUnit == 0 {
+		pm.Unit = "job"
+		pm.CountPerUnit = pp.count / float64(pool.runs)
+	}
+	return pm, nil
 }
 
 // fitDurationLine least-squares-fits duration = a + b·input over the
@@ -302,18 +419,6 @@ func (jm *JobModel) DurationAt(inputBytes int64) float64 {
 		return jm.DurationSecs * float64(inputBytes) / float64(jm.RefInputBytes)
 	}
 	return jm.DurationSecs
-}
-
-// meanOf averages a slice (0 for empty).
-func meanOf(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
 }
 
 // unitName names the structural count driver of a phase: shuffle flows
@@ -377,23 +482,6 @@ func sizeNormFactor(ph flows.Phase, r *Run) float64 {
 	return 1
 }
 
-// sampleRange returns the min and max of a sample (0,0 when empty).
-func sampleRange(xs []float64) (lo, hi float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	lo, hi = xs[0], xs[0]
-	for _, x := range xs {
-		if x < lo {
-			lo = x
-		}
-		if x > hi {
-			hi = x
-		}
-	}
-	return lo, hi
-}
-
 // atomMinFraction is the sample share an exact repeated value must reach
 // to become a point mass; atomMaxCount bounds the spike count.
 const (
@@ -403,92 +491,91 @@ const (
 
 // extractAtoms pulls dominant exact repeated values (block-sized HDFS
 // flows, fixed-size RPCs) out of a size sample, returning the point
-// masses and the remaining continuous sub-sample.
+// masses and the remaining continuous sub-sample. xs must be sorted
+// ascending: repeated values are then contiguous runs, so one linear
+// scan replaces a value→count map, and the returned rest is itself
+// still sorted (callers feed it to NewSampleSorted).
 func extractAtoms(xs []float64) ([]Atom, []float64) {
 	if len(xs) < 5 {
 		return nil, xs
 	}
-	counts := make(map[float64]int, len(xs))
-	for _, x := range xs {
-		counts[x]++
-	}
-	// Collect candidate spikes above threshold, deterministically ordered
-	// by weight (ties by value).
-	type kv struct {
-		v float64
-		n int
-	}
-	var cands []kv
 	minCount := int(atomMinFraction * float64(len(xs)))
 	if minCount < 2 {
 		minCount = 2
 	}
-	for v, n := range counts {
-		if n >= minCount {
-			cands = append(cands, kv{v, n})
-		}
+	// Collect candidate runs above threshold; scanning sorted data yields
+	// them in value order, which the weight sort below uses as tiebreak.
+	type run struct {
+		start, n int
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].n != cands[j].n {
-			return cands[i].n > cands[j].n
+	var cands []run
+	for i := 0; i < len(xs); {
+		j := i + 1
+		for j < len(xs) && xs[j] == xs[i] {
+			j++
 		}
-		return cands[i].v < cands[j].v
-	})
-	if len(cands) > atomMaxCount {
-		cands = cands[:atomMaxCount]
+		if j-i >= minCount {
+			cands = append(cands, run{start: i, n: j - i})
+		}
+		i = j
 	}
 	if len(cands) == 0 {
 		return nil, xs
 	}
-	spikes := make(map[float64]bool, len(cands))
-	atoms := make([]Atom, 0, len(cands))
-	for _, c := range cands {
-		spikes[c.v] = true
-		atoms = append(atoms, Atom{Value: c.v, Weight: float64(c.n) / float64(len(xs))})
-	}
-	rest := make([]float64, 0, len(xs))
-	for _, x := range xs {
-		if !spikes[x] {
-			rest = append(rest, x)
+	slices.SortFunc(cands, func(a, b run) int {
+		if a.n != b.n {
+			return cmp.Compare(b.n, a.n)
 		}
+		return cmp.Compare(xs[a.start], xs[b.start])
+	})
+	if len(cands) > atomMaxCount {
+		cands = cands[:atomMaxCount]
 	}
+	atoms := make([]Atom, 0, len(cands))
+	removed := 0
+	for _, c := range cands {
+		atoms = append(atoms, Atom{Value: xs[c.start], Weight: float64(c.n) / float64(len(xs))})
+		removed += c.n
+	}
+	// Carve the chosen runs out positionally so rest stays sorted.
+	byPos := append([]run(nil), cands...)
+	slices.SortFunc(byPos, func(a, b run) int { return cmp.Compare(a.start, b.start) })
+	rest := make([]float64, 0, len(xs)-removed)
+	prev := 0
+	for _, c := range byPos {
+		rest = append(rest, xs[prev:c.start]...)
+		prev = c.start + c.n
+	}
+	rest = append(rest, xs[prev:]...)
 	return atoms, rest
 }
 
 // fitLaw selects the best distribution for a sample, degrading gracefully
-// for small or degenerate samples.
-func fitLaw(xs []float64, opts FitOptions) (stats.DistSpec, stats.GoFReport, []CandidateFit, error) {
-	if len(xs) == 0 {
+// for small or degenerate samples. The sample is sorted exactly once — at
+// construction by the caller — and its cached moments feed every
+// candidate fit and goodness-of-fit statistic.
+func fitLaw(s *stats.Sample, opts FitOptions) (stats.DistSpec, stats.GoFReport, []CandidateFit, error) {
+	if s.Len() == 0 {
 		c, _ := stats.NewConstant(0)
 		return stats.Spec(c), stats.GoFReport{}, nil, nil
 	}
-	if len(xs) < opts.MinSamples {
-		mean := 0.0
-		for _, x := range xs {
-			mean += x
-		}
-		mean /= float64(len(xs))
-		c, err := stats.NewConstant(mean)
+	if s.Len() < opts.MinSamples {
+		c, err := stats.NewConstant(s.Mean())
 		if err != nil {
 			return stats.DistSpec{}, stats.GoFReport{}, nil, err
 		}
-		return stats.Spec(c), sanitizeGoF(stats.Evaluate(c, xs)), nil, nil
+		return stats.Spec(c), sanitizeGoF(s.Evaluate(c)), nil, nil
 	}
-	best, all, err := stats.SelectBest(xs, opts.Candidates)
+	best, all, err := s.SelectBest(opts.Candidates)
 	if err != nil {
 		// No candidate family could represent this sample (e.g. zeros
 		// under an exponential-only candidate set). Degrade to a point
 		// mass at the mean rather than failing the whole model.
-		mean := 0.0
-		for _, x := range xs {
-			mean += x
-		}
-		mean /= float64(len(xs))
-		c, cerr := stats.NewConstant(mean)
+		c, cerr := stats.NewConstant(s.Mean())
 		if cerr != nil {
 			return stats.DistSpec{}, stats.GoFReport{}, nil, cerr
 		}
-		return stats.Spec(c), sanitizeGoF(stats.Evaluate(c, xs)), nil, nil
+		return stats.Spec(c), sanitizeGoF(s.Evaluate(c)), nil, nil
 	}
 	cands := make([]CandidateFit, 0, len(all))
 	for _, fr := range all {
@@ -501,7 +588,7 @@ func fitLaw(xs []float64, opts FitOptions) (stats.DistSpec, stats.GoFReport, []C
 		}
 		cands = append(cands, cf)
 	}
-	return stats.Spec(best), sanitizeGoF(stats.Evaluate(best, xs)), cands, nil
+	return stats.Spec(best), sanitizeGoF(s.Evaluate(best)), cands, nil
 }
 
 // isFinite reports whether x is a normal float (not NaN/±Inf).
@@ -530,15 +617,16 @@ func sanitizeGoF(g stats.GoFReport) stats.GoFReport {
 
 // fitBackground models cluster-wide heartbeat traffic.
 func fitBackground(ts *TraceSet, opts FitOptions) (*PhaseModel, error) {
-	ds := flows.NewDataset(ts.Background)
+	ds := ts.BackgroundDataset()
 	pm := &PhaseModel{Samples: ds.Len(), Unit: "hostsecond"}
-	pm.SizeMin, pm.SizeMax = sampleRange(ds.Sizes(""))
+	sizes := ds.SizeSample("")
+	pm.SizeMin, pm.SizeMax = sizes.Min(), sizes.Max()
 	var err error
-	pm.Size, pm.SizeGoF, pm.Candidates, err = fitLaw(ds.Sizes(""), opts)
+	pm.Size, pm.SizeGoF, pm.Candidates, err = fitLaw(sizes, opts)
 	if err != nil {
 		return nil, fmt.Errorf("background sizes: %w", err)
 	}
-	pm.InterArrival, _, _, err = fitLaw(ds.InterArrivals(""), opts)
+	pm.InterArrival, _, _, err = fitLaw(ds.InterArrivalSample(""), opts)
 	if err != nil {
 		return nil, fmt.Errorf("background inter-arrivals: %w", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"keddah/internal/flows"
 	"keddah/internal/pcap"
@@ -41,13 +42,23 @@ type Run struct {
 	// Records are the job's flow records (ground-truth-labelled,
 	// phase-classified by ports).
 	Records []pcap.FlowRecord `json:"records"`
+
+	dsOnce sync.Once
+	ds     *flows.Dataset
 }
 
 // DurationSeconds returns the job duration.
 func (r *Run) DurationSeconds() float64 { return float64(r.EndNs-r.StartNs) / 1e9 }
 
-// Dataset returns the run's classified flow dataset.
-func (r *Run) Dataset() *flows.Dataset { return flows.NewDataset(r.Records) }
+// Dataset returns the run's classified flow dataset. The dataset is
+// built on first use and cached: Records are fixed once the capture
+// session ends and classification is pure, so every caller — including
+// repeated Fit invocations — shares one phase-indexed view. Callers must
+// treat the returned dataset as read-only.
+func (r *Run) Dataset() *flows.Dataset {
+	r.dsOnce.Do(func() { r.ds = flows.NewDataset(r.Records) })
+	return r.ds
+}
 
 // CaptureStats summarises cluster-level events of a capture session.
 type CaptureStats struct {
@@ -76,6 +87,18 @@ type TraceSet struct {
 	BackgroundSpanNs int64        `json:"backgroundSpanNs"`
 	Stats            CaptureStats `json:"stats"`
 	Runs             []*Run       `json:"runs"`
+
+	bgOnce sync.Once
+	bgDS   *flows.Dataset
+}
+
+// BackgroundDataset returns the classified background-flow dataset,
+// built on first use and cached under the same contract as Run.Dataset:
+// Background is fixed once the capture session ends, and callers must
+// treat the returned dataset as read-only.
+func (ts *TraceSet) BackgroundDataset() *flows.Dataset {
+	ts.bgOnce.Do(func() { ts.bgDS = flows.NewDataset(ts.Background) })
+	return ts.bgDS
 }
 
 // ByWorkload groups runs by workload name, sorted for determinism.

@@ -44,20 +44,21 @@ func Validate(workload string, measured, generated []pcap.FlowRecord) Validation
 	gd := flows.NewDataset(generated)
 	v := Validation{Workload: workload}
 	for _, ph := range flows.AllPhases {
-		ms, gs := md.Sizes(ph), gd.Sizes(ph)
-		if len(ms) == 0 && len(gs) == 0 {
+		ms, gs := md.SizeSample(ph), gd.SizeSample(ph)
+		if ms.Len() == 0 && gs.Len() == 0 {
 			continue
 		}
 		pc := PhaseComparison{
 			Phase:          ph,
-			MeasuredFlows:  len(ms),
-			GeneratedFlows: len(gs),
+			MeasuredFlows:  ms.Len(),
+			GeneratedFlows: gs.Len(),
 			MeasuredBytes:  md.Volume(ph),
 			GeneratedBytes: gd.Volume(ph),
 		}
-		pc.SizeKS = stats.KSStatistic2(ms, gs)
-		pc.SizeKSP = stats.KSPValue2(pc.SizeKS, len(ms), len(gs))
-		pc.ArrivalKS = stats.KSStatistic2(md.InterArrivals(ph), gd.InterArrivals(ph))
+		pc.SizeKS = stats.KSStatistic2Sorted(ms.Values(), gs.Values())
+		pc.SizeKSP = stats.KSPValue2(pc.SizeKS, ms.Len(), gs.Len())
+		pc.ArrivalKS = stats.KSStatistic2Sorted(
+			md.InterArrivalSample(ph).Values(), gd.InterArrivalSample(ph).Values())
 		if pc.MeasuredBytes > 0 {
 			diff := float64(pc.GeneratedBytes - pc.MeasuredBytes)
 			if diff < 0 {

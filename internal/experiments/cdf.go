@@ -44,16 +44,19 @@ func runE3(cfg Config) ([]Table, error) {
 			if len(xs) == 0 {
 				continue
 			}
-			e, err := stats.NewECDF(xs)
+			// One Sample serves the quantiles and the summary: sorted once,
+			// shared by both instead of two copy+sort passes.
+			s := stats.NewSampleOwned(xs)
+			e, err := s.ECDF()
 			if err != nil {
 				return nil, fmt.Errorf("E3 %s/%s: %w", prof, ph, err)
 			}
 			q := func(p float64) string { return f2(e.Quantile(p) / (1 << 20)) }
-			sum, err := stats.Describe(xs)
+			sum, err := s.Describe()
 			if err != nil {
 				return nil, fmt.Errorf("E3 %s/%s: %w", prof, ph, err)
 			}
-			t.AddRow(prof, string(ph), itoa(len(xs)), q(0.10), q(0.25), q(0.50),
+			t.AddRow(prof, string(ph), itoa(s.Len()), q(0.10), q(0.25), q(0.50),
 				q(0.75), q(0.90), q(0.99), f2(sum.Mean/(1<<20)))
 		}
 	}

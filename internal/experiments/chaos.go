@@ -51,7 +51,9 @@ func runE16(cfg Config) ([]Table, error) {
 		}
 		round0 := res0[0].Rounds[0]
 		healthyDur := float64(round0.Duration()) / 1e9
-		healthySizes := ts0.Runs[0].Dataset().Sizes(flows.PhaseShuffle)
+		// Every faulty scenario compares against the same healthy shuffle
+		// sample; sort it once and reuse the sorted view per row.
+		healthySizes := ts0.Runs[0].Dataset().SizeSample(flows.PhaseShuffle)
 		addE16Row(&t, fabric, "healthy", 0, ts0, res0, healthyDur, healthySizes)
 
 		// Faults land between 10% and 70% of the healthy job window, so
@@ -94,7 +96,7 @@ func runE16(cfg Config) ([]Table, error) {
 
 // addE16Row reduces one capture to a chaos-sweep table row.
 func addE16Row(t *Table, fabric, scenario string, nFaults int, ts *core.TraceSet,
-	results []workload.RunResult, healthyDur float64, healthySizes []float64) {
+	results []workload.RunResult, healthyDur float64, healthySizes *stats.Sample) {
 	round := results[0].Rounds[0]
 	ds := ts.Runs[0].Dataset()
 	dur := float64(round.Duration()) / 1e9
@@ -115,8 +117,8 @@ func addE16Row(t *Table, fabric, scenario string, nFaults int, ts *core.TraceSet
 
 	ks := 0.0
 	if scenario != "healthy" {
-		if faulty := ds.Sizes(flows.PhaseShuffle); len(faulty) > 0 && len(healthySizes) > 0 {
-			ks = stats.KSStatistic2(healthySizes, faulty)
+		if faulty := ds.SizeSample(flows.PhaseShuffle); faulty.Len() > 0 && healthySizes.Len() > 0 {
+			ks = stats.KSStatistic2Sorted(healthySizes.Values(), faulty.Values())
 		}
 	}
 

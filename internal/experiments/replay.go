@@ -6,7 +6,6 @@ import (
 	"keddah/internal/core"
 	"keddah/internal/flows"
 	"keddah/internal/pcap"
-	"keddah/internal/stats"
 )
 
 func init() {
@@ -104,8 +103,7 @@ func meanDuration(recs []pcap.FlowRecord, phases ...flows.Phase) float64 {
 // p99Duration returns the 99th percentile flow duration for a phase.
 func p99Duration(recs []pcap.FlowRecord, ph flows.Phase) float64 {
 	ds := flows.NewDataset(recs)
-	durs := ds.Durations(ph)
-	e, err := stats.NewECDF(durs)
+	e, err := ds.DurationSample(ph).ECDF()
 	if err != nil {
 		return 0 // empty sample: no flows in this phase
 	}

@@ -1,29 +1,91 @@
 package flows
 
 import (
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"keddah/internal/pcap"
+	"keddah/internal/stats"
 )
 
 // Dataset is an ordered collection of flow records with cached phase
 // classification. It is the unit Keddah's modelling stage consumes.
+// Classification runs exactly once, at construction: a phase index
+// (phase → record indices) built alongside it makes every per-phase
+// view — ByPhase, Sizes, Durations, InterArrivals, Volume, Count — an
+// exact-prealloc single scan instead of a re-classifying filter pass.
 type Dataset struct {
 	Records []pcap.FlowRecord
 	phases  []Phase
+	idx     map[Phase][]int32
+
+	// samples lazily caches the sorted per-phase Sample views. Records
+	// and phases are immutable after construction, so a sample — and the
+	// moments it caches internally — stays valid for the dataset's
+	// lifetime and can be shared by every fit and validation pass instead
+	// of re-sorting per call. Guarded by mu; datasets are safe for
+	// concurrent read use.
+	mu      sync.Mutex
+	samples map[sampleKey]*stats.Sample
+}
+
+// sampleKey identifies one cached sample view: which series, which phase.
+type sampleKey struct {
+	kind  uint8
+	phase Phase
+}
+
+const (
+	sampleSizes uint8 = iota
+	sampleDurations
+	sampleInterArrivals
+)
+
+// cachedSample returns the memoized sample for (kind, p), building it
+// via build on first use. The lock is held across build — the builders
+// are single linear scans, and duplicate concurrent builds would waste
+// the very sort this cache exists to avoid.
+func (d *Dataset) cachedSample(kind uint8, p Phase, build func() []float64) *stats.Sample {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := sampleKey{kind: kind, phase: p}
+	if s, ok := d.samples[k]; ok {
+		return s
+	}
+	if d.samples == nil {
+		d.samples = make(map[sampleKey]*stats.Sample)
+	}
+	s := stats.NewSampleOwned(build())
+	d.samples[k] = s
+	return s
 }
 
 // NewDataset classifies every record once and returns the dataset.
 // The record slice is copied.
 func NewDataset(records []pcap.FlowRecord) *Dataset {
-	d := &Dataset{
-		Records: make([]pcap.FlowRecord, len(records)),
-		phases:  make([]Phase, len(records)),
+	recs := make([]pcap.FlowRecord, len(records))
+	copy(recs, records)
+	phases := make([]Phase, len(recs))
+	for i, r := range recs {
+		phases[i] = Classify(r)
 	}
-	copy(d.Records, records)
-	for i, r := range d.Records {
-		d.phases[i] = Classify(r)
+	return newClassified(recs, phases)
+}
+
+// newClassified assembles a dataset from records whose classification is
+// already known, taking ownership of both slices. Filter and ByPhase use
+// it to thread the cached phases through instead of calling Classify
+// again — classification is pure today, but re-running it was wasted
+// work and a trap if it ever gains state.
+func newClassified(records []pcap.FlowRecord, phases []Phase) *Dataset {
+	d := &Dataset{
+		Records: records,
+		phases:  phases,
+		idx:     make(map[Phase][]int32, len(AllPhases)+1),
+	}
+	for i, p := range phases {
+		d.idx[p] = append(d.idx[p], int32(i))
 	}
 	return d
 }
@@ -37,52 +99,106 @@ func (d *Dataset) Phase(i int) Phase { return d.phases[i] }
 // Filter returns a new dataset of records satisfying keep.
 func (d *Dataset) Filter(keep func(r pcap.FlowRecord, p Phase) bool) *Dataset {
 	var recs []pcap.FlowRecord
+	var phases []Phase
 	for i, r := range d.Records {
 		if keep(r, d.phases[i]) {
 			recs = append(recs, r)
+			phases = append(phases, d.phases[i])
 		}
 	}
-	return NewDataset(recs)
+	return newClassified(recs, phases)
 }
 
 // ByPhase returns the sub-dataset of one phase.
 func (d *Dataset) ByPhase(p Phase) *Dataset {
-	return d.Filter(func(_ pcap.FlowRecord, q Phase) bool { return q == p })
+	ids := d.idx[p]
+	recs := make([]pcap.FlowRecord, len(ids))
+	phases := make([]Phase, len(ids))
+	for i, id := range ids {
+		recs[i] = d.Records[id]
+		phases[i] = p
+	}
+	return newClassified(recs, phases)
 }
 
 // Sizes returns the per-flow byte counts of records in phase p
 // (all phases if p is empty).
 func (d *Dataset) Sizes(p Phase) []float64 {
-	var out []float64
-	for i, r := range d.Records {
-		if p == "" || d.phases[i] == p {
-			out = append(out, float64(r.Bytes))
+	if p == "" {
+		if len(d.Records) == 0 {
+			return nil
 		}
+		out := make([]float64, len(d.Records))
+		for i := range d.Records {
+			out[i] = float64(d.Records[i].Bytes)
+		}
+		return out
+	}
+	ids := d.idx[p]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = float64(d.Records[id].Bytes)
 	}
 	return out
 }
 
+// SizeSample returns the per-flow byte counts of phase p as a sorted
+// stats.Sample, ready for fitting and goodness-of-fit without further
+// copying. The sample is built once per (dataset, phase) and cached;
+// callers must treat it as read-only.
+func (d *Dataset) SizeSample(p Phase) *stats.Sample {
+	return d.cachedSample(sampleSizes, p, func() []float64 { return d.Sizes(p) })
+}
+
 // Durations returns per-flow durations in seconds for phase p.
 func (d *Dataset) Durations(p Phase) []float64 {
-	var out []float64
-	for i, r := range d.Records {
-		if p == "" || d.phases[i] == p {
-			out = append(out, float64(r.DurationNs())/1e9)
+	if p == "" {
+		if len(d.Records) == 0 {
+			return nil
 		}
+		out := make([]float64, len(d.Records))
+		for i := range d.Records {
+			out[i] = float64(d.Records[i].DurationNs()) / 1e9
+		}
+		return out
+	}
+	ids := d.idx[p]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = float64(d.Records[id].DurationNs()) / 1e9
 	}
 	return out
+}
+
+// DurationSample returns the per-flow durations of phase p as a sorted
+// stats.Sample, cached per (dataset, phase); treat as read-only.
+func (d *Dataset) DurationSample(p Phase) *stats.Sample {
+	return d.cachedSample(sampleDurations, p, func() []float64 { return d.Durations(p) })
 }
 
 // InterArrivals returns successive flow start gaps in seconds for phase p,
 // ordered by start time.
 func (d *Dataset) InterArrivals(p Phase) []float64 {
 	var starts []int64
-	for i, r := range d.Records {
-		if p == "" || d.phases[i] == p {
-			starts = append(starts, r.FirstNs)
+	if p == "" {
+		starts = make([]int64, len(d.Records))
+		for i := range d.Records {
+			starts[i] = d.Records[i].FirstNs
+		}
+	} else {
+		ids := d.idx[p]
+		starts = make([]int64, len(ids))
+		for i, id := range ids {
+			starts[i] = d.Records[id].FirstNs
 		}
 	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	slices.Sort(starts)
 	if len(starts) < 2 {
 		return nil
 	}
@@ -93,13 +209,23 @@ func (d *Dataset) InterArrivals(p Phase) []float64 {
 	return out
 }
 
+// InterArrivalSample returns the inter-arrival gaps of phase p as a
+// sorted stats.Sample, cached per (dataset, phase); treat as read-only.
+func (d *Dataset) InterArrivalSample(p Phase) *stats.Sample {
+	return d.cachedSample(sampleInterArrivals, p, func() []float64 { return d.InterArrivals(p) })
+}
+
 // Volume sums bytes over phase p (all records if p is empty).
 func (d *Dataset) Volume(p Phase) int64 {
 	var total int64
-	for i, r := range d.Records {
-		if p == "" || d.phases[i] == p {
-			total += r.Bytes
+	if p == "" {
+		for i := range d.Records {
+			total += d.Records[i].Bytes
 		}
+		return total
+	}
+	for _, id := range d.idx[p] {
+		total += d.Records[id].Bytes
 	}
 	return total
 }
@@ -109,20 +235,18 @@ func (d *Dataset) Count(p Phase) int {
 	if p == "" {
 		return len(d.Records)
 	}
-	n := 0
-	for _, q := range d.phases {
-		if q == p {
-			n++
-		}
-	}
-	return n
+	return len(d.idx[p])
 }
 
 // VolumeBreakdown returns bytes per modelled phase plus the "other" bucket.
 func (d *Dataset) VolumeBreakdown() map[Phase]int64 {
-	out := make(map[Phase]int64, len(AllPhases)+1)
-	for i, r := range d.Records {
-		out[d.phases[i]] += r.Bytes
+	out := make(map[Phase]int64, len(d.idx))
+	for p, ids := range d.idx {
+		var total int64
+		for _, id := range ids {
+			total += d.Records[id].Bytes
+		}
+		out[p] = total
 	}
 	return out
 }
@@ -135,6 +259,30 @@ func (d *Dataset) Span() (firstNs, lastNs int64) {
 	}
 	firstNs, lastNs = d.Records[0].FirstNs, d.Records[0].LastNs
 	for _, r := range d.Records[1:] {
+		if r.FirstNs < firstNs {
+			firstNs = r.FirstNs
+		}
+		if r.LastNs > lastNs {
+			lastNs = r.LastNs
+		}
+	}
+	return firstNs, lastNs
+}
+
+// PhaseSpan is Span restricted to phase p (all records if p is empty),
+// read off the phase index without materializing a sub-dataset.
+func (d *Dataset) PhaseSpan(p Phase) (firstNs, lastNs int64) {
+	if p == "" {
+		return d.Span()
+	}
+	ids := d.idx[p]
+	if len(ids) == 0 {
+		return 0, 0
+	}
+	r0 := d.Records[ids[0]]
+	firstNs, lastNs = r0.FirstNs, r0.LastNs
+	for _, id := range ids[1:] {
+		r := d.Records[id]
 		if r.FirstNs < firstNs {
 			firstNs = r.FirstNs
 		}
@@ -172,6 +320,6 @@ func JobKeys(groups map[string]*Dataset) []string {
 			keys = append(keys, k)
 		}
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }

@@ -1,9 +1,11 @@
 package flows
 
 import (
+	"slices"
 	"testing"
 
 	"keddah/internal/pcap"
+	"keddah/internal/stats"
 )
 
 func rec(srcPort, dstPort uint16, bytes int64, firstNs, lastNs int64, label string) pcap.FlowRecord {
@@ -151,5 +153,88 @@ func TestGroupByJobUnlabelled(t *testing.T) {
 	}
 	if keys := JobKeys(groups); len(keys) != 0 {
 		t.Errorf("JobKeys included the empty bucket: %v", keys)
+	}
+}
+
+// TestDatasetPhaseIndexConsistency cross-checks the construction-time
+// phase index against per-record classification: ByPhase and Filter must
+// agree with classifying every record directly, and the cached phases
+// must survive through derived datasets without re-classification.
+func TestDatasetPhaseIndexConsistency(t *testing.T) {
+	ds := testDataset()
+	for i, r := range ds.Records {
+		if got, want := ds.Phase(i), Classify(r); got != want {
+			t.Fatalf("record %d: cached phase %s, want %s", i, got, want)
+		}
+	}
+	allPhases := append(append([]Phase{}, AllPhases...), PhaseOther)
+	total := 0
+	for _, ph := range allPhases {
+		sub := ds.ByPhase(ph)
+		total += sub.Len()
+		if sub.Len() != ds.Count(ph) {
+			t.Fatalf("%s: ByPhase len %d != Count %d", ph, sub.Len(), ds.Count(ph))
+		}
+		for i, r := range sub.Records {
+			if sub.Phase(i) != ph {
+				t.Fatalf("%s: sub record %d cached phase %s", ph, i, sub.Phase(i))
+			}
+			if Classify(r) != ph {
+				t.Fatalf("%s: sub record %d classifies as %s", ph, i, Classify(r))
+			}
+		}
+		// ByPhase must agree with the equivalent Filter.
+		filtered := ds.Filter(func(_ pcap.FlowRecord, p Phase) bool { return p == ph })
+		if filtered.Len() != sub.Len() {
+			t.Fatalf("%s: Filter len %d != ByPhase len %d", ph, filtered.Len(), sub.Len())
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("phases partition %d of %d records", total, ds.Len())
+	}
+}
+
+func TestDatasetSeriesExactValues(t *testing.T) {
+	ds := testDataset()
+	durs := ds.Durations(PhaseShuffle)
+	if len(durs) != 2 || durs[0] != 20e-9 || durs[1] != 25e-9 {
+		t.Fatalf("shuffle durations = %v", durs)
+	}
+	inter := ds.InterArrivals("")
+	// Starts 0,5,10,20,2 → sorted 0,2,5,10,20 → gaps 2,3,5,10 ns.
+	want := []float64{2e-9, 3e-9, 5e-9, 10e-9}
+	if len(inter) != len(want) {
+		t.Fatalf("inter-arrivals = %v", inter)
+	}
+	for i := range want {
+		if inter[i] != want[i] {
+			t.Fatalf("inter-arrivals = %v, want %v", inter, want)
+		}
+	}
+	if got := ds.InterArrivals(PhaseControl); got != nil {
+		t.Fatalf("single-flow phase inter-arrivals = %v, want nil", got)
+	}
+	if got := ds.Sizes(PhaseOther); got != nil {
+		t.Fatalf("empty phase sizes = %v, want nil", got)
+	}
+}
+
+func TestDatasetSamplesSorted(t *testing.T) {
+	ds := testDataset()
+	for _, ph := range []Phase{"", PhaseShuffle, PhaseHDFSRead} {
+		for name, s := range map[string]*stats.Sample{
+			"size":     ds.SizeSample(ph),
+			"duration": ds.DurationSample(ph),
+			"inter":    ds.InterArrivalSample(ph),
+		} {
+			if !slices.IsSorted(s.Values()) {
+				t.Fatalf("%s/%s sample not sorted: %v", ph, name, s.Values())
+			}
+		}
+	}
+	s := ds.SizeSample(PhaseShuffle)
+	if s.Len() != 2 || s.Min() != 300 || s.Max() != 500 || s.Mean() != 400 {
+		t.Fatalf("shuffle size sample: len=%d min=%v max=%v mean=%v",
+			s.Len(), s.Min(), s.Max(), s.Mean())
 	}
 }

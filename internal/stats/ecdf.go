@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -17,14 +18,15 @@ type ECDF struct {
 }
 
 // NewECDF builds an ECDF. The input is copied and sorted. An empty
-// sample returns ErrEmptySample.
+// sample returns ErrEmptySample. Callers already holding a stats.Sample
+// should use Sample.ECDF, which shares the sorted data instead.
 func NewECDF(xs []float64) (*ECDF, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmptySample
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
-	sort.Float64s(s)
+	slices.Sort(s)
 	return &ECDF{sorted: s}, nil
 }
 
@@ -100,38 +102,47 @@ type Summary struct {
 }
 
 // Describe computes descriptive statistics of xs. An empty sample
-// returns ErrEmptySample.
+// returns ErrEmptySample. Thin wrapper over Sample.Describe.
 func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{N: 0}, ErrEmptySample
+	}
+	return NewSample(xs).Describe()
+}
+
+// Describe computes descriptive statistics of the sample, reading the
+// cached moments. An empty sample returns ErrEmptySample.
+func (sa *Sample) Describe() (Summary, error) {
 	var s Summary
-	s.N = len(xs)
+	s.N = sa.Len()
 	if s.N == 0 {
 		return s, ErrEmptySample
 	}
-	e, err := NewECDF(xs)
+	e, err := sa.ECDF()
 	if err != nil {
 		return s, err
 	}
-	s.Min = e.sorted[0]
-	s.Max = e.sorted[len(e.sorted)-1]
+	s.Min = sa.Min()
+	s.Max = sa.Max()
 	s.P25 = e.Quantile(0.25)
 	s.P50 = e.Quantile(0.50)
 	s.P75 = e.Quantile(0.75)
 	s.P90 = e.Quantile(0.90)
 	s.P95 = e.Quantile(0.95)
 	s.P99 = e.Quantile(0.99)
-	m := meanOf(xs)
+	m := sa.Mean()
 	s.Mean = m
-	for _, x := range xs {
+	for _, x := range sa.sorted {
 		s.Sum += x
 	}
-	v := varianceOf(xs, m)
+	v := sa.Variance()
 	s.Std = math.Sqrt(v)
 	if m != 0 {
 		s.CoefOfVariation = s.Std / math.Abs(m)
 	}
 	if v > 0 {
 		var m3, m4 float64
-		for _, x := range xs {
+		for _, x := range sa.sorted {
 			d := x - m
 			m3 += d * d * d
 			m4 += d * d * d * d
@@ -143,17 +154,8 @@ func Describe(xs []float64) (Summary, error) {
 		s.ExcessKurtosis = m4/(v*v) - 3
 	}
 	s.GeometricMeanLog = math.NaN()
-	allPos := true
-	var lsum float64
-	for _, x := range xs {
-		if x <= 0 {
-			allPos = false
-			break
-		}
-		lsum += math.Log(x)
-	}
-	if allPos {
-		s.GeometricMeanLog = lsum / float64(s.N)
+	if sa.AllPositive() {
+		s.GeometricMeanLog = sa.MeanLog()
 	}
 	return s, nil
 }

@@ -23,112 +23,122 @@ var ErrUnsupportedData = errors.New("stats: data outside family support")
 var ErrDegenerateSample = fmt.Errorf("%w: degenerate zero-variance sample", ErrUnsupportedData)
 
 // Fit estimates the maximum-likelihood parameters of the given family for
-// the sample xs.
+// the sample xs. It is a thin wrapper over Sample.Fit; callers fitting
+// several families or evaluating goodness of fit should construct the
+// Sample once and reuse it.
 func Fit(family Family, xs []float64) (Distribution, error) {
 	if len(xs) < 2 {
 		return nil, fmt.Errorf("%w: %d samples for %s", ErrInsufficientData, len(xs), family)
 	}
+	return NewSample(xs).Fit(family)
+}
+
+// Fit estimates the maximum-likelihood parameters of the given family,
+// reading the sample's cached moments instead of re-scanning the data
+// where the estimator allows it.
+func (s *Sample) Fit(family Family) (Distribution, error) {
+	if s.Len() < 2 {
+		return nil, fmt.Errorf("%w: %d samples for %s", ErrInsufficientData, s.Len(), family)
+	}
 	switch family {
 	case FamilyExponential:
-		return fitExponential(xs)
+		return fitExponential(s)
 	case FamilyNormal:
-		return fitNormal(xs)
+		return fitNormal(s)
 	case FamilyLogNormal:
-		return fitLogNormal(xs)
+		return fitLogNormal(s)
 	case FamilyGamma:
-		return fitGamma(xs)
+		return fitGamma(s)
 	case FamilyWeibull:
-		return fitWeibull(xs)
+		return fitWeibull(s)
 	case FamilyPareto:
-		return fitPareto(xs)
+		return fitPareto(s)
 	case FamilyUniform:
-		return fitUniform(xs)
+		return fitUniform(s)
 	case FamilyConstant:
-		return fitConstant(xs)
+		return fitConstant(s)
 	default:
 		return nil, fmt.Errorf("stats: unknown family %q", family)
 	}
 }
 
-func meanOf(xs []float64) float64 {
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+// positiveErrs pre-builds the per-family "requires positive samples"
+// rejection. SelectBest probes every candidate family against every
+// sample, so on data with zeros these errors fire on each call — a
+// fmt.Errorf here dominated the allocation profile of model fitting.
+var positiveErrs = map[Family]error{
+	FamilyExponential: fmt.Errorf("%w: %s requires positive samples", ErrUnsupportedData, FamilyExponential),
+	FamilyLogNormal:   fmt.Errorf("%w: %s requires positive samples", ErrUnsupportedData, FamilyLogNormal),
+	FamilyGamma:       fmt.Errorf("%w: %s requires positive samples", ErrUnsupportedData, FamilyGamma),
+	FamilyWeibull:     fmt.Errorf("%w: %s requires positive samples", ErrUnsupportedData, FamilyWeibull),
+	FamilyPareto:      fmt.Errorf("%w: %s requires positive samples", ErrUnsupportedData, FamilyPareto),
 }
 
-func varianceOf(xs []float64, mean float64) float64 {
-	var s float64
-	for _, x := range xs {
-		d := x - mean
-		s += d * d
+func requirePositive(s *Sample, family Family) error {
+	// The sample is sorted, so the minimum decides for everyone.
+	if s.AllPositive() {
+		return nil
 	}
-	return s / float64(len(xs))
+	if err, ok := positiveErrs[family]; ok {
+		return err
+	}
+	return fmt.Errorf("%w: %s requires positive samples", ErrUnsupportedData, family)
 }
 
-func requirePositive(xs []float64, family Family) error {
-	for _, x := range xs {
-		if x <= 0 {
-			return fmt.Errorf("%w: %s requires positive samples, got %v", ErrUnsupportedData, family, x)
-		}
-	}
-	return nil
-}
+// Degenerate-sample rejections, pre-built for the same reason as
+// positiveErrs: they fire once per rejected candidate on every
+// SelectBest call over constant-heavy samples.
+var (
+	errZeroVarNormal    = fmt.Errorf("%w: zero variance for normal", ErrDegenerateSample)
+	errZeroVarLogNormal = fmt.Errorf("%w: zero log-variance for log-normal", ErrDegenerateSample)
+	errGammaDegenerate  = fmt.Errorf("%w: gamma profile statistic not positive", ErrDegenerateSample)
+	errWeibullBracket   = fmt.Errorf("%w: weibull shape did not bracket", ErrUnsupportedData)
+	errParetoConstant   = fmt.Errorf("%w: pareto on constant sample", ErrDegenerateSample)
+	errUniformConstant  = fmt.Errorf("%w: uniform on constant sample", ErrDegenerateSample)
+)
 
-func fitExponential(xs []float64) (Distribution, error) {
-	if err := requirePositive(xs, FamilyExponential); err != nil {
+func fitExponential(s *Sample) (Distribution, error) {
+	if err := requirePositive(s, FamilyExponential); err != nil {
 		return nil, err
 	}
-	m := meanOf(xs)
-	return NewExponential(1 / m)
+	return NewExponential(1 / s.Mean())
 }
 
-func fitNormal(xs []float64) (Distribution, error) {
-	m := meanOf(xs)
-	v := varianceOf(xs, m)
+func fitNormal(s *Sample) (Distribution, error) {
+	v := s.Variance()
 	if v == 0 {
-		return nil, fmt.Errorf("%w: zero variance for normal", ErrDegenerateSample)
+		return nil, errZeroVarNormal
 	}
-	return NewNormal(m, math.Sqrt(v))
+	return NewNormal(s.Mean(), math.Sqrt(v))
 }
 
-func fitLogNormal(xs []float64) (Distribution, error) {
-	if err := requirePositive(xs, FamilyLogNormal); err != nil {
+func fitLogNormal(s *Sample) (Distribution, error) {
+	if err := requirePositive(s, FamilyLogNormal); err != nil {
 		return nil, err
 	}
-	logs := make([]float64, len(xs))
-	for i, x := range xs {
-		logs[i] = math.Log(x)
-	}
-	m := meanOf(logs)
-	v := varianceOf(logs, m)
+	v := s.VarLog()
 	if v == 0 {
-		return nil, fmt.Errorf("%w: zero log-variance for log-normal", ErrDegenerateSample)
+		return nil, errZeroVarLogNormal
 	}
-	return NewLogNormal(m, math.Sqrt(v))
+	return NewLogNormal(s.MeanLog(), math.Sqrt(v))
 }
 
 // fitGamma uses the Minka/Choi-Wette closed-form start followed by Newton
-// iterations on the profile likelihood in the shape parameter.
-func fitGamma(xs []float64) (Distribution, error) {
-	if err := requirePositive(xs, FamilyGamma); err != nil {
+// iterations on the profile likelihood in the shape parameter. Only the
+// cached mean and log-mean are needed, so the iteration is O(1) per step.
+func fitGamma(s *Sample) (Distribution, error) {
+	if err := requirePositive(s, FamilyGamma); err != nil {
 		return nil, err
 	}
-	m := meanOf(xs)
-	var meanLog float64
-	for _, x := range xs {
-		meanLog += math.Log(x)
-	}
-	meanLog /= float64(len(xs))
-	s := math.Log(m) - meanLog
-	if s <= 0 {
+	m := s.Mean()
+	sv := math.Log(m) - s.MeanLog()
+	if sv <= 0 {
 		// All values equal up to fp noise.
-		return nil, fmt.Errorf("%w: gamma profile statistic %v", ErrDegenerateSample, s)
+		return nil, errGammaDegenerate
 	}
-	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	k := (3 - sv + math.Sqrt((sv-3)*(sv-3)+24*sv)) / (12 * sv)
 	for i := 0; i < 50; i++ {
-		num := math.Log(k) - digamma(k) - s
+		num := math.Log(k) - digamma(k) - sv
 		den := 1/k - trigamma(k)
 		next := k - num/den
 		if next <= 0 {
@@ -144,25 +154,24 @@ func fitGamma(xs []float64) (Distribution, error) {
 }
 
 // fitWeibull solves the MLE shape equation by bisection (robust; the
-// equation is monotone in k on (0,∞)).
-func fitWeibull(xs []float64) (Distribution, error) {
-	if err := requirePositive(xs, FamilyWeibull); err != nil {
+// equation is monotone in k on (0,∞)). The cached per-element logs turn
+// every x^k into a single exp, which roughly halves the cost of each of
+// the ~40 bisection evaluations.
+func fitWeibull(s *Sample) (Distribution, error) {
+	if err := requirePositive(s, FamilyWeibull); err != nil {
 		return nil, err
 	}
-	n := float64(len(xs))
-	var meanLog float64
-	for _, x := range xs {
-		meanLog += math.Log(x)
-	}
-	meanLog /= n
+	logs, lm := s.logMoments()
+	n := float64(s.Len())
+	meanLog := lm.meanLog
 
 	// g(k) = Σ x^k ln x / Σ x^k − 1/k − meanLog; find g(k)=0.
 	g := func(k float64) float64 {
 		var sumXk, sumXkLog float64
-		for _, x := range xs {
-			xk := math.Pow(x, k)
+		for _, l := range logs {
+			xk := math.Exp(k * l)
 			sumXk += xk
-			sumXkLog += xk * math.Log(x)
+			sumXkLog += xk * l
 		}
 		return sumXkLog/sumXk - 1/k - meanLog
 	}
@@ -170,11 +179,11 @@ func fitWeibull(xs []float64) (Distribution, error) {
 	for g(hi) < 0 {
 		hi *= 2
 		if hi > 1e6 {
-			return nil, fmt.Errorf("%w: weibull shape did not bracket", ErrUnsupportedData)
+			return nil, errWeibullBracket
 		}
 	}
 	if g(lo) > 0 {
-		return nil, fmt.Errorf("%w: weibull shape did not bracket", ErrUnsupportedData)
+		return nil, errWeibullBracket
 	}
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2
@@ -189,52 +198,39 @@ func fitWeibull(xs []float64) (Distribution, error) {
 	}
 	k := (lo + hi) / 2
 	var sumXk float64
-	for _, x := range xs {
-		sumXk += math.Pow(x, k)
+	for _, l := range logs {
+		sumXk += math.Exp(k * l)
 	}
 	lambda := math.Pow(sumXk/n, 1/k)
 	return NewWeibull(k, lambda)
 }
 
-func fitPareto(xs []float64) (Distribution, error) {
-	if err := requirePositive(xs, FamilyPareto); err != nil {
+func fitPareto(s *Sample) (Distribution, error) {
+	if err := requirePositive(s, FamilyPareto); err != nil {
 		return nil, err
 	}
-	xm := xs[0]
-	for _, x := range xs {
-		if x < xm {
-			xm = x
-		}
+	xm := s.Min()
+	if s.Max() == xm {
+		return nil, errParetoConstant
 	}
-	var sumLog float64
-	for _, x := range xs {
-		sumLog += math.Log(x / xm)
+	// Σ log(x/xm) = Σ log x − n·log xm, both cached or O(1).
+	sumLog := s.SumLog() - float64(s.Len())*math.Log(xm)
+	if sumLog <= 0 {
+		return nil, errParetoConstant
 	}
-	if sumLog == 0 {
-		return nil, fmt.Errorf("%w: pareto on constant sample", ErrDegenerateSample)
-	}
-	alpha := float64(len(xs)) / sumLog
+	alpha := float64(s.Len()) / sumLog
 	return NewPareto(xm, alpha)
 }
 
-func fitUniform(xs []float64) (Distribution, error) {
-	lo, hi := xs[0], xs[0]
-	for _, x := range xs {
-		if x < lo {
-			lo = x
-		}
-		if x > hi {
-			hi = x
-		}
+func fitUniform(s *Sample) (Distribution, error) {
+	if s.Min() == s.Max() {
+		return nil, errUniformConstant
 	}
-	if lo == hi {
-		return nil, fmt.Errorf("%w: uniform on constant sample", ErrDegenerateSample)
-	}
-	return NewUniform(lo, hi)
+	return NewUniform(s.Min(), s.Max())
 }
 
-func fitConstant(xs []float64) (Distribution, error) {
-	return NewConstant(meanOf(xs))
+func fitConstant(s *Sample) (Distribution, error) {
+	return NewConstant(s.Mean())
 }
 
 // LogLikelihood returns the sample log likelihood under d.
@@ -246,17 +242,108 @@ func LogLikelihood(d Distribution, xs []float64) float64 {
 	return ll
 }
 
+// LogLikelihood returns the sample log likelihood under d. For the
+// built-in families it is computed from the cached sample moments —
+// algebraically identical to summing LogPDF pointwise, but O(1) for
+// most families (one exp per point for Weibull) instead of one or more
+// transcendental calls per point. Unknown distribution types fall back
+// to the generic pointwise sum.
+func (s *Sample) LogLikelihood(d Distribution) float64 {
+	n := float64(s.Len())
+	if n == 0 {
+		return 0
+	}
+	switch dd := d.(type) {
+	case Exponential:
+		// Σ [log λ − λx]; support x ≥ 0.
+		if s.Min() < 0 {
+			return math.Inf(-1)
+		}
+		return n*math.Log(dd.Rate) - dd.Rate*n*s.Mean()
+	case Normal:
+		// Σ(x−μ)² = Σ(x−x̄)² + n(x̄−μ)² (exact decomposition).
+		dm := s.Mean() - dd.Mu
+		ss := n * (s.Variance() + dm*dm)
+		return -0.5*ss/(dd.Sigma*dd.Sigma) - n*math.Log(dd.Sigma) - 0.5*n*math.Log(2*math.Pi)
+	case LogNormal:
+		if !s.AllPositive() {
+			return math.Inf(-1)
+		}
+		dm := s.MeanLog() - dd.Mu
+		ss := n * (s.VarLog() + dm*dm)
+		return -0.5*ss/(dd.Sigma*dd.Sigma) - s.SumLog() - n*math.Log(dd.Sigma) - 0.5*n*math.Log(2*math.Pi)
+	case Gamma:
+		if !s.AllPositive() {
+			return math.Inf(-1)
+		}
+		lg, _ := math.Lgamma(dd.Shape)
+		return (dd.Shape-1)*s.SumLog() - n*s.Mean()/dd.Scale - n*lg - n*dd.Shape*math.Log(dd.Scale)
+	case Weibull:
+		if !s.AllPositive() {
+			return math.Inf(-1)
+		}
+		logs, _ := s.logMoments()
+		logScale := math.Log(dd.Scale)
+		var sumZk float64
+		for _, l := range logs {
+			sumZk += math.Exp(dd.Shape * (l - logScale))
+		}
+		return n*math.Log(dd.Shape/dd.Scale) + (dd.Shape-1)*(s.SumLog()-n*logScale) - sumZk
+	case Pareto:
+		// Support x ≥ xm (> 0, so the log cache applies).
+		if s.Min() < dd.Xm {
+			return math.Inf(-1)
+		}
+		return n*math.Log(dd.Alpha) + n*dd.Alpha*math.Log(dd.Xm) - (dd.Alpha+1)*s.SumLog()
+	case Uniform:
+		if s.Min() < dd.A || s.Max() > dd.B {
+			return math.Inf(-1)
+		}
+		return -n * math.Log(dd.B-dd.A)
+	case Constant:
+		// Sorted: every value equals dd.Value iff min and max do.
+		if s.Min() == dd.Value && s.Max() == dd.Value {
+			return 0
+		}
+		return math.Inf(-1)
+	default:
+		return LogLikelihood(d, s.sorted)
+	}
+}
+
+// numParams returns the parameter count of a distribution without the
+// slice allocation d.Params() costs — AIC/BIC sit in the model-selection
+// inner loop, where one alloc per call adds up.
+func numParams(d Distribution) float64 {
+	switch d.(type) {
+	case Exponential, Constant:
+		return 1
+	case Normal, LogNormal, Gamma, Weibull, Pareto, Uniform:
+		return 2
+	default:
+		return float64(len(d.Params()))
+	}
+}
+
 // AIC returns Akaike's information criterion for d fitted to xs
 // (lower is better).
 func AIC(d Distribution, xs []float64) float64 {
-	k := float64(len(d.Params()))
-	return 2*k - 2*LogLikelihood(d, xs)
+	return 2*numParams(d) - 2*LogLikelihood(d, xs)
+}
+
+// AIC returns Akaike's information criterion (lower is better).
+func (s *Sample) AIC(d Distribution) float64 {
+	return 2*numParams(d) - 2*s.LogLikelihood(d)
 }
 
 // BIC returns the Bayesian information criterion (lower is better).
 func BIC(d Distribution, xs []float64) float64 {
-	k := float64(len(d.Params()))
-	return k*math.Log(float64(len(xs))) - 2*LogLikelihood(d, xs)
+	return numParams(d)*math.Log(float64(len(xs))) - 2*LogLikelihood(d, xs)
+}
+
+// BIC returns the Bayesian information criterion (lower is better).
+func (s *Sample) BIC(d Distribution) float64 {
+	return numParams(d)*math.Log(float64(s.Len())) - 2*s.LogLikelihood(d)
 }
 
 // FitResult records one candidate fit during model selection.
@@ -290,19 +377,30 @@ var DefaultCandidates = []Family{
 const relSpread = 1e-6
 
 // SelectBest fits every candidate family and returns the winner by AIC,
-// along with all per-family results (sorted best-first). Near-constant
-// samples short-circuit to a Constant law, which no continuous family can
-// represent.
+// along with all per-family results (sorted best-first). It is a thin
+// wrapper over Sample.SelectBest.
 func SelectBest(xs []float64, candidates []Family) (Distribution, []FitResult, error) {
 	if len(xs) == 0 {
+		return nil, nil, ErrInsufficientData
+	}
+	return NewSample(xs).SelectBest(candidates)
+}
+
+// SelectBest fits every candidate family against the sample — sorted
+// once, moments shared across families — and returns the winner by AIC,
+// along with all per-family results (sorted best-first). Near-constant
+// samples short-circuit to a Constant law, which no continuous family
+// can represent.
+func (s *Sample) SelectBest(candidates []Family) (Distribution, []FitResult, error) {
+	if s.Len() == 0 {
 		return nil, nil, ErrInsufficientData
 	}
 	if len(candidates) == 0 {
 		candidates = DefaultCandidates
 	}
-	m := meanOf(xs)
-	sd := math.Sqrt(varianceOf(xs, m))
-	if len(xs) < 2 || (m != 0 && sd/math.Abs(m) < relSpread) || sd == 0 {
+	m := s.Mean()
+	sd := s.Std()
+	if s.Len() < 2 || (m != 0 && sd/math.Abs(m) < relSpread) || sd == 0 {
 		c, err := NewConstant(m)
 		if err != nil {
 			return nil, nil, err
@@ -312,16 +410,16 @@ func SelectBest(xs []float64, candidates []Family) (Distribution, []FitResult, e
 
 	results := make([]FitResult, 0, len(candidates))
 	for _, fam := range candidates {
-		d, err := Fit(fam, xs)
+		d, err := s.Fit(fam)
 		if err != nil {
 			results = append(results, FitResult{Err: err, AIC: math.Inf(1), KS: 1})
 			continue
 		}
-		aic := AIC(d, xs)
+		aic := s.AIC(d)
 		if math.IsNaN(aic) {
 			aic = math.Inf(1)
 		}
-		results = append(results, FitResult{Dist: d, AIC: aic, KS: KSStatistic(xs, d)})
+		results = append(results, FitResult{Dist: d, AIC: aic, KS: s.KS(d)})
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].AIC < results[j].AIC })
 	if results[0].Err != nil || math.IsInf(results[0].AIC, 1) {

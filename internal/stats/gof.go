@@ -2,21 +2,29 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // KSStatistic returns the one-sample Kolmogorov–Smirnov distance
 // D = sup_x |F_n(x) − F(x)| between the sample xs and distribution d.
+// It is a thin wrapper over Sample.KS; callers computing several
+// statistics against one sample should construct the Sample once.
 func KSStatistic(xs []float64, d Distribution) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
-	n := float64(len(s))
+	return NewSample(xs).KS(d)
+}
+
+// KS returns the one-sample Kolmogorov–Smirnov distance
+// D = sup_x |F_n(x) − F(x)| against distribution d.
+func (s *Sample) KS(d Distribution) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	n := float64(s.Len())
 	var dmax float64
-	for i, x := range s {
+	for i, x := range s.sorted {
 		f := d.CDF(x)
 		lo := f - float64(i)/n
 		hi := float64(i+1)/n - f
@@ -32,7 +40,9 @@ func KSStatistic(xs []float64, d Distribution) float64 {
 
 // KSStatistic2 returns the two-sample KS distance between samples a and b.
 // Keddah uses it to compare measured flow statistics against traffic
-// regenerated from the fitted model.
+// regenerated from the fitted model. Both inputs are copied and sorted;
+// callers that already hold sorted data (stats.Sample values, ECDF
+// views) should use KSStatistic2Sorted.
 func KSStatistic2(a, b []float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 1
@@ -41,17 +51,29 @@ func KSStatistic2(a, b []float64) float64 {
 	sb := make([]float64, len(b))
 	copy(sa, a)
 	copy(sb, b)
-	sort.Float64s(sa)
-	sort.Float64s(sb)
-	na, nb := float64(len(sa)), float64(len(sb))
+	slices.Sort(sa)
+	slices.Sort(sb)
+	return KSStatistic2Sorted(sa, sb)
+}
+
+// KSStatistic2Sorted is KSStatistic2 for inputs that are already sorted
+// ascending: it skips the defensive copy+sort, which matters for the
+// replay and validation experiments that compare one fixed measured
+// sample against many generated ones in a loop. Passing unsorted data
+// yields a wrong statistic — use KSStatistic2 when unsure.
+func KSStatistic2Sorted(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	na, nb := float64(len(a)), float64(len(b))
 	var i, j int
 	var dmax float64
-	for i < len(sa) && j < len(sb) {
-		v := math.Min(sa[i], sb[j])
-		for i < len(sa) && sa[i] <= v {
+	for i < len(a) && j < len(b) {
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] <= v {
 			i++
 		}
-		for j < len(sb) && sb[j] <= v {
+		for j < len(b) && b[j] <= v {
 			j++
 		}
 		d := math.Abs(float64(i)/na - float64(j)/nb)
@@ -112,18 +134,24 @@ func kolmogorovQ(lambda float64) float64 {
 }
 
 // CvMStatistic returns the one-sample Cramér–von Mises statistic
-// ω² = 1/(12n) + Σ ( (2i−1)/(2n) − F(x_(i)) )².
+// ω² = 1/(12n) + Σ ( (2i−1)/(2n) − F(x_(i)) )². Thin wrapper over
+// Sample.CvM.
 func CvMStatistic(xs []float64, d Distribution) float64 {
-	n := len(xs)
-	if n == 0 {
+	if len(xs) == 0 {
 		return 0
 	}
-	s := make([]float64, n)
-	copy(s, xs)
-	sort.Float64s(s)
-	sum := 1 / (12 * float64(n))
-	for i, x := range s {
-		u := (2*float64(i) + 1) / (2 * float64(n))
+	return NewSample(xs).CvM(d)
+}
+
+// CvM returns the one-sample Cramér–von Mises statistic against d.
+func (s *Sample) CvM(d Distribution) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	n := float64(s.Len())
+	sum := 1 / (12 * n)
+	for i, x := range s.sorted {
+		u := (2*float64(i) + 1) / (2 * n)
 		diff := u - d.CDF(x)
 		sum += diff * diff
 	}
@@ -144,40 +172,104 @@ type GoFReport struct {
 }
 
 // Evaluate computes a full goodness-of-fit report of d against xs.
+// Thin wrapper over Sample.Evaluate.
 func Evaluate(d Distribution, xs []float64) GoFReport {
-	ks := KSStatistic(xs, d)
-	return GoFReport{
-		KS:      ks,
-		KSP:     KSPValue(ks, len(xs)),
-		CvM:     CvMStatistic(xs, d),
-		AD:      ADStatistic(xs, d),
-		AIC:     AIC(d, xs),
-		BIC:     BIC(d, xs),
-		LogLik:  LogLikelihood(d, xs),
-		Samples: len(xs),
+	return NewSample(xs).Evaluate(d)
+}
+
+// Evaluate computes a full goodness-of-fit report of d against the
+// sample. The fitted CDF is evaluated once per data point and shared by
+// the KS, CvM and AD statistics, instead of each metric re-sorting the
+// data and re-walking the CDF.
+func (s *Sample) Evaluate(d Distribution) GoFReport {
+	n := s.Len()
+	ll := s.LogLikelihood(d)
+	k := numParams(d)
+	r := GoFReport{
+		AIC:     2*k - 2*ll,
+		BIC:     k*math.Log(float64(n)) - 2*ll,
+		LogLik:  ll,
+		Samples: n,
 	}
+	if n == 0 {
+		return r
+	}
+	cdf := make([]float64, n)
+	for i, x := range s.sorted {
+		cdf[i] = d.CDF(x)
+	}
+	r.KS = ksFromCDF(cdf)
+	r.KSP = KSPValue(r.KS, n)
+	r.CvM = cvmFromCDF(cdf)
+	r.AD = adFromCDF(cdf)
+	return r
+}
+
+// ksFromCDF computes the one-sample KS distance from pre-evaluated
+// order-statistic CDF values.
+func ksFromCDF(cdf []float64) float64 {
+	n := float64(len(cdf))
+	var dmax float64
+	for i, f := range cdf {
+		lo := f - float64(i)/n
+		hi := float64(i+1)/n - f
+		if lo > dmax {
+			dmax = lo
+		}
+		if hi > dmax {
+			dmax = hi
+		}
+	}
+	return dmax
+}
+
+// cvmFromCDF computes the Cramér–von Mises statistic from pre-evaluated
+// CDF values.
+func cvmFromCDF(cdf []float64) float64 {
+	n := float64(len(cdf))
+	sum := 1 / (12 * n)
+	for i, f := range cdf {
+		u := (2*float64(i) + 1) / (2 * n)
+		diff := u - f
+		sum += diff * diff
+	}
+	return sum
+}
+
+// adFromCDF computes the Anderson–Darling statistic from pre-evaluated
+// CDF values (clamped away from {0,1} to keep the logs finite).
+func adFromCDF(cdf []float64) float64 {
+	n := len(cdf)
+	const eps = 1e-12
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		fi := clamp(cdf[i], eps, 1-eps)
+		fj := clamp(cdf[n-1-i], eps, 1-eps)
+		sum += (2*float64(i) + 1) * (math.Log(fi) + math.Log(1-fj))
+	}
+	return -float64(n) - sum/float64(n)
 }
 
 // ADStatistic returns the one-sample Anderson–Darling statistic A² of xs
 // against d. Unlike KS, A² weights the tails heavily, which is where
-// heavy-tailed traffic models go wrong. CDF values are clamped away from
-// {0,1} to keep the logs finite for samples outside the fitted support.
+// heavy-tailed traffic models go wrong. Thin wrapper over Sample.AD.
 func ADStatistic(xs []float64, d Distribution) float64 {
-	n := len(xs)
-	if n == 0 {
+	if len(xs) == 0 {
 		return 0
 	}
-	s := make([]float64, n)
-	copy(s, xs)
-	sort.Float64s(s)
-	const eps = 1e-12
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		fi := clamp(d.CDF(s[i]), eps, 1-eps)
-		fj := clamp(d.CDF(s[n-1-i]), eps, 1-eps)
-		sum += (2*float64(i) + 1) * (math.Log(fi) + math.Log(1-fj))
+	return NewSample(xs).AD(d)
+}
+
+// AD returns the one-sample Anderson–Darling statistic A² against d.
+func (s *Sample) AD(d Distribution) float64 {
+	if s.Len() == 0 {
+		return 0
 	}
-	return -float64(n) - sum/float64(n)
+	cdf := make([]float64, s.Len())
+	for i, x := range s.sorted {
+		cdf[i] = d.CDF(x)
+	}
+	return adFromCDF(cdf)
 }
 
 func clamp(v, lo, hi float64) float64 {

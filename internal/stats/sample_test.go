@@ -1,0 +1,308 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"slices"
+	"testing"
+)
+
+// naiveMoments recomputes every cached Sample moment directly from the
+// raw data, with none of the Sample's caching or shortcuts.
+type naiveMoments struct {
+	min, max    float64
+	mean, vari  float64
+	allPositive bool
+	sumLog      float64
+	sumLogSq    float64
+	meanLog     float64
+	varLog      float64
+}
+
+func computeNaive(xs []float64) naiveMoments {
+	var nm naiveMoments
+	n := float64(len(xs))
+	if len(xs) == 0 {
+		return nm
+	}
+	nm.min, nm.max = xs[0], xs[0]
+	var sum float64
+	nm.allPositive = true
+	for _, x := range xs {
+		if x < nm.min {
+			nm.min = x
+		}
+		if x > nm.max {
+			nm.max = x
+		}
+		sum += x
+		if x <= 0 {
+			nm.allPositive = false
+		}
+	}
+	nm.mean = sum / n
+	for _, x := range xs {
+		d := x - nm.mean
+		nm.vari += d * d
+	}
+	nm.vari /= n
+	if !nm.allPositive {
+		nm.sumLog = math.NaN()
+		nm.sumLogSq = math.NaN()
+		nm.meanLog = math.NaN()
+		nm.varLog = math.NaN()
+		return nm
+	}
+	for _, x := range xs {
+		l := math.Log(x)
+		nm.sumLog += l
+		nm.sumLogSq += l * l
+	}
+	nm.meanLog = nm.sumLog / n
+	for _, x := range xs {
+		d := math.Log(x) - nm.meanLog
+		nm.varLog += d * d
+	}
+	nm.varLog /= n
+	return nm
+}
+
+// checkMoments compares every cached accessor of s against the naive
+// recomputation within a relative tolerance (the Sample caches sum in
+// sorted order, the naive pass in input order, so bit equality is not
+// guaranteed for ill-conditioned samples).
+func checkMoments(t *testing.T, s *Sample, xs []float64) {
+	t.Helper()
+	nm := computeNaive(xs)
+	close := func(name string, got, want float64) {
+		t.Helper()
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Fatalf("%s = %v, want NaN", name, got)
+			}
+			return
+		}
+		tol := 1e-9 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Fatalf("%s = %v, want %v (±%v)", name, got, want, tol)
+		}
+	}
+	if s.Len() != len(xs) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(xs))
+	}
+	if len(xs) == 0 {
+		return
+	}
+	if s.Min() != nm.min || s.Max() != nm.max {
+		t.Fatalf("Min/Max = %v/%v, want %v/%v", s.Min(), s.Max(), nm.min, nm.max)
+	}
+	if s.AllPositive() != nm.allPositive {
+		t.Fatalf("AllPositive = %v, want %v", s.AllPositive(), nm.allPositive)
+	}
+	close("Mean", s.Mean(), nm.mean)
+	close("Variance", s.Variance(), nm.vari)
+	close("Std", s.Std(), math.Sqrt(nm.vari))
+	close("SumLog", s.SumLog(), nm.sumLog)
+	close("SumLogSq", s.SumLogSq(), nm.sumLogSq)
+	close("MeanLog", s.MeanLog(), nm.meanLog)
+	close("VarLog", s.VarLog(), nm.varLog)
+	if s.VarLog() < 0 {
+		t.Fatalf("VarLog = %v negative (centering failed)", s.VarLog())
+	}
+}
+
+func TestSampleCachedMomentsMatchNaive(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{3},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{2, 2, 2, 2},
+		{-1, 0, 1},
+		{1e-9, 1e9, 3.5, 42},
+		{1 + 1e-12, 1, 1 - 1e-12}, // near-constant: centered VarLog must not go negative
+	}
+	for _, xs := range cases {
+		orig := append([]float64(nil), xs...)
+		checkMoments(t, NewSample(xs), orig)
+		owned := append([]float64(nil), orig...)
+		checkMoments(t, NewSampleOwned(owned), orig)
+	}
+}
+
+func TestSampleConstructorsOwnership(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := NewSample(xs)
+	if xs[0] != 3 {
+		t.Fatal("NewSample mutated its input")
+	}
+	if got := s.Values(); !slices.IsSorted(got) {
+		t.Fatalf("NewSample values not sorted: %v", got)
+	}
+
+	owned := []float64{3, 1, 2}
+	so := NewSampleOwned(owned)
+	if got := so.Values(); !slices.IsSorted(got) {
+		t.Fatalf("NewSampleOwned values not sorted: %v", got)
+	}
+
+	// NewSampleSorted must detect (and repair) an unsorted slice rather
+	// than serving wrong order statistics.
+	ss := NewSampleSorted([]float64{2, 1, 3})
+	if got := ss.Values(); !slices.IsSorted(got) {
+		t.Fatalf("NewSampleSorted left values unsorted: %v", got)
+	}
+	if ss.Min() != 1 || ss.Max() != 3 {
+		t.Fatalf("Min/Max = %v/%v, want 1/3", ss.Min(), ss.Max())
+	}
+}
+
+func TestSampleECDFSharesData(t *testing.T) {
+	s := NewSample([]float64{4, 1, 3, 2})
+	e, err := s.ECDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 4 || e.Quantile(0.5) != 2 {
+		t.Fatalf("ECDF Len/median = %d/%v", e.Len(), e.Quantile(0.5))
+	}
+	// Shared backing array, no copy.
+	if &e.Values()[0] != &s.Values()[0] {
+		t.Fatal("Sample.ECDF copied the sorted data")
+	}
+	if _, err := NewSample(nil).ECDF(); err == nil {
+		t.Fatal("empty Sample.ECDF did not error")
+	}
+}
+
+// TestSampleMomentsRaceSafe hammers the lazy caches from many goroutines;
+// run with -race this proves the sync.Once guards are sufficient for the
+// parallel fit pool.
+func TestSampleMomentsRaceSafe(t *testing.T) {
+	s := NewSample([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			_ = s.Mean()
+			_ = s.Variance()
+			_ = s.SumLog()
+			_ = s.VarLog()
+			_, _ = s.Fit(FamilyWeibull)
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}
+
+func TestKSStatistic2SortedMatchesGeneral(t *testing.T) {
+	rng := NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 50+trial)
+		b := make([]float64, 80)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + 0.3
+		}
+		want := KSStatistic2(a, b)
+		sa := append([]float64(nil), a...)
+		sb := append([]float64(nil), b...)
+		slices.Sort(sa)
+		slices.Sort(sb)
+		if got := KSStatistic2Sorted(sa, sb); got != want {
+			t.Fatalf("KSStatistic2Sorted = %v, KSStatistic2 = %v", got, want)
+		}
+	}
+	if got := KSStatistic2Sorted(nil, []float64{1}); got != 1 {
+		t.Fatalf("empty side = %v, want 1", got)
+	}
+}
+
+// FuzzSampleMoments feeds arbitrary samples through the Sample cache and
+// cross-checks every moment against direct recomputation (same decoder
+// and seed shape as FuzzFit).
+func FuzzSampleMoments(f *testing.F) {
+	seed := make([]byte, 0, 6*8)
+	for _, v := range []float64{0.5, 1.5, 2.5, 4, 8, 16} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	neg := make([]byte, 0, 3*8)
+	for _, v := range []float64{-1, 0, 2} {
+		neg = binary.LittleEndian.AppendUint64(neg, math.Float64bits(v))
+	}
+	f.Add(neg)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := fuzzSample(data)
+		orig := append([]float64(nil), xs...)
+		checkMoments(t, NewSample(xs), orig)
+	})
+}
+
+// TestSampleLogLikelihoodMatchesPointwise verifies the moment-based
+// per-family likelihoods against the generic pointwise LogPDF sum.
+func TestSampleLogLikelihoodMatchesPointwise(t *testing.T) {
+	rng := NewRNG(5)
+	samples := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{0.5, 1.5, 2.5, 4, 8, 16, 32, 64},
+		{-2, -1, 0, 1, 2, 3},
+		{2, 2, 2, 2, 2},
+	}
+	big := make([]float64, 500)
+	for i := range big {
+		big[i] = math.Exp(rng.NormFloat64())
+	}
+	samples = append(samples, big)
+
+	var dists []Distribution
+	mk := func(d Distribution, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists = append(dists, d)
+	}
+	mk(NewExponential(0.5))
+	mk(NewNormal(1.5, 2))
+	mk(NewLogNormal(0.2, 0.8))
+	mk(NewGamma(2.5, 1.2))
+	mk(NewWeibull(1.7, 3))
+	mk(NewPareto(0.5, 1.3))
+	mk(NewUniform(-5, 100))
+	mk(NewUniform(0.4, 3))
+	mk(NewConstant(2))
+
+	for si, xs := range samples {
+		s := NewSample(xs)
+		for _, d := range dists {
+			want := LogLikelihood(d, xs)
+			got := s.LogLikelihood(d)
+			if math.IsInf(want, -1) || math.IsInf(got, -1) {
+				if got != want {
+					t.Fatalf("sample %d, %v: LogLikelihood = %v, want %v", si, d, got, want)
+				}
+				continue
+			}
+			tol := 1e-6 * (1 + math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("sample %d, %v: LogLikelihood = %v, want %v (±%v)", si, d, got, want, tol)
+			}
+			if aic := s.AIC(d); math.Abs(aic-(2*float64(len(d.Params()))-2*got)) > 1e-12*(1+math.Abs(aic)) {
+				t.Fatalf("sample %d, %v: AIC inconsistent with LogLikelihood", si, d)
+			}
+		}
+	}
+}
