@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,8 +67,8 @@ func writeTableCSV(dir string, t experiments.Table) error {
 
 // runBench executes the shared benchmark cases once and serves every
 // bench flag from that single run: -benchjson writes the machine-readable
-// report, -benchbaseline gates ns/op against a committed baseline, and
-// -benchdiff records the comparison (the CI artifact).
+// report, -benchbaseline gates ns/op and allocs/op against a committed
+// baseline, and -benchdiff records the comparison (the CI artifact).
 func runBench(jsonPath, baselinePath, diffPath string) error {
 	report, err := benchcases.RunReport(os.Stderr)
 	if err != nil {
@@ -84,14 +86,15 @@ func runBench(jsonPath, baselinePath, diffPath string) error {
 	if err != nil {
 		return err
 	}
-	diffs, gateErr := benchcases.Gate(baseline, report, gatedBenchmarks, 0.15)
+	diffs, gateErr := benchcases.Gate(baseline, report, gatedBenchmarks, 0.15, 0.10)
 	for _, d := range diffs {
 		verdict := "ok"
-		if d.Regressed {
+		if d.Regressed || d.AllocRegressed {
 			verdict = "REGRESSED"
 		}
-		fmt.Fprintf(os.Stderr, "gate %-24s %9.0f -> %9.0f ns/op (%.2fx) %s\n",
-			d.Name, d.BaselineNs, d.CurrentNs, d.Ratio, verdict)
+		fmt.Fprintf(os.Stderr, "gate %-24s %9.0f -> %9.0f ns/op (%.2fx)  %6d -> %6d allocs/op (%.2fx) %s\n",
+			d.Name, d.BaselineNs, d.CurrentNs, d.Ratio,
+			d.BaselineAllocs, d.CurrentAllocs, d.AllocRatio, verdict)
 	}
 	if diffPath != "" {
 		if err := benchcases.WriteDiffs(diffPath, diffs); err != nil {
@@ -117,13 +120,44 @@ func run() error {
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers   = flag.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS, 1 = serial)")
 		benchJSON = flag.String("benchjson", "", "run the netsim/replay micro-benchmarks and write results as JSON to this path, then exit")
-		benchBase = flag.String("benchbaseline", "", "compare the micro-benchmarks against this committed baseline JSON and fail on >15% ns/op regression, then exit")
+		benchBase = flag.String("benchbaseline", "", "compare the micro-benchmarks against this committed baseline JSON and fail on >15% ns/op or >10% allocs/op regression, then exit")
 		benchDiff = flag.String("benchdiff", "", "with -benchbaseline, write the per-benchmark comparison as JSON to this path")
 		strict    = flag.Bool("strict-checks", false, "run every capture with the invariants layer enabled (read-only cross-layer checks; identical results, more wall time)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof format)")
 	)
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	flag.Parse()
+
+	// Profiling brackets whatever mode runs below — experiments or the
+	// bench suite — so allocation hotspots in either are attributable.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Flush dead objects first so the profile shows live retained
+			// memory, not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "keddah-bench: heap profile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *benchJSON != "" || *benchBase != "" {
 		return runBench(*benchJSON, *benchBase, *benchDiff)

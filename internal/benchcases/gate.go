@@ -9,14 +9,19 @@ import (
 )
 
 // Diff compares one benchmark between a committed baseline and the
-// current run. Ratio is current/baseline ns/op; Regressed marks ratios
-// beyond the gate's tolerance.
+// current run. Ratio is current/baseline ns/op and AllocRatio is
+// current/baseline allocs/op; Regressed and AllocRegressed mark ratios
+// beyond the gate's tolerances.
 type Diff struct {
-	Name       string  `json:"name"`
-	BaselineNs float64 `json:"baselineNsPerOp"`
-	CurrentNs  float64 `json:"currentNsPerOp"`
-	Ratio      float64 `json:"ratio"`
-	Regressed  bool    `json:"regressed"`
+	Name           string  `json:"name"`
+	BaselineNs     float64 `json:"baselineNsPerOp"`
+	CurrentNs      float64 `json:"currentNsPerOp"`
+	Ratio          float64 `json:"ratio"`
+	Regressed      bool    `json:"regressed"`
+	BaselineAllocs int64   `json:"baselineAllocsPerOp"`
+	CurrentAllocs  int64   `json:"currentAllocsPerOp"`
+	AllocRatio     float64 `json:"allocRatio"`
+	AllocRegressed bool    `json:"allocRegressed"`
 }
 
 // ErrRegression is wrapped by Gate failures so callers can distinguish a
@@ -25,11 +30,16 @@ var ErrRegression = errors.New("benchcases: performance regression")
 
 // Gate compares the named benchmarks between baseline and current and
 // returns one Diff per name. It fails when a name is missing from either
-// report or when current ns/op exceeds baseline by more than maxRegress
-// (0.15 = +15%). Speedups never fail the gate: CI baselines are
-// refreshed by committing a new BENCH_netsim.json, not enforced both
-// ways (hardware jitter would make a two-sided gate flaky).
-func Gate(baseline, current Report, names []string, maxRegress float64) ([]Diff, error) {
+// report, when current ns/op exceeds baseline by more than maxRegress
+// (0.15 = +15%), or when current allocs/op exceeds baseline by more than
+// maxAllocRegress (0.10 = +10%). Allocation counts are near-deterministic,
+// so their tolerance is tighter than the wall-time one; a baseline entry
+// with zero allocs/op (predating alloc tracking, or genuinely
+// allocation-free) skips the allocs check for that name rather than
+// dividing by zero. Speedups and alloc reductions never fail the gate:
+// CI baselines are refreshed by committing a new BENCH_netsim.json, not
+// enforced both ways (hardware jitter would make a two-sided gate flaky).
+func Gate(baseline, current Report, names []string, maxRegress, maxAllocRegress float64) ([]Diff, error) {
 	diffs := make([]Diff, 0, len(names))
 	var failures []string
 	for _, name := range names {
@@ -45,19 +55,29 @@ func Gate(baseline, current Report, names []string, maxRegress float64) ([]Diff,
 			return diffs, fmt.Errorf("benchcases: baseline %q has non-positive ns/op %v", name, b.NsPerOp)
 		}
 		d := Diff{
-			Name:       name,
-			BaselineNs: b.NsPerOp,
-			CurrentNs:  c.NsPerOp,
-			Ratio:      c.NsPerOp / b.NsPerOp,
+			Name:           name,
+			BaselineNs:     b.NsPerOp,
+			CurrentNs:      c.NsPerOp,
+			Ratio:          c.NsPerOp / b.NsPerOp,
+			BaselineAllocs: b.AllocsPerOp,
+			CurrentAllocs:  c.AllocsPerOp,
 		}
 		if d.Ratio > 1+maxRegress {
 			d.Regressed = true
 			failures = append(failures, fmt.Sprintf("%s %.2fx (%.0f -> %.0f ns/op)", name, d.Ratio, d.BaselineNs, d.CurrentNs))
 		}
+		if b.AllocsPerOp > 0 {
+			d.AllocRatio = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+			if d.AllocRatio > 1+maxAllocRegress {
+				d.AllocRegressed = true
+				failures = append(failures, fmt.Sprintf("%s %.2fx (%d -> %d allocs/op)", name, d.AllocRatio, d.BaselineAllocs, d.CurrentAllocs))
+			}
+		}
 		diffs = append(diffs, d)
 	}
 	if len(failures) > 0 {
-		return diffs, fmt.Errorf("%w (>+%.0f%%): %s", ErrRegression, maxRegress*100, strings.Join(failures, "; "))
+		return diffs, fmt.Errorf("%w (>+%.0f%% ns/op or >+%.0f%% allocs/op): %s",
+			ErrRegression, maxRegress*100, maxAllocRegress*100, strings.Join(failures, "; "))
 	}
 	return diffs, nil
 }

@@ -14,8 +14,10 @@ func report(entries ...Entry) Report {
 
 func TestGateVerdicts(t *testing.T) {
 	base := report(
-		Entry{Name: "A", NsPerOp: 1000},
-		Entry{Name: "B", NsPerOp: 2000},
+		Entry{Name: "A", NsPerOp: 1000, AllocsPerOp: 100},
+		Entry{Name: "B", NsPerOp: 2000, AllocsPerOp: 50},
+		// Y predates alloc tracking: ns/op gated, allocs check skipped.
+		Entry{Name: "Y", NsPerOp: 10, AllocsPerOp: 0},
 	)
 	cases := []struct {
 		name      string
@@ -27,20 +29,33 @@ func TestGateVerdicts(t *testing.T) {
 	}{
 		{
 			name:    "within tolerance",
-			current: report(Entry{Name: "A", NsPerOp: 1100}, Entry{Name: "B", NsPerOp: 2000}),
+			current: report(Entry{Name: "A", NsPerOp: 1100, AllocsPerOp: 105}, Entry{Name: "B", NsPerOp: 2000, AllocsPerOp: 50}),
 			gated:   []string{"A", "B"},
 		},
 		{
 			name:    "speedup never fails",
-			current: report(Entry{Name: "A", NsPerOp: 100}, Entry{Name: "B", NsPerOp: 50}),
+			current: report(Entry{Name: "A", NsPerOp: 100, AllocsPerOp: 1}, Entry{Name: "B", NsPerOp: 50}),
 			gated:   []string{"A", "B"},
 		},
 		{
 			name:      "regression beyond tolerance",
-			current:   report(Entry{Name: "A", NsPerOp: 1300}, Entry{Name: "B", NsPerOp: 2000}),
+			current:   report(Entry{Name: "A", NsPerOp: 1300, AllocsPerOp: 100}, Entry{Name: "B", NsPerOp: 2000, AllocsPerOp: 50}),
 			gated:     []string{"A", "B"},
 			wantErr:   ErrRegression,
 			regressed: 1,
+		},
+		{
+			name:      "alloc regression beyond tolerance",
+			current:   report(Entry{Name: "A", NsPerOp: 1000, AllocsPerOp: 120}, Entry{Name: "B", NsPerOp: 2000, AllocsPerOp: 50}),
+			gated:     []string{"A", "B"},
+			wantErr:   ErrRegression,
+			wantMsg:   "allocs/op",
+			regressed: 0, // ns/op fine; only AllocRegressed is set
+		},
+		{
+			name:    "alloc check skipped for zero-alloc baseline",
+			current: report(Entry{Name: "A", NsPerOp: 1000, AllocsPerOp: 100}, Entry{Name: "B", NsPerOp: 2000, AllocsPerOp: 50}, Entry{Name: "Y", NsPerOp: 10, AllocsPerOp: 7}),
+			gated:   []string{"A", "B", "Y"},
 		},
 		{
 			name:    "name missing from current",
@@ -69,7 +84,7 @@ func TestGateVerdicts(t *testing.T) {
 			if tc.name == "corrupt baseline entry" {
 				b = baseWithZ
 			}
-			diffs, err := Gate(b, tc.current, tc.gated, 0.15)
+			diffs, err := Gate(b, tc.current, tc.gated, 0.15, 0.10)
 			if tc.wantErr == nil && tc.wantMsg == "" {
 				if err != nil {
 					t.Fatalf("gate failed: %v", err)
@@ -105,9 +120,9 @@ func TestGateVerdicts(t *testing.T) {
 }
 
 func TestGateDiffContents(t *testing.T) {
-	base := report(Entry{Name: "A", NsPerOp: 1000})
-	cur := report(Entry{Name: "A", NsPerOp: 1500})
-	diffs, err := Gate(base, cur, []string{"A"}, 0.15)
+	base := report(Entry{Name: "A", NsPerOp: 1000, AllocsPerOp: 200})
+	cur := report(Entry{Name: "A", NsPerOp: 1500, AllocsPerOp: 300})
+	diffs, err := Gate(base, cur, []string{"A"}, 0.15, 0.10)
 	if !errors.Is(err, ErrRegression) {
 		t.Fatalf("err = %v, want ErrRegression", err)
 	}
@@ -117,6 +132,9 @@ func TestGateDiffContents(t *testing.T) {
 	d := diffs[0]
 	if d.Name != "A" || d.BaselineNs != 1000 || d.CurrentNs != 1500 || d.Ratio != 1.5 || !d.Regressed {
 		t.Fatalf("diff = %+v", d)
+	}
+	if d.BaselineAllocs != 200 || d.CurrentAllocs != 300 || d.AllocRatio != 1.5 || !d.AllocRegressed {
+		t.Fatalf("alloc side of diff = %+v", d)
 	}
 }
 

@@ -49,6 +49,11 @@ type ClusterSpec struct {
 	// from-scratch reference implementation of max-min fairness, kept
 	// for equivalence testing of the incremental allocator).
 	Allocator string `json:"allocator"`
+	// NetImpl selects the netsim flow-storage core: "" or "soa" (the
+	// default struct-of-arrays layout) or "pointer" (the pointer-per-flow
+	// reference core, kept for lockstep equivalence testing). The two are
+	// trajectory-identical; only memory behaviour differs.
+	NetImpl string `json:"netImpl"`
 	// Seed fixes all randomness.
 	Seed int64 `json:"seed"`
 }
@@ -112,10 +117,18 @@ func (s ClusterSpec) BuildCluster() (*hadoop.Cluster, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown allocator %q", s.Allocator)
 	}
+	var pointer bool
+	switch s.NetImpl {
+	case "", "soa":
+	case "pointer":
+		pointer = true
+	default:
+		return nil, fmt.Errorf("core: unknown net impl %q", s.NetImpl)
+	}
 	return hadoop.New(topo, hadoop.Config{
 		HDFS: hdfs.Config{BlockSize: s.BlockSize, Replication: s.Replication},
 		YARN: yarn.Config{SlotsPerNode: s.SlotsPerNode, LocalityWait: sim.Time(s.LocalityWaitNs)},
-		Net:  netsim.Config{Allocator: alloc, UseReferenceAllocator: reference},
+		Net:  netsim.Config{Allocator: alloc, UseReferenceAllocator: reference, UsePointerFlows: pointer},
 		Seed: s.Seed,
 	})
 }
@@ -166,6 +179,11 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 	if err != nil {
 		return nil, nil, fmt.Errorf("build cluster: %w", err)
 	}
+	// Pre-size the network's flow storage (and the engine's event slab)
+	// from the workload profiles' predicted peak concurrency, so the
+	// steady-state capture loop allocates nothing.
+	cluster.Net.Reserve(workload.EstimatePeakFlows(
+		runSpecs, len(cluster.Workers()), spec.SlotsPerNode, spec.Replication))
 	cluster.AttachTelemetry(opts.Telemetry)
 	for _, f := range opts.Failures {
 		workers := cluster.Workers()

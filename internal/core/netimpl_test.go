@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"keddah/internal/telemetry"
+	"keddah/internal/workload"
+)
+
+// TestNetImplLockstep is the capture-level half of the flow-storage
+// equivalence guarantee: full capture sessions shaped like the suite's
+// E4 (replication sweep point), E11 (worker failure) and E16 (chaos
+// schedule with re-routes and aborts) experiments must be identical
+// between the struct-of-arrays core and the pointer reference core —
+// the whole TraceSet (every synthesised flow record and timestamp), the
+// per-run results, and the deterministic telemetry snapshot.
+func TestNetImplLockstep(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ClusterSpec
+		runs []workload.RunSpec
+		opts CaptureOpts
+	}{
+		{
+			name: "E4 replication sweep point",
+			spec: ClusterSpec{Workers: 6, Replication: 2, Seed: 7},
+			runs: []workload.RunSpec{{Profile: "terasort", InputBytes: 192 << 20}},
+		},
+		{
+			name: "E11 worker failure",
+			spec: ClusterSpec{Workers: 6, Seed: 11},
+			runs: []workload.RunSpec{{Profile: "sort", InputBytes: 192 << 20}},
+			opts: CaptureOpts{Failures: []FailureSpec{{WorkerIndex: 2, AtNs: 6_000_000_000}}},
+		},
+		{
+			name: "E16 chaos schedule",
+			spec: ClusterSpec{Workers: 6, Seed: 99},
+			runs: []workload.RunSpec{{Profile: "terasort", InputBytes: 256 << 20}},
+			opts: CaptureOpts{Faults: chaosSchedule()},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(impl string) (*TraceSet, []workload.RunResult, telemetry.Snapshot) {
+				spec := tc.spec
+				spec.NetImpl = impl
+				opts := tc.opts
+				tel := telemetry.New()
+				opts.Telemetry = tel
+				ts, rr, err := CaptureWith(spec, tc.runs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ts, rr, tel.Snapshot()
+			}
+			soaTS, soaRR, soaSnap := run("soa")
+			ptrTS, ptrRR, ptrSnap := run("pointer")
+			if !reflect.DeepEqual(soaTS, ptrTS) {
+				t.Error("trace sets diverged between soa and pointer cores")
+			}
+			if !reflect.DeepEqual(soaRR, ptrRR) {
+				t.Error("run results diverged between soa and pointer cores")
+			}
+			if !reflect.DeepEqual(soaSnap, ptrSnap) {
+				t.Error("telemetry snapshots diverged between soa and pointer cores")
+			}
+		})
+	}
+}
+
+// TestCaptureIdenticalUnderGCPressure: GC timing must never influence a
+// capture. Running the same session under GOGC=20 — collections firing an
+// order of magnitude more often, recycled slots and arenas churning
+// through the allocator — must produce a byte-identical TraceSet.
+func TestCaptureIdenticalUnderGCPressure(t *testing.T) {
+	spec, runs := chaosSpecAndRuns()
+	baseline, _, err := Capture(spec, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := debug.SetGCPercent(20)
+	defer debug.SetGCPercent(old)
+	pressured, _, err := Capture(spec, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline, pressured) {
+		t.Error("GOGC=20 changed the captured trace set")
+	}
+}

@@ -2,21 +2,22 @@ package netsim
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
-// This file holds the bandwidth-sharing rate computations. All three
-// write the per-flow rate vector into n.rates (indexed by Flow.listIdx),
-// sized by reallocate before dispatch.
+// This file holds the struct-of-arrays core's bandwidth-sharing rate
+// computations. All three write the per-flow rate vector into c.rates
+// (indexed by active-list position), sized by reallocate before dispatch.
+// The ptrCore twins (ptrcore.go) perform the identical floating-point
+// operations in the identical order, so the two cores' rate vectors agree
+// bit for bit — as do incremental and reference within each core.
 //
 // incrementalMaxMinRates is the production path: progressive filling
 // driven by the per-link active-flow index, O(rounds × links) for
 // bottleneck selection plus O(Σ path) for freezing — it never rescans
 // the whole flow set per round. referenceMaxMinRates preserves the
 // original from-scratch formulation (scan every flow every round) for
-// equivalence testing behind Config.UseReferenceAllocator. Both perform
-// the identical floating-point operations in the identical order, so
-// their rate vectors agree bit for bit.
+// equivalence testing behind Config.UseReferenceAllocator.
 
 // incrementalMaxMinRates computes max-min fair rates by progressive
 // filling over the per-link flow index:
@@ -33,34 +34,35 @@ import (
 // Candidates are processed in active-list order (ascending listIdx) to
 // reproduce the reference allocator's arithmetic exactly: the per-link
 // lists are swap-remove ordered, so they are sorted here — the sort is
-// over one bottleneck's flows only, not the whole active set.
-func (n *Network) incrementalMaxMinRates() {
-	for i, l := range n.topo.links {
-		n.remCap[i] = l.CapacityBps
-		n.cnt[i] = len(n.linkFlows[i])
+// over one bottleneck's flows only, not the whole active set, and
+// slices.SortFunc keeps it allocation-free.
+func (c *soaCore) incrementalMaxMinRates() {
+	for i, l := range c.topo.links {
+		c.remCap[i] = l.CapacityBps
+		c.cnt[i] = len(c.linkFlows[i])
 	}
-	remaining := len(n.flows)
+	remaining := len(c.active)
 	for remaining > 0 {
 		best := -1
 		bestShare := math.Inf(1)
-		for i, c := range n.cnt {
-			if c == 0 {
+		for i, cn := range c.cnt {
+			if cn == 0 {
 				continue
 			}
-			share := n.remCap[i] / float64(c)
+			share := c.remCap[i] / float64(cn)
 			if share < bestShare {
 				bestShare = share
 				best = i
 			}
 		}
 		if best < 0 {
-			n.freezeStranded(&remaining)
+			c.freezeStranded(&remaining)
 			break
 		}
-		cand := n.freezeBuf[:0]
-		for _, f := range n.linkFlows[best] {
-			if !n.frozen[f.listIdx] {
-				cand = append(cand, f)
+		cand := c.freezeBuf[:0]
+		for _, s := range c.linkFlows[best] {
+			if !c.frozen[c.listIdx[s]] {
+				cand = append(cand, s)
 			}
 		}
 		// The per-link lists are usually already in activation order
@@ -68,46 +70,49 @@ func (n *Network) incrementalMaxMinRates() {
 		// before paying for the sort.
 		sorted := true
 		for i := 1; i < len(cand); i++ {
-			if cand[i-1].listIdx > cand[i].listIdx {
+			if c.listIdx[cand[i-1]] > c.listIdx[cand[i]] {
 				sorted = false
 				break
 			}
 		}
 		if !sorted {
-			sort.Slice(cand, func(a, b int) bool { return cand[a].listIdx < cand[b].listIdx })
+			slices.SortFunc(cand, func(a, b int32) int {
+				return int(c.listIdx[a]) - int(c.listIdx[b])
+			})
 		}
-		for _, f := range cand {
-			n.rates[f.listIdx] = bestShare
-			n.frozen[f.listIdx] = true
+		for _, s := range cand {
+			li := c.listIdx[s]
+			c.rates[li] = bestShare
+			c.frozen[li] = true
 			remaining--
-			for _, lid := range f.path {
-				n.remCap[lid] -= bestShare
-				if n.remCap[lid] < 0 {
-					n.remCap[lid] = 0
+			for _, lid := range c.path(s) {
+				c.remCap[lid] -= bestShare
+				if c.remCap[lid] < 0 {
+					c.remCap[lid] = 0
 				}
-				n.cnt[lid]--
+				c.cnt[lid]--
 			}
 		}
-		n.freezeBuf = cand[:0]
+		c.freezeBuf = cand[:0]
 	}
 }
 
 // referenceMaxMinRates is the original allocator, kept verbatim as the
 // oracle for the incremental path: it recounts link loads from scratch
 // and rescans the entire active set every bottleneck round.
-func (n *Network) referenceMaxMinRates() {
-	remCap := make([]float64, len(n.topo.links))
-	cnt := make([]int, len(n.topo.links))
-	for i, l := range n.topo.links {
+func (c *soaCore) referenceMaxMinRates() {
+	remCap := make([]float64, len(c.topo.links))
+	cnt := make([]int, len(c.topo.links))
+	for i, l := range c.topo.links {
 		remCap[i] = l.CapacityBps
 	}
-	for _, f := range n.flows {
-		for _, lid := range f.path {
+	for _, s := range c.active {
+		for _, lid := range c.path(s) {
 			cnt[lid]++
 		}
 	}
-	frozen := make([]bool, len(n.flows))
-	remaining := len(n.flows)
+	frozen := make([]bool, len(c.active))
+	remaining := len(c.active)
 	for remaining > 0 {
 		// Find bottleneck link: min fair share among loaded links.
 		best := -1
@@ -123,17 +128,17 @@ func (n *Network) referenceMaxMinRates() {
 			}
 		}
 		if best < 0 {
-			copy(n.frozen, frozen)
-			n.freezeStranded(&remaining)
+			copy(c.frozen, frozen)
+			c.freezeStranded(&remaining)
 			break
 		}
 		// Freeze every unfrozen flow crossing the bottleneck.
-		for i, f := range n.flows {
+		for i, s := range c.active {
 			if frozen[i] {
 				continue
 			}
 			crosses := false
-			for _, lid := range f.path {
+			for _, lid := range c.path(s) {
 				if lid == LinkID(best) {
 					crosses = true
 					break
@@ -142,10 +147,10 @@ func (n *Network) referenceMaxMinRates() {
 			if !crosses {
 				continue
 			}
-			n.rates[i] = bestShare
+			c.rates[i] = bestShare
 			frozen[i] = true
 			remaining--
-			for _, lid := range f.path {
+			for _, lid := range c.path(s) {
 				remCap[lid] -= bestShare
 				if remCap[lid] < 0 {
 					remCap[lid] = 0
@@ -158,11 +163,11 @@ func (n *Network) referenceMaxMinRates() {
 
 // freezeStranded handles the should-not-happen case of unfrozen flows
 // with no loaded links left: they freeze at the loopback rate.
-func (n *Network) freezeStranded(remaining *int) {
-	for i := range n.frozen {
-		if !n.frozen[i] {
-			n.rates[i] = n.cfg.LoopbackBps
-			n.frozen[i] = true
+func (c *soaCore) freezeStranded(remaining *int) {
+	for i := range c.frozen {
+		if !c.frozen[i] {
+			c.rates[i] = c.cfg.LoopbackBps
+			c.frozen[i] = true
 			*remaining -= 1
 		}
 	}
@@ -170,21 +175,21 @@ func (n *Network) freezeStranded(remaining *int) {
 
 // equalSplitRates is the ablation allocator: each flow gets min over its
 // path of capacity/flow-count, with no redistribution of slack.
-func (n *Network) equalSplitRates() {
-	for i := range n.topo.links {
-		n.cnt[i] = len(n.linkFlows[i])
+func (c *soaCore) equalSplitRates() {
+	for i := range c.topo.links {
+		c.cnt[i] = len(c.linkFlows[i])
 	}
-	for i, f := range n.flows {
+	for i, s := range c.active {
 		rate := math.Inf(1)
-		for _, lid := range f.path {
-			share := n.topo.links[lid].CapacityBps / float64(n.cnt[lid])
+		for _, lid := range c.path(s) {
+			share := c.topo.links[lid].CapacityBps / float64(c.cnt[lid])
 			if share < rate {
 				rate = share
 			}
 		}
 		if math.IsInf(rate, 1) {
-			rate = n.cfg.LoopbackBps
+			rate = c.cfg.LoopbackBps
 		}
-		n.rates[i] = rate
+		c.rates[i] = rate
 	}
 }

@@ -39,15 +39,6 @@ func buildScenario(t *testing.T, net *Network, seed int64, nFlows int) {
 	}
 }
 
-// snapshotRates returns flow id → allocated rate for the active set.
-func snapshotRates(n *Network) map[uint64]float64 {
-	out := make(map[uint64]float64, len(n.flows))
-	for _, f := range n.flows {
-		out[f.id] = f.rate
-	}
-	return out
-}
-
 // TestIncrementalMatchesReferenceAllocator is the allocator equivalence
 // property test: for randomized topologies and flow sets (100–1000
 // flows), the incremental max-min allocator and the original from-scratch
@@ -114,7 +105,7 @@ func TestIncrementalMatchesReferenceAllocator(t *testing.T) {
 			// Skip instants where a coalesced reallocation is still
 			// queued — the active set changed but rates intentionally
 			// update one event later.
-			if !inc.reallocPending {
+			if !inc.reallocPendingNow() {
 				if err := inc.CheckInvariants(); err != nil {
 					t.Fatalf("%s/seed%d step %d: %v", tc.topo, tc.seed, steps, err)
 				}

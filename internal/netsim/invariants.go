@@ -9,6 +9,8 @@ import (
 // internal/invariants layer. Both entry points are strictly observational:
 // they allocate only local scratch, draw no randomness, and schedule no
 // events, so a checked run's trajectory is identical to an unchecked one.
+// Each check dispatches to the active core and verifies that core's own
+// structural representation (SoA slots+arenas, or pointer lists).
 
 // VerifyState checks the structural invariants of the active flow set:
 // the active list and the per-link flow index agree with each other, no
@@ -18,7 +20,79 @@ import (
 // reallocation is pending it additionally verifies the allocation itself
 // via CheckInvariants (capacity and bottleneck conditions).
 func (n *Network) VerifyState() error {
-	for i, f := range n.flows {
+	if n.ptr != nil {
+		if err := n.ptr.verifyState(); err != nil {
+			return err
+		}
+	} else {
+		if err := n.soa.verifyState(); err != nil {
+			return err
+		}
+	}
+	if n.reallocPendingNow() {
+		// Rates are stale until the coalesced dirty event fires at this
+		// same timestamp; the allocation conditions are not meaningful yet.
+		return nil
+	}
+	return n.CheckInvariants()
+}
+
+func (c *soaCore) verifyState() error {
+	for i, s := range c.active {
+		if int(c.listIdx[s]) != i {
+			return fmt.Errorf("netsim: flow %d listIdx %d but held at position %d", c.fid[s], c.listIdx[s], i)
+		}
+		if c.state[s] != slotActive {
+			return fmt.Errorf("netsim: flow %d in active set but state %d (done, free or not yet active)", c.fid[s], c.state[s])
+		}
+		if c.remaining[s] < 0 || c.remaining[s] > float64(c.spec[s].SizeBytes) {
+			return fmt.Errorf("netsim: flow %d remaining %.3g outside [0, %d]", c.fid[s], c.remaining[s], c.spec[s].SizeBytes)
+		}
+		path, pos := c.path(s), c.linkPos(s)
+		for j, lid := range path {
+			if c.topo.linkDown[lid] {
+				return fmt.Errorf("netsim: flow %d active on downed link %d", c.fid[s], lid)
+			}
+			p := pos[j]
+			if p < 0 || int(p) >= len(c.linkFlows[lid]) || c.linkFlows[lid][p] != s {
+				return fmt.Errorf("netsim: flow %d link index stale on link %d (pos %d)", c.fid[s], lid, p)
+			}
+		}
+	}
+	indexed := 0
+	for _, lst := range c.linkFlows {
+		indexed += len(lst)
+	}
+	pathSum := 0
+	for _, s := range c.active {
+		pathSum += int(c.pathLen[s])
+	}
+	if indexed != pathSum {
+		return fmt.Errorf("netsim: per-link index holds %d entries, active paths cover %d", indexed, pathSum)
+	}
+	// Slot accounting: every slot is exactly one of free-listed, in the
+	// active list, or mid-lifecycle (propagating/loopback).
+	inFree := 0
+	for _, s := range c.freeSlots {
+		if c.state[s] != slotFree {
+			return fmt.Errorf("netsim: slot %d on the free list but in state %d", s, c.state[s])
+		}
+		inFree++
+	}
+	nFree := 0
+	for s := range c.state {
+		if c.state[s] == slotFree {
+			nFree++
+		}
+	}
+	if inFree != nFree {
+		return fmt.Errorf("netsim: %d slots marked free but %d on the free list", nFree, inFree)
+	}
+	return nil
+}
+
+func (c *ptrCore) verifyState() error {
+	for i, f := range c.flows {
 		if f.listIdx != i {
 			return fmt.Errorf("netsim: flow %d listIdx %d but held at position %d", f.id, f.listIdx, i)
 		}
@@ -32,32 +106,27 @@ func (n *Network) VerifyState() error {
 			return fmt.Errorf("netsim: flow %d linkPos/path length mismatch (%d vs %d)", f.id, len(f.linkPos), len(f.path))
 		}
 		for j, lid := range f.path {
-			if n.topo.linkDown[lid] {
+			if c.topo.linkDown[lid] {
 				return fmt.Errorf("netsim: flow %d active on downed link %d", f.id, lid)
 			}
 			p := f.linkPos[j]
-			if p < 0 || p >= len(n.linkFlows[lid]) || n.linkFlows[lid][p] != f {
+			if p < 0 || p >= len(c.linkFlows[lid]) || c.linkFlows[lid][p] != f {
 				return fmt.Errorf("netsim: flow %d link index stale on link %d (pos %d)", f.id, lid, p)
 			}
 		}
 	}
 	indexed := 0
-	for _, lst := range n.linkFlows {
+	for _, lst := range c.linkFlows {
 		indexed += len(lst)
 	}
 	pathSum := 0
-	for _, f := range n.flows {
+	for _, f := range c.flows {
 		pathSum += len(f.path)
 	}
 	if indexed != pathSum {
 		return fmt.Errorf("netsim: per-link index holds %d entries, active paths cover %d", indexed, pathSum)
 	}
-	if n.reallocPending {
-		// Rates are stale until the coalesced dirty event fires at this
-		// same timestamp; the allocation conditions are not meaningful yet.
-		return nil
-	}
-	return n.CheckInvariants()
+	return nil
 }
 
 // CheckAllocatorOracle recomputes the max-min rate vector with the exact
@@ -68,22 +137,38 @@ func (n *Network) VerifyState() error {
 // installed rates are intentionally stale), or when the vectors agree
 // within rateTolerance.
 func (n *Network) CheckAllocatorOracle() error {
-	if n.cfg.Allocator != AllocMaxMin || n.reallocPending || len(n.flows) == 0 {
+	if n.cfg.Allocator != AllocMaxMin || n.reallocPendingNow() || n.ActiveFlows() == 0 {
 		return nil
 	}
+	// Assemble the oracle inputs from the active core's view.
+	nf := n.ActiveFlows()
+	paths := make([][]LinkID, nf)
+	installed := make([]float64, nf)
+	ids := make([]uint64, nf)
+	if n.ptr != nil {
+		for i, f := range n.ptr.flows {
+			paths[i], installed[i], ids[i] = f.path, f.rate, f.id
+		}
+	} else {
+		c := n.soa
+		for i, s := range c.active {
+			paths[i], installed[i], ids[i] = c.path(s), c.rate[s], c.fid[s]
+		}
+	}
+
 	remCap := make([]float64, len(n.topo.links))
 	cnt := make([]int, len(n.topo.links))
 	for i, l := range n.topo.links {
 		remCap[i] = l.CapacityBps
 	}
-	for _, f := range n.flows {
-		for _, lid := range f.path {
+	for _, p := range paths {
+		for _, lid := range p {
 			cnt[lid]++
 		}
 	}
-	rates := make([]float64, len(n.flows))
-	frozen := make([]bool, len(n.flows))
-	remaining := len(n.flows)
+	rates := make([]float64, nf)
+	frozen := make([]bool, nf)
+	remaining := nf
 	for remaining > 0 {
 		best := -1
 		bestShare := math.Inf(1)
@@ -109,12 +194,12 @@ func (n *Network) CheckAllocatorOracle() error {
 			}
 			break
 		}
-		for i, f := range n.flows {
+		for i, p := range paths {
 			if frozen[i] {
 				continue
 			}
 			crosses := false
-			for _, lid := range f.path {
+			for _, lid := range p {
 				if lid == LinkID(best) {
 					crosses = true
 					break
@@ -126,7 +211,7 @@ func (n *Network) CheckAllocatorOracle() error {
 			rates[i] = bestShare
 			frozen[i] = true
 			remaining--
-			for _, lid := range f.path {
+			for _, lid := range p {
 				remCap[lid] -= bestShare
 				if remCap[lid] < 0 {
 					remCap[lid] = 0
@@ -135,9 +220,9 @@ func (n *Network) CheckAllocatorOracle() error {
 			}
 		}
 	}
-	for i, f := range n.flows {
-		if !rateEqual(f.rate, rates[i]) {
-			return fmt.Errorf("netsim: flow %d rate %.6g bps diverges from max-min oracle %.6g bps", f.id, f.rate, rates[i])
+	for i := range paths {
+		if !rateEqual(installed[i], rates[i]) {
+			return fmt.Errorf("netsim: flow %d rate %.6g bps diverges from max-min oracle %.6g bps", ids[i], installed[i], rates[i])
 		}
 	}
 	return nil

@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"keddah/internal/sim"
+)
+
+// flowOutcome is the observable end state of one flow, recorded by the
+// lockstep test's completion callbacks.
+type flowOutcome struct {
+	End         sim.Time
+	Aborted     bool
+	Transferred int64
+	Segments    []RateSegment
+}
+
+// lockstepScenario schedules a deterministic pseudo-random flow mix —
+// including loopback transfers — and, when chaos is on, a deterministic
+// fault schedule (link down/up, capacity degrade/restore, endpoint kills)
+// onto the network. Every flow records its outcome into rec keyed by flow
+// id; both cores assign ids in start order, so the maps line up.
+func lockstepScenario(t *testing.T, net *Network, seed int64, nFlows int, chaos bool, rec map[uint64]flowOutcome) {
+	t.Helper()
+	hosts := net.Topology().Hosts()
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	eng := net.Engine()
+	for i := 0; i < nFlows; i++ {
+		src := hosts[next(len(hosts))]
+		dst := hosts[next(len(hosts))] // src == dst exercises loopback
+		size := int64(next(60_000_000) + 500)
+		delay := sim.Time(next(1_500_000_000))
+		spec := FlowSpec{Src: src, Dst: dst, SrcPort: 1000 + i, DstPort: 2000, SizeBytes: size}
+		record := func(f *Flow) {
+			rec[f.ID()] = flowOutcome{End: f.End(), Aborted: f.Aborted(), Transferred: f.Transferred(), Segments: f.Segments()}
+		}
+		spec.OnComplete = record
+		spec.OnAbort = record
+		eng.After(delay, func() {
+			if _, err := net.StartFlow(spec); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if !chaos {
+		return
+	}
+	nl := net.Topology().NumLinks()
+	for i := 0; i < 6; i++ {
+		lid := LinkID(next(nl))
+		at := sim.Time(next(1_200_000_000) + 100_000_000)
+		dur := sim.Time(next(500_000_000) + 50_000_000)
+		eng.After(at, func() {
+			if err := net.SetLinkState(lid, false); err != nil {
+				t.Error(err)
+			}
+		})
+		eng.After(at+dur, func() {
+			if err := net.SetLinkState(lid, true); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		lid := LinkID(next(nl))
+		at := sim.Time(next(1_200_000_000) + 100_000_000)
+		dur := sim.Time(next(500_000_000) + 50_000_000)
+		eng.After(at, func() {
+			if err := net.SetLinkCapacityScale(lid, 0.25); err != nil {
+				t.Error(err)
+			}
+		})
+		eng.After(at+dur, func() {
+			if err := net.SetLinkCapacityScale(lid, 1); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for i := 0; i < 2; i++ {
+		mod := 7 + i
+		at := sim.Time(next(1_500_000_000) + 200_000_000)
+		eng.After(at, func() {
+			net.AbortFlowsWhere(func(s FlowSpec) bool { return s.SrcPort%13 == mod })
+		})
+	}
+}
+
+// TestSoaMatchesPointerCore is the tentpole equivalence property: the
+// struct-of-arrays core and the pointer-per-flow reference core must
+// produce bit-identical trajectories — same event stream, same clocks,
+// same per-flow rates at every step, same completion times, transferred
+// bytes and rate histories, same aggregate counters — on plain traffic
+// and under chaos schedules with aborts and re-routes.
+func TestSoaMatchesPointerCore(t *testing.T) {
+	build := map[string]func() (*Topology, error){
+		"star":      func() (*Topology, error) { return Star(9, Gbps) },
+		"fattree":   func() (*Topology, error) { return FatTree(4, Gbps) },
+		"multirack": func() (*Topology, error) { return MultiRack(3, 5, Gbps, 4*Gbps) },
+	}
+	cases := []struct {
+		topo   string
+		seed   int64
+		nFlows int
+		chaos  bool
+	}{
+		{"star", 41, 200, false},
+		{"star", 42, 150, true},
+		{"fattree", 51, 300, false},
+		{"fattree", 52, 250, true},
+		{"multirack", 61, 200, false},
+		{"multirack", 62, 200, true},
+	}
+	for _, tc := range cases {
+		name := tc.topo
+		if tc.chaos {
+			name += "/chaos"
+		}
+		t.Run(name, func(t *testing.T) {
+			mk := func(pointer bool) (*sim.Engine, *Network, map[uint64]flowOutcome) {
+				topo, err := build[tc.topo]()
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng := sim.New()
+				net := NewNetwork(eng, topo, Config{UsePointerFlows: pointer})
+				rec := make(map[uint64]flowOutcome, tc.nFlows)
+				lockstepScenario(t, net, tc.seed, tc.nFlows, tc.chaos, rec)
+				return eng, net, rec
+			}
+			soaEng, soaNet, soaRec := mk(false)
+			ptrEng, ptrNet, ptrRec := mk(true)
+
+			steps := 0
+			for {
+				sOK := soaEng.Step()
+				pOK := ptrEng.Step()
+				if sOK != pOK {
+					t.Fatalf("event streams diverged after %d steps", steps)
+				}
+				if !sOK {
+					break
+				}
+				steps++
+				if soaEng.Now() != ptrEng.Now() {
+					t.Fatalf("step %d: clocks diverged %v vs %v", steps, soaEng.Now(), ptrEng.Now())
+				}
+				if soaNet.ActiveFlows() != ptrNet.ActiveFlows() {
+					t.Fatalf("step %d: active sets differ: %d vs %d", steps, soaNet.ActiveFlows(), ptrNet.ActiveFlows())
+				}
+				sr, pr := snapshotRates(soaNet), snapshotRates(ptrNet)
+				if !reflect.DeepEqual(sr, pr) {
+					t.Fatalf("step %d: rate vectors diverged:\nsoa %v\nptr %v", steps, sr, pr)
+				}
+			}
+			if soaNet.ActiveFlows() != 0 || ptrNet.ActiveFlows() != 0 {
+				t.Fatalf("flows stranded: %d soa, %d ptr", soaNet.ActiveFlows(), ptrNet.ActiveFlows())
+			}
+			if soaNet.Completed() != ptrNet.Completed() ||
+				soaNet.AbortedFlows() != ptrNet.AbortedFlows() ||
+				soaNet.TotalBytes() != ptrNet.TotalBytes() {
+				t.Fatalf("aggregates differ: completed %d/%d aborted %d/%d bytes %v/%v",
+					soaNet.Completed(), ptrNet.Completed(),
+					soaNet.AbortedFlows(), ptrNet.AbortedFlows(),
+					soaNet.TotalBytes(), ptrNet.TotalBytes())
+			}
+			if len(soaRec) != len(ptrRec) {
+				t.Fatalf("outcome counts differ: %d vs %d", len(soaRec), len(ptrRec))
+			}
+			for id, so := range soaRec {
+				po, ok := ptrRec[id]
+				if !ok {
+					t.Fatalf("flow %d finished on soa only", id)
+				}
+				if !reflect.DeepEqual(so, po) {
+					t.Fatalf("flow %d outcomes diverged:\nsoa %+v\nptr %+v", id, so, po)
+				}
+			}
+			if err := soaNet.VerifyState(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ptrNet.VerifyState(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -35,28 +36,33 @@ type RateSegment struct {
 	RateBps float64
 }
 
-// Flow is an in-flight or finished transfer.
+// Flow is the exported handle to an in-flight or finished transfer.
+//
+// With the default struct-of-arrays core the handle is thin: while the
+// flow is in flight it reads through (slot, gen) into the core's parallel
+// slices, and at completion the observable state (end time, transferred
+// bytes, rate segments) is snapshotted into the handle before the slot is
+// recycled — so captures retaining handles for lazy packet synthesis keep
+// working after the storage is reused. With the pointer reference core it
+// wraps a *ptrFlow directly.
 type Flow struct {
-	id        uint64
-	spec      FlowSpec
-	path      []LinkID
-	start     sim.Time
-	activated sim.Time // start + propagation latency
-	end       sim.Time
-	remaining float64 // bytes
-	rate      float64 // bps
-	last      sim.Time
-	segments  []RateSegment
-	completeE *sim.Event
-	done      bool
-	aborted   bool
-	active    bool
-	// listIdx is this flow's position in Network.flows while active, so
-	// removal never scans the active set.
-	listIdx int
-	// linkPos[i] is this flow's position in Network.linkFlows[path[i]],
-	// so the per-link index is maintained in O(len(path)) on finish.
-	linkPos []int
+	id    uint64
+	spec  FlowSpec
+	start sim.Time
+
+	// Exactly one live reference is set: soa+slot+gen, or pf.
+	soa  *soaCore
+	slot int32
+	gen  uint32
+	pf   *ptrFlow
+
+	// Snapshot of the final observable state (SoA core only), taken the
+	// instant the flow finishes, before its slot returns to the free list.
+	snapped     bool
+	aborted     bool
+	end         sim.Time
+	transferred int64
+	segments    []RateSegment
 }
 
 // ID returns the network-unique flow identifier.
@@ -68,32 +74,96 @@ func (f *Flow) Spec() FlowSpec { return f.spec }
 // Start returns when the flow was opened.
 func (f *Flow) Start() sim.Time { return f.start }
 
-// End returns when the last byte arrived (valid once done).
-func (f *Flow) End() sim.Time { return f.end }
-
 // Done reports whether the flow has finished (completed or aborted).
-func (f *Flow) Done() bool { return f.done }
+func (f *Flow) Done() bool {
+	if f.pf != nil {
+		return f.pf.done
+	}
+	return f.snapped
+}
 
 // Aborted reports whether the flow was torn down before delivering all
 // its bytes (path failure with no reroute, or endpoint death).
-func (f *Flow) Aborted() bool { return f.aborted }
+func (f *Flow) Aborted() bool {
+	if f.pf != nil {
+		return f.pf.aborted
+	}
+	return f.aborted
+}
+
+// End returns when the last byte arrived (valid once done).
+func (f *Flow) End() sim.Time {
+	if f.pf != nil {
+		return f.pf.end
+	}
+	return f.end
+}
+
+// transferredOf converts a byte residue into delivered bytes.
+func transferredOf(size int64, remaining float64) int64 {
+	rem := int64(remaining + 0.5)
+	if rem < 0 {
+		rem = 0
+	}
+	if rem > size {
+		rem = size
+	}
+	return size - rem
+}
 
 // Transferred returns the bytes actually delivered so far. For completed
 // flows this equals SizeBytes; for aborted flows it is the partial
 // progress captures should account for.
 func (f *Flow) Transferred() int64 {
-	rem := int64(f.remaining + 0.5)
-	if rem < 0 {
-		rem = 0
+	if f.pf != nil {
+		return transferredOf(f.spec.SizeBytes, f.pf.remaining)
 	}
-	if rem > f.spec.SizeBytes {
-		rem = f.spec.SizeBytes
+	if f.snapped {
+		return f.transferred
 	}
-	return f.spec.SizeBytes - rem
+	if f.soa != nil && f.soa.gen[f.slot] == f.gen {
+		return transferredOf(f.spec.SizeBytes, f.soa.remaining[f.slot])
+	}
+	return 0
 }
 
 // Segments returns the rate history (read-only view).
-func (f *Flow) Segments() []RateSegment { return f.segments }
+func (f *Flow) Segments() []RateSegment {
+	if f.pf != nil {
+		return f.pf.segments
+	}
+	if f.snapped {
+		return f.segments
+	}
+	if f.soa != nil && f.soa.gen[f.slot] == f.gen {
+		return f.soa.copySegments(f.slot)
+	}
+	return nil
+}
+
+// FlowID returns the flow's compact generation-counted id (SoA core
+// only; the zero FlowID for pointer-core flows).
+func (f *Flow) FlowID() FlowID {
+	if f.soa != nil {
+		return FlowID{slot: f.slot, gen: f.gen}
+	}
+	return FlowID{}
+}
+
+// FlowID is a compact, generation-counted reference to a flow slot in the
+// struct-of-arrays core. It stays cheap to store across link-state changes
+// and reroutes (faults hold ids, not pointers), and it can never alias a
+// recycled slot's new occupant: once the flow finishes and the slot is
+// reused, the generation no longer matches and operations return
+// ErrStaleFlow instead of touching the new flow. The zero value is invalid.
+type FlowID struct {
+	slot int32
+	gen  uint32
+}
+
+// ErrStaleFlow is returned for operations on a FlowID whose flow already
+// finished (its slot may have been recycled for a new flow).
+var ErrStaleFlow = errors.New("netsim: stale flow id")
 
 // Tap observes flow lifecycle events, e.g. a packet capture.
 type Tap interface {
@@ -135,37 +205,32 @@ type Config struct {
 	// and as an escape hatch; it is O(rounds × flows × links) where the
 	// default incremental path is O(rounds × links + frozen × path).
 	UseReferenceAllocator bool
+	// UsePointerFlows selects the pointer-per-flow reference core
+	// instead of the struct-of-arrays core. The two are trajectory-
+	// identical (same completion times, same captures, same telemetry);
+	// the pointer core exists as the lockstep oracle for the SoA
+	// refactor and as an escape hatch.
+	UsePointerFlows bool
+	// ExpectedFlows pre-sizes flow storage (slot arrays, path arena,
+	// per-link indexes, allocator scratch) for the given peak number of
+	// concurrent flows, so a capture whose concurrency is predicted from
+	// its workload profile allocates nothing on the steady-state path.
+	ExpectedFlows int
 }
 
-// Network runs flows over a Topology on a shared simulation engine.
+// Network runs flows over a Topology on a shared simulation engine. It is
+// a thin dispatch layer over exactly one of two cores: the default
+// struct-of-arrays core (soa) or the pointer-per-flow reference core (ptr).
 type Network struct {
-	eng   *sim.Engine
-	topo  *Topology
-	cfg   Config
-	seq   uint64
-	flows []*Flow // active flows in activation order
-	taps  []Tap
+	eng  *sim.Engine
+	topo *Topology
+	cfg  Config
+	taps []Tap
 
-	// linkFlows indexes the active flows crossing each link, maintained
-	// in O(len(path)) on flow activation and completion so the allocator
-	// never scans the whole active set to find who shares a bottleneck.
-	// Order within a link's list is arbitrary (swap-remove).
-	linkFlows [][]*Flow
+	soa *soaCore
+	ptr *ptrCore
 
-	reallocPending bool
-	dirtyE         *sim.Event // pooled coalescing event, reused via Reschedule
-
-	// Allocation scratch, reused across reallocations so the hot path
-	// does not allocate per event. remCap/cnt are indexed by LinkID;
-	// rates/frozen by Flow.listIdx; freezeBuf holds one round's
-	// bottleneck candidates.
-	remCap    []float64
-	cnt       []int
-	rates     []float64
-	frozen    []bool
-	freezeBuf []*Flow
-
-	// Stats counters.
+	// Stats counters (maintained by whichever core is active).
 	completed    uint64
 	abortedCount uint64
 	totalBytes   float64
@@ -182,14 +247,31 @@ func NewNetwork(eng *sim.Engine, topo *Topology, cfg Config) *Network {
 	if cfg.LoopbackBps == 0 {
 		cfg.LoopbackBps = 20 * Gbps
 	}
-	return &Network{
-		eng:       eng,
-		topo:      topo,
-		cfg:       cfg,
-		linkFlows: make([][]*Flow, len(topo.links)),
-		remCap:    make([]float64, len(topo.links)),
-		cnt:       make([]int, len(topo.links)),
+	n := &Network{eng: eng, topo: topo, cfg: cfg}
+	if cfg.UsePointerFlows {
+		n.ptr = newPtrCore(n)
+	} else {
+		n.soa = newSoaCore(n)
+		if cfg.ExpectedFlows > 0 {
+			n.Reserve(cfg.ExpectedFlows)
+		}
 	}
+	return n
+}
+
+// Reserve pre-sizes flow storage for at least peakFlows concurrent flows
+// (and the engine's event slab to match: one completion event per flow
+// plus activation and coalescing headroom). It is cheap to call again
+// with a larger estimate and a no-op with a smaller one. The pointer core
+// ignores it — that core allocates per flow by design.
+func (n *Network) Reserve(peakFlows int) {
+	if peakFlows <= 0 {
+		return
+	}
+	if n.soa != nil {
+		n.soa.reserve(peakFlows)
+	}
+	n.eng.Reserve(2*peakFlows + 16)
 }
 
 // Topology returns the network's topology.
@@ -228,119 +310,73 @@ func flowHash(s FlowSpec, id uint64) uint64 {
 // their own backoff on top.
 const noRouteTimeout = sim.Time(1_000_000_000)
 
+// checkSpec validates flow endpoints and size for both start entry points.
+func (n *Network) checkSpec(spec FlowSpec) error {
+	if !n.topo.IsHost(spec.Src) || !n.topo.IsHost(spec.Dst) {
+		return fmt.Errorf("netsim: flow endpoints must be hosts (%d -> %d)", spec.Src, spec.Dst)
+	}
+	if spec.SizeBytes < 0 {
+		return fmt.Errorf("netsim: negative flow size %d", spec.SizeBytes)
+	}
+	return nil
+}
+
 // StartFlow opens a transfer. It returns an error if src/dst are not hosts
 // or the size is negative. A destination currently unreachable because of
 // link faults is NOT an error: the flow is created and aborts (firing
 // OnAbort, never OnComplete) after a connect timeout, as a real connection
 // attempt into a partition would.
 func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
-	if !n.topo.IsHost(spec.Src) || !n.topo.IsHost(spec.Dst) {
-		return nil, fmt.Errorf("netsim: flow endpoints must be hosts (%d -> %d)", spec.Src, spec.Dst)
+	if err := n.checkSpec(spec); err != nil {
+		return nil, err
 	}
-	if spec.SizeBytes < 0 {
-		return nil, fmt.Errorf("netsim: negative flow size %d", spec.SizeBytes)
+	if n.ptr != nil {
+		return n.ptr.startFlow(spec), nil
 	}
-	f := &Flow{
-		id:        n.seq,
-		spec:      spec,
-		start:     n.eng.Now(),
-		remaining: float64(spec.SizeBytes),
-	}
-	n.seq++
-	n.metrics.FlowsStarted.Inc()
-
-	var latency int64
-	if spec.Src != spec.Dst {
-		path, err := n.topo.Path(spec.Src, spec.Dst, flowHash(spec, f.id))
-		if err != nil {
-			// Partitioned: park the flow and abort after the connect
-			// timeout. (Build guarantees full reachability, so this only
-			// happens once link faults are in play.)
-			for _, t := range n.taps {
-				t.FlowStarted(f)
-			}
-			n.eng.After(noRouteTimeout, func() { n.abort(f) })
-			return f, nil
-		}
-		f.path = path
-		latency = n.topo.PathLatencyNs(path)
-		if n.cfg.ModelSlowStart {
-			latency += slowStartPenaltyNs(spec.SizeBytes, latency)
-		}
-	} else {
-		latency = 10_000 // 10 µs loopback
-	}
-
-	for _, t := range n.taps {
-		t.FlowStarted(f)
-	}
-
-	// The flow starts transferring after propagation latency.
-	n.eng.After(sim.Time(latency), func() {
-		if f.done {
-			return // aborted while still propagating
-		}
-		f.activated = n.eng.Now()
-		f.last = f.activated
-		f.active = true
-		if f.spec.Src == f.spec.Dst {
-			// Loopback: fixed rate, no interaction with fairness.
-			f.rate = n.cfg.LoopbackBps
-			f.segments = append(f.segments, RateSegment{Start: f.activated, RateBps: f.rate})
-			d := durationFor(f.remaining, f.rate)
-			f.completeE = n.eng.After(d, func() { n.finish(f) })
-			return
-		}
-		if !n.topo.pathUp(f.path) {
-			// A link on the precomputed path went down during the
-			// propagation window: reroute if the fabric still connects
-			// the endpoints, abort otherwise.
-			path, err := n.topo.Path(f.spec.Src, f.spec.Dst, flowHash(f.spec, f.id))
-			if err != nil {
-				f.active = false
-				n.abort(f)
-				return
-			}
-			f.path = path
-		}
-		f.listIdx = len(n.flows)
-		n.flows = append(n.flows, f)
-		n.linkInsert(f)
-		n.markDirty()
-	})
-	return f, nil
+	_, h := n.soa.startFlow(spec, true)
+	return h, nil
 }
 
-// linkInsert adds the flow to the per-link active index, O(len(path)).
-func (n *Network) linkInsert(f *Flow) {
-	f.linkPos = make([]int, len(f.path))
-	for i, lid := range f.path {
-		f.linkPos[i] = len(n.linkFlows[lid])
-		n.linkFlows[lid] = append(n.linkFlows[lid], f)
+// StartFlowID opens a transfer and returns its compact generation-counted
+// id instead of a handle. When the flow needs no handle at all (no taps,
+// no completion callbacks) the start is allocation-free — this is the
+// steady-state entry point. Only the struct-of-arrays core supports it.
+func (n *Network) StartFlowID(spec FlowSpec) (FlowID, error) {
+	if n.ptr != nil {
+		return FlowID{}, errors.New("netsim: StartFlowID requires the struct-of-arrays core")
 	}
+	if err := n.checkSpec(spec); err != nil {
+		return FlowID{}, err
+	}
+	id, _ := n.soa.startFlow(spec, false)
+	return id, nil
 }
 
-// linkRemove deletes the flow from the per-link index by swap-remove,
-// O(len(path)²) worst case (paths are ≤6 links on a fat-tree).
-func (n *Network) linkRemove(f *Flow) {
-	for i, lid := range f.path {
-		lst := n.linkFlows[lid]
-		p := f.linkPos[i]
-		last := len(lst) - 1
-		moved := lst[last]
-		lst[p] = moved
-		lst[last] = nil
-		n.linkFlows[lid] = lst[:last]
-		if moved != f {
-			// Tell the relocated flow where it now sits on this link.
-			for j, ml := range moved.path {
-				if ml == lid {
-					moved.linkPos[j] = p
-					break
-				}
-			}
-		}
+// AbortFlow tears down the identified flow before completion, exactly as
+// a fault-injected endpoint death would (OnAbort fires, partial progress
+// stays readable through taps). Aborting a flow that already finished —
+// even if its slot has since been recycled by a new flow — returns
+// ErrStaleFlow and leaves the new occupant untouched.
+func (n *Network) AbortFlow(id FlowID) error {
+	if n.ptr != nil {
+		return errors.New("netsim: AbortFlow requires the struct-of-arrays core")
 	}
+	c := n.soa
+	if id.slot < 0 || int(id.slot) >= len(c.gen) || c.gen[id.slot] != id.gen || c.state[id.slot] == slotFree {
+		return ErrStaleFlow
+	}
+	c.abortSlot(id.slot)
+	return nil
+}
+
+// FlowPending reports whether the identified flow is still in flight
+// (false once it completed or aborted and its id went stale).
+func (n *Network) FlowPending(id FlowID) bool {
+	if n.soa == nil {
+		return false
+	}
+	c := n.soa
+	return id.slot >= 0 && int(id.slot) < len(c.gen) && c.gen[id.slot] == id.gen && c.state[id.slot] != slotFree
 }
 
 // slowStartInitialWindow is the IW10 initial congestion window in bytes
@@ -378,77 +414,6 @@ func durationFor(bytes, bps float64) sim.Time {
 	return sim.Time(ns)
 }
 
-// markDirty coalesces reallocation requests occurring at the same instant.
-// The coalescing event is pooled: one Event per Network, re-armed with
-// Reschedule, so arrival/departure storms do not churn the event heap.
-func (n *Network) markDirty() {
-	if n.reallocPending {
-		return
-	}
-	n.reallocPending = true
-	if n.dirtyE == nil {
-		n.dirtyE = n.eng.After(0, func() {
-			n.reallocPending = false
-			n.reallocate()
-		})
-		return
-	}
-	n.eng.Reschedule(n.dirtyE, n.eng.Now())
-}
-
-// settle charges elapsed transfer progress to every active flow.
-func (n *Network) settle() {
-	now := n.eng.Now()
-	for _, f := range n.flows {
-		if dt := now - f.last; dt > 0 && f.rate > 0 {
-			f.remaining -= f.rate * dt.Seconds() / 8
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
-		f.last = now
-	}
-}
-
-// reallocate recomputes fair rates for all active flows and reschedules
-// the completion events whose rate actually changed. The rate vector is
-// computed into the n.rates scratch buffer by the configured allocator.
-func (n *Network) reallocate() {
-	n.settle()
-
-	nf := len(n.flows)
-	if nf == 0 {
-		return
-	}
-	n.resetScratch(nf)
-	n.metrics.Reallocs.Inc()
-	n.metrics.ActiveFlowsMax.SetMax(float64(nf))
-
-	switch {
-	case n.cfg.Allocator == AllocEqualSplit:
-		n.equalSplitRates()
-	case n.cfg.UseReferenceAllocator:
-		n.referenceMaxMinRates()
-	default:
-		n.incrementalMaxMinRates()
-	}
-
-	n.applyRates()
-}
-
-// resetScratch sizes and clears the per-flow allocation buffers.
-func (n *Network) resetScratch(nf int) {
-	if cap(n.rates) < nf {
-		n.rates = make([]float64, nf)
-		n.frozen = make([]bool, nf)
-	}
-	n.rates = n.rates[:nf]
-	n.frozen = n.frozen[:nf]
-	for i := range n.frozen {
-		n.frozen[i] = false
-	}
-}
-
 // rateTolerance is the relative tolerance under which a recomputed rate
 // counts as unchanged, leaving the flow's completion event in place.
 const rateTolerance = 1e-9
@@ -468,129 +433,6 @@ func rateEqual(a, b float64) bool {
 	return d <= m*rateTolerance
 }
 
-// applyRates installs the n.rates vector. A flow whose rate is unchanged
-// (within rateTolerance) keeps its pending completion event untouched —
-// the event still lands exactly where the unchanged rate drains the
-// remaining bytes. Changed flows reuse their completion Event via
-// Engine.Reschedule instead of cancel-then-push, so no dead events pile
-// up in the heap and no Event/closure is allocated after the first.
-func (n *Network) applyRates() {
-	now := n.eng.Now()
-	for i, f := range n.flows {
-		newRate := n.rates[i]
-		if rateEqual(f.rate, newRate) {
-			continue
-		}
-		f.rate = newRate
-		f.segments = append(f.segments, RateSegment{Start: now, RateBps: newRate})
-		n.scheduleCompletion(f)
-	}
-}
-
-// scheduleCompletion (re)arms the flow's completion event for its current
-// rate and residue. Flows with no rate — or a rate so small completion
-// would fall past the simulation horizon — park with no pending event
-// until a future reallocation revives them.
-func (n *Network) scheduleCompletion(f *Flow) {
-	if f.rate <= 0 {
-		f.completeE.Cancel()
-		return
-	}
-	d := durationFor(f.remaining, f.rate)
-	now := n.eng.Now()
-	if d >= sim.MaxTime-now {
-		f.completeE.Cancel()
-		return
-	}
-	if f.completeE == nil {
-		flow := f
-		f.completeE = n.eng.After(d, func() { n.finish(flow) })
-		return
-	}
-	n.eng.Reschedule(f.completeE, now+d)
-}
-
-// finish completes a flow: removes it from the active set, notifies taps
-// and the owner callback, and triggers reallocation for the survivors.
-func (n *Network) finish(f *Flow) {
-	if f.done {
-		return
-	}
-	// Settle to charge the final interval (loopback flows are not in the
-	// active list; handle them directly).
-	if f.spec.Src == f.spec.Dst {
-		f.remaining = 0
-	} else {
-		n.settle()
-		if f.remaining > 1e-3 {
-			// The event fired before the flow truly drained (float
-			// rounding or a stale event). Reschedule for the residue —
-			// never strand a flow without a pending completion.
-			n.scheduleCompletion(f)
-			return
-		}
-		f.remaining = 0
-		n.removeActive(f)
-		n.markDirty()
-	}
-	f.done = true
-	f.active = false
-	f.end = n.eng.Now()
-	n.completed++
-	n.totalBytes += float64(f.spec.SizeBytes)
-	n.metrics.FlowsCompleted.Inc()
-	n.metrics.FlowBytes.Observe(f.spec.SizeBytes)
-	for _, t := range n.taps {
-		t.FlowCompleted(f)
-	}
-	if f.spec.OnComplete != nil {
-		f.spec.OnComplete(f)
-	}
-}
-
-// removeActive deletes f from the active set, preserving order: the flow
-// knows its own position, so no scan — just close the gap and renumber
-// the tail — and drops it from the per-link index.
-func (n *Network) removeActive(f *Flow) {
-	i := f.listIdx
-	last := len(n.flows) - 1
-	copy(n.flows[i:], n.flows[i+1:])
-	n.flows[last] = nil
-	n.flows = n.flows[:last]
-	for j := i; j < last; j++ {
-		n.flows[j].listIdx = j
-	}
-	n.linkRemove(f)
-}
-
-// abort tears a flow down before completion: it leaves the active set,
-// its partial progress is kept readable via Transferred, taps observe the
-// (aborted) completion, and OnAbort — not OnComplete — fires. Aborting a
-// finished flow is a no-op.
-func (n *Network) abort(f *Flow) {
-	if f.done {
-		return
-	}
-	if f.active {
-		n.settle()
-		n.removeActive(f)
-		n.markDirty()
-	}
-	f.completeE.Cancel()
-	f.done = true
-	f.aborted = true
-	f.active = false
-	f.end = n.eng.Now()
-	n.abortedCount++
-	n.metrics.FlowsAborted.Inc()
-	for _, t := range n.taps {
-		t.FlowCompleted(f)
-	}
-	if f.spec.OnAbort != nil {
-		f.spec.OnAbort(f)
-	}
-}
-
 // SetLinkState takes a link down or brings it back up, recomputing routes.
 // Active flows whose path crosses a downed link are rerouted over the
 // surviving fabric when a route remains and aborted otherwise (firing
@@ -600,39 +442,10 @@ func (n *Network) SetLinkState(lid LinkID, up bool) error {
 	if lid < 0 || int(lid) >= len(n.topo.links) {
 		return fmt.Errorf("netsim: link %d out of range", lid)
 	}
-	down := !up
-	if n.topo.linkDown[lid] == down {
-		return nil
+	if n.ptr != nil {
+		return n.ptr.setLinkState(lid, up)
 	}
-	n.settle()
-	if err := n.topo.SetLinkDown(lid, down); err != nil {
-		return err
-	}
-	n.metrics.LinkTransitions.Inc()
-	if down {
-		// Snapshot: rerouting mutates the per-link index in place.
-		victims := make([]*Flow, len(n.linkFlows[lid]))
-		copy(victims, n.linkFlows[lid])
-		for _, f := range victims {
-			n.rerouteOrAbort(f)
-		}
-	}
-	n.markDirty()
-	return nil
-}
-
-// rerouteOrAbort moves an active flow onto a fresh shortest path, or
-// aborts it when the fabric no longer connects its endpoints.
-func (n *Network) rerouteOrAbort(f *Flow) {
-	path, err := n.topo.Path(f.spec.Src, f.spec.Dst, flowHash(f.spec, f.id))
-	if err != nil {
-		n.abort(f)
-		return
-	}
-	n.linkRemove(f)
-	f.path = path
-	n.linkInsert(f)
-	n.metrics.Reroutes.Inc()
+	return n.soa.setLinkState(lid, up)
 }
 
 // SetLinkCapacityScale degrades (or restores) a link to factor × its
@@ -642,8 +455,13 @@ func (n *Network) SetLinkCapacityScale(lid LinkID, factor float64) error {
 	if err := n.topo.SetLinkCapacityScale(lid, factor); err != nil {
 		return err
 	}
-	n.settle()
-	n.markDirty()
+	if n.ptr != nil {
+		n.ptr.settle()
+		n.ptr.markDirty()
+	} else {
+		n.soa.settle()
+		n.soa.markDirty()
+	}
 	return nil
 }
 
@@ -653,16 +471,10 @@ func (n *Network) SetLinkCapacityScale(lid LinkID, factor float64) error {
 // Simulated daemon crashes use it to kill the TCP connections the dead
 // process owned.
 func (n *Network) AbortFlowsWhere(pred func(FlowSpec) bool) int {
-	victims := make([]*Flow, 0, 4)
-	for _, f := range n.flows {
-		if pred(f.spec) {
-			victims = append(victims, f)
-		}
+	if n.ptr != nil {
+		return n.ptr.abortFlowsWhere(pred)
 	}
-	for _, f := range victims {
-		n.abort(f)
-	}
-	return len(victims)
+	return n.soa.abortFlowsWhere(pred)
 }
 
 // Reachable reports whether the current fabric routes src to dst.
@@ -677,19 +489,54 @@ func (n *Network) Reachable(src, dst NodeID) bool {
 func (n *Network) AbortedFlows() uint64 { return n.abortedCount }
 
 // ActiveFlows returns the number of currently transferring network flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int {
+	if n.ptr != nil {
+		return len(n.ptr.flows)
+	}
+	return len(n.soa.active)
+}
+
+// linkFlowCount returns the number of active flows crossing link lid.
+func (n *Network) linkFlowCount(lid LinkID) int {
+	if n.ptr != nil {
+		return len(n.ptr.linkFlows[lid])
+	}
+	return len(n.soa.linkFlows[lid])
+}
+
+// reallocPendingNow reports whether a coalesced reallocation is queued at
+// the current instant (installed rates intentionally stale).
+func (n *Network) reallocPendingNow() bool {
+	if n.ptr != nil {
+		return n.ptr.reallocPending
+	}
+	return n.soa.reallocPending
+}
 
 // LinkRates returns the current allocated rate on every directed link
 // (bits per second), indexed by LinkID. Utilization probes and invariant
 // checks read this between events.
 func (n *Network) LinkRates() []float64 {
 	rates := make([]float64, len(n.topo.links))
-	for _, f := range n.flows {
-		for _, lid := range f.path {
-			rates[lid] += f.rate
+	n.addLinkRates(rates)
+	return rates
+}
+
+func (n *Network) addLinkRates(rates []float64) {
+	if n.ptr != nil {
+		for _, f := range n.ptr.flows {
+			for _, lid := range f.path {
+				rates[lid] += f.rate
+			}
+		}
+		return
+	}
+	c := n.soa
+	for _, s := range c.active {
+		for _, lid := range c.path(s) {
+			rates[lid] += c.rate[s]
 		}
 	}
-	return rates
 }
 
 // CheckInvariants verifies the classic max-min fairness conditions on the
@@ -710,19 +557,29 @@ func (n *Network) CheckInvariants() error {
 	if n.cfg.Allocator != AllocMaxMin {
 		return nil
 	}
-	for _, f := range n.flows {
-		if f.rate <= 0 || len(f.path) == 0 {
-			continue
+	checkFlow := func(id uint64, rate float64, path []LinkID) error {
+		if rate <= 0 || len(path) == 0 {
+			return nil
 		}
-		bottlenecked := false
-		for _, lid := range f.path {
+		for _, lid := range path {
 			if rates[lid] >= n.topo.links[lid].CapacityBps*(1-relTol) {
-				bottlenecked = true
-				break
+				return nil
 			}
 		}
-		if !bottlenecked {
-			return fmt.Errorf("netsim: flow %d (rate %.3g bps) crosses no saturated link", f.id, f.rate)
+		return fmt.Errorf("netsim: flow %d (rate %.3g bps) crosses no saturated link", id, rate)
+	}
+	if n.ptr != nil {
+		for _, f := range n.ptr.flows {
+			if err := checkFlow(f.id, f.rate, f.path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c := n.soa
+	for _, s := range c.active {
+		if err := checkFlow(c.fid[s], c.rate[s], c.path(s)); err != nil {
+			return err
 		}
 	}
 	return nil

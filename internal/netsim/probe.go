@@ -73,7 +73,7 @@ func (p *UtilizationProbe) tick() {
 				AtNs:  sample.AtNs,
 				Link:  int(lid),
 				Util:  sample.Utilization[i],
-				Flows: len(p.net.linkFlows[lid]),
+				Flows: p.net.linkFlowCount(lid),
 			})
 		}
 	}

@@ -1,0 +1,557 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+
+	"keddah/internal/sim"
+)
+
+// ptrCore is the pointer-per-flow reference implementation — the layout
+// the simulator used before the struct-of-arrays refactor, preserved
+// verbatim (same event scheduling order, same floating-point arithmetic)
+// behind Config.UsePointerFlows. It exists as the lockstep oracle for
+// soaCore: the two cores must produce identical trajectories, captures
+// and telemetry on any scenario, which the equivalence tests drive.
+type ptrCore struct {
+	nw   *Network
+	eng  *sim.Engine
+	topo *Topology
+	cfg  Config
+
+	seq   uint64
+	flows []*ptrFlow // active flows in activation order
+
+	// linkFlows indexes the active flows crossing each link, maintained
+	// in O(len(path)) on flow activation and completion.
+	linkFlows [][]*ptrFlow
+
+	reallocPending bool
+	dirtyE         sim.Event
+
+	// Allocation scratch, reused across reallocations. remCap/cnt are
+	// indexed by LinkID; rates/frozen by ptrFlow.listIdx; freezeBuf holds
+	// one round's bottleneck candidates.
+	remCap    []float64
+	cnt       []int
+	rates     []float64
+	frozen    []bool
+	freezeBuf []*ptrFlow
+}
+
+// ptrFlow is the reference core's per-flow record. h is the exported
+// handle callers and taps observe.
+type ptrFlow struct {
+	h         *Flow
+	id        uint64
+	spec      FlowSpec
+	path      []LinkID
+	start     sim.Time
+	activated sim.Time
+	end       sim.Time
+	remaining float64 // bytes
+	rate      float64 // bps
+	last      sim.Time
+	segments  []RateSegment
+	completeE sim.Event
+	done      bool
+	aborted   bool
+	active    bool
+	// listIdx is this flow's position in ptrCore.flows while active.
+	listIdx int
+	// linkPos[i] is this flow's position in linkFlows[path[i]].
+	linkPos []int
+}
+
+func newPtrCore(nw *Network) *ptrCore {
+	c := &ptrCore{
+		nw:        nw,
+		eng:       nw.eng,
+		topo:      nw.topo,
+		cfg:       nw.cfg,
+		linkFlows: make([][]*ptrFlow, len(nw.topo.links)),
+		remCap:    make([]float64, len(nw.topo.links)),
+		cnt:       make([]int, len(nw.topo.links)),
+	}
+	c.dirtyE = c.eng.NewTimer(func(uint64) {
+		c.reallocPending = false
+		c.reallocate()
+	}, 0)
+	return c
+}
+
+// startFlow opens a transfer on the reference core (spec already
+// validated by Network.StartFlow).
+func (c *ptrCore) startFlow(spec FlowSpec) *Flow {
+	f := &ptrFlow{
+		id:        c.seq,
+		spec:      spec,
+		start:     c.eng.Now(),
+		remaining: float64(spec.SizeBytes),
+	}
+	c.seq++
+	f.h = &Flow{id: f.id, spec: spec, start: f.start, pf: f}
+	c.nw.metrics.FlowsStarted.Inc()
+
+	var latency int64
+	if spec.Src != spec.Dst {
+		path, err := c.topo.Path(spec.Src, spec.Dst, flowHash(spec, f.id))
+		if err != nil {
+			// Partitioned: park the flow and abort after the connect
+			// timeout.
+			for _, t := range c.nw.taps {
+				t.FlowStarted(f.h)
+			}
+			c.eng.After(noRouteTimeout, func() { c.abort(f) })
+			return f.h
+		}
+		f.path = path
+		latency = c.topo.PathLatencyNs(path)
+		if c.cfg.ModelSlowStart {
+			latency += slowStartPenaltyNs(spec.SizeBytes, latency)
+		}
+	} else {
+		latency = 10_000 // 10 µs loopback
+	}
+
+	for _, t := range c.nw.taps {
+		t.FlowStarted(f.h)
+	}
+
+	// The flow starts transferring after propagation latency.
+	c.eng.After(sim.Time(latency), func() {
+		if f.done {
+			return // aborted while still propagating
+		}
+		f.activated = c.eng.Now()
+		f.last = f.activated
+		f.active = true
+		if f.spec.Src == f.spec.Dst {
+			// Loopback: fixed rate, no interaction with fairness.
+			f.rate = c.cfg.LoopbackBps
+			f.segments = append(f.segments, RateSegment{Start: f.activated, RateBps: f.rate})
+			d := durationFor(f.remaining, f.rate)
+			f.completeE = c.eng.NewTimer(func(uint64) { c.finish(f) }, 0)
+			_ = f.completeE.Schedule(f.activated + d)
+			return
+		}
+		if !c.topo.pathUp(f.path) {
+			path, err := c.topo.Path(f.spec.Src, f.spec.Dst, flowHash(f.spec, f.id))
+			if err != nil {
+				f.active = false
+				c.abort(f)
+				return
+			}
+			f.path = path
+		}
+		f.listIdx = len(c.flows)
+		c.flows = append(c.flows, f)
+		c.linkInsert(f)
+		c.markDirty()
+	})
+	return f.h
+}
+
+// linkInsert adds the flow to the per-link active index, O(len(path)).
+func (c *ptrCore) linkInsert(f *ptrFlow) {
+	f.linkPos = make([]int, len(f.path))
+	for i, lid := range f.path {
+		f.linkPos[i] = len(c.linkFlows[lid])
+		c.linkFlows[lid] = append(c.linkFlows[lid], f)
+	}
+}
+
+// linkRemove deletes the flow from the per-link index by swap-remove.
+func (c *ptrCore) linkRemove(f *ptrFlow) {
+	for i, lid := range f.path {
+		lst := c.linkFlows[lid]
+		p := f.linkPos[i]
+		last := len(lst) - 1
+		moved := lst[last]
+		lst[p] = moved
+		lst[last] = nil
+		c.linkFlows[lid] = lst[:last]
+		if moved != f {
+			for j, ml := range moved.path {
+				if ml == lid {
+					moved.linkPos[j] = p
+					break
+				}
+			}
+		}
+	}
+}
+
+// markDirty coalesces reallocation requests occurring at the same instant
+// onto the network's single persistent dirty timer.
+func (c *ptrCore) markDirty() {
+	if c.reallocPending {
+		return
+	}
+	c.reallocPending = true
+	_ = c.dirtyE.Schedule(c.eng.Now())
+}
+
+// settle charges elapsed transfer progress to every active flow.
+func (c *ptrCore) settle() {
+	now := c.eng.Now()
+	for _, f := range c.flows {
+		if dt := now - f.last; dt > 0 && f.rate > 0 {
+			f.remaining -= f.rate * dt.Seconds() / 8
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+	}
+}
+
+// reallocate recomputes fair rates for all active flows.
+func (c *ptrCore) reallocate() {
+	c.settle()
+
+	nf := len(c.flows)
+	if nf == 0 {
+		return
+	}
+	c.resetScratch(nf)
+	c.nw.metrics.Reallocs.Inc()
+	c.nw.metrics.ActiveFlowsMax.SetMax(float64(nf))
+
+	switch {
+	case c.cfg.Allocator == AllocEqualSplit:
+		c.equalSplitRates()
+	case c.cfg.UseReferenceAllocator:
+		c.referenceMaxMinRates()
+	default:
+		c.incrementalMaxMinRates()
+	}
+
+	c.applyRates()
+}
+
+// resetScratch sizes and clears the per-flow allocation buffers.
+func (c *ptrCore) resetScratch(nf int) {
+	if cap(c.rates) < nf {
+		c.rates = make([]float64, nf)
+		c.frozen = make([]bool, nf)
+	}
+	c.rates = c.rates[:nf]
+	c.frozen = c.frozen[:nf]
+	for i := range c.frozen {
+		c.frozen[i] = false
+	}
+}
+
+// applyRates installs the rates vector.
+func (c *ptrCore) applyRates() {
+	now := c.eng.Now()
+	for i, f := range c.flows {
+		newRate := c.rates[i]
+		if rateEqual(f.rate, newRate) {
+			continue
+		}
+		f.rate = newRate
+		f.segments = append(f.segments, RateSegment{Start: now, RateBps: newRate})
+		c.scheduleCompletion(f)
+	}
+}
+
+// scheduleCompletion (re)arms the flow's completion timer for its current
+// rate and residue.
+func (c *ptrCore) scheduleCompletion(f *ptrFlow) {
+	if f.rate <= 0 {
+		f.completeE.Cancel()
+		return
+	}
+	d := durationFor(f.remaining, f.rate)
+	now := c.eng.Now()
+	if d >= sim.MaxTime-now {
+		f.completeE.Cancel()
+		return
+	}
+	if !f.completeE.Valid() {
+		flow := f
+		f.completeE = c.eng.NewTimer(func(uint64) { c.finish(flow) }, 0)
+	}
+	_ = f.completeE.Schedule(now + d)
+}
+
+// finish completes a flow.
+func (c *ptrCore) finish(f *ptrFlow) {
+	if f.done {
+		return
+	}
+	if f.spec.Src == f.spec.Dst {
+		f.remaining = 0
+	} else {
+		c.settle()
+		if f.remaining > 1e-3 {
+			c.scheduleCompletion(f)
+			return
+		}
+		f.remaining = 0
+		c.removeActive(f)
+		c.markDirty()
+	}
+	f.done = true
+	f.active = false
+	f.end = c.eng.Now()
+	c.nw.completed++
+	c.nw.totalBytes += float64(f.spec.SizeBytes)
+	c.nw.metrics.FlowsCompleted.Inc()
+	c.nw.metrics.FlowBytes.Observe(f.spec.SizeBytes)
+	for _, t := range c.nw.taps {
+		t.FlowCompleted(f.h)
+	}
+	if f.spec.OnComplete != nil {
+		f.spec.OnComplete(f.h)
+	}
+}
+
+// removeActive deletes f from the active set, preserving order.
+func (c *ptrCore) removeActive(f *ptrFlow) {
+	i := f.listIdx
+	last := len(c.flows) - 1
+	copy(c.flows[i:], c.flows[i+1:])
+	c.flows[last] = nil
+	c.flows = c.flows[:last]
+	for j := i; j < last; j++ {
+		c.flows[j].listIdx = j
+	}
+	c.linkRemove(f)
+}
+
+// abort tears a flow down before completion.
+func (c *ptrCore) abort(f *ptrFlow) {
+	if f.done {
+		return
+	}
+	if f.active {
+		c.settle()
+		c.removeActive(f)
+		c.markDirty()
+	}
+	f.completeE.Cancel()
+	f.done = true
+	f.aborted = true
+	f.active = false
+	f.end = c.eng.Now()
+	c.nw.abortedCount++
+	c.nw.metrics.FlowsAborted.Inc()
+	for _, t := range c.nw.taps {
+		t.FlowCompleted(f.h)
+	}
+	if f.spec.OnAbort != nil {
+		f.spec.OnAbort(f.h)
+	}
+}
+
+// setLinkState is the core half of Network.SetLinkState.
+func (c *ptrCore) setLinkState(lid LinkID, up bool) error {
+	down := !up
+	if c.topo.linkDown[lid] == down {
+		return nil
+	}
+	c.settle()
+	if err := c.topo.SetLinkDown(lid, down); err != nil {
+		return err
+	}
+	c.nw.metrics.LinkTransitions.Inc()
+	if down {
+		// Snapshot: rerouting mutates the per-link index in place.
+		victims := make([]*ptrFlow, len(c.linkFlows[lid]))
+		copy(victims, c.linkFlows[lid])
+		for _, f := range victims {
+			c.rerouteOrAbort(f)
+		}
+	}
+	c.markDirty()
+	return nil
+}
+
+// rerouteOrAbort moves an active flow onto a fresh shortest path, or
+// aborts it when the fabric no longer connects its endpoints.
+func (c *ptrCore) rerouteOrAbort(f *ptrFlow) {
+	if f.done || !f.active {
+		return
+	}
+	path, err := c.topo.Path(f.spec.Src, f.spec.Dst, flowHash(f.spec, f.id))
+	if err != nil {
+		c.abort(f)
+		return
+	}
+	c.linkRemove(f)
+	f.path = path
+	c.linkInsert(f)
+	c.nw.metrics.Reroutes.Inc()
+}
+
+// abortFlowsWhere is the core half of Network.AbortFlowsWhere.
+func (c *ptrCore) abortFlowsWhere(pred func(FlowSpec) bool) int {
+	victims := make([]*ptrFlow, 0, 4)
+	for _, f := range c.flows {
+		if pred(f.spec) {
+			victims = append(victims, f)
+		}
+	}
+	for _, f := range victims {
+		c.abort(f)
+	}
+	return len(victims)
+}
+
+// incrementalMaxMinRates computes max-min fair rates by progressive
+// filling over the per-link flow index (see the soaCore twin for the
+// algorithm commentary — both perform identical arithmetic).
+func (c *ptrCore) incrementalMaxMinRates() {
+	for i, l := range c.topo.links {
+		c.remCap[i] = l.CapacityBps
+		c.cnt[i] = len(c.linkFlows[i])
+	}
+	remaining := len(c.flows)
+	for remaining > 0 {
+		best := -1
+		bestShare := math.Inf(1)
+		for i, cn := range c.cnt {
+			if cn == 0 {
+				continue
+			}
+			share := c.remCap[i] / float64(cn)
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			c.freezeStranded(&remaining)
+			break
+		}
+		cand := c.freezeBuf[:0]
+		for _, f := range c.linkFlows[best] {
+			if !c.frozen[f.listIdx] {
+				cand = append(cand, f)
+			}
+		}
+		// The per-link lists are usually already in activation order
+		// (swap-remove only perturbs them on completions), so check
+		// before paying for the sort.
+		sorted := true
+		for i := 1; i < len(cand); i++ {
+			if cand[i-1].listIdx > cand[i].listIdx {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			sort.Slice(cand, func(a, b int) bool { return cand[a].listIdx < cand[b].listIdx })
+		}
+		for _, f := range cand {
+			c.rates[f.listIdx] = bestShare
+			c.frozen[f.listIdx] = true
+			remaining--
+			for _, lid := range f.path {
+				c.remCap[lid] -= bestShare
+				if c.remCap[lid] < 0 {
+					c.remCap[lid] = 0
+				}
+				c.cnt[lid]--
+			}
+		}
+		c.freezeBuf = cand[:0]
+	}
+}
+
+// referenceMaxMinRates is the original from-scratch allocator, kept as
+// the oracle for the incremental path.
+func (c *ptrCore) referenceMaxMinRates() {
+	remCap := make([]float64, len(c.topo.links))
+	cnt := make([]int, len(c.topo.links))
+	for i, l := range c.topo.links {
+		remCap[i] = l.CapacityBps
+	}
+	for _, f := range c.flows {
+		for _, lid := range f.path {
+			cnt[lid]++
+		}
+	}
+	frozen := make([]bool, len(c.flows))
+	remaining := len(c.flows)
+	for remaining > 0 {
+		best := -1
+		bestShare := math.Inf(1)
+		for i := range remCap {
+			if cnt[i] == 0 {
+				continue
+			}
+			share := remCap[i] / float64(cnt[i])
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			copy(c.frozen, frozen)
+			c.freezeStranded(&remaining)
+			break
+		}
+		for i, f := range c.flows {
+			if frozen[i] {
+				continue
+			}
+			crosses := false
+			for _, lid := range f.path {
+				if lid == LinkID(best) {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			c.rates[i] = bestShare
+			frozen[i] = true
+			remaining--
+			for _, lid := range f.path {
+				remCap[lid] -= bestShare
+				if remCap[lid] < 0 {
+					remCap[lid] = 0
+				}
+				cnt[lid]--
+			}
+		}
+	}
+}
+
+// freezeStranded handles the should-not-happen case of unfrozen flows
+// with no loaded links left: they freeze at the loopback rate.
+func (c *ptrCore) freezeStranded(remaining *int) {
+	for i := range c.frozen {
+		if !c.frozen[i] {
+			c.rates[i] = c.cfg.LoopbackBps
+			c.frozen[i] = true
+			*remaining -= 1
+		}
+	}
+}
+
+// equalSplitRates is the ablation allocator: each flow gets min over its
+// path of capacity/flow-count, with no redistribution of slack.
+func (c *ptrCore) equalSplitRates() {
+	for i := range c.topo.links {
+		c.cnt[i] = len(c.linkFlows[i])
+	}
+	for i, f := range c.flows {
+		rate := math.Inf(1)
+		for _, lid := range f.path {
+			share := c.topo.links[lid].CapacityBps / float64(c.cnt[lid])
+			if share < rate {
+				rate = share
+			}
+		}
+		if math.IsInf(rate, 1) {
+			rate = c.cfg.LoopbackBps
+		}
+		c.rates[i] = rate
+	}
+}

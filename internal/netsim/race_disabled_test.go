@@ -1,0 +1,7 @@
+//go:build !race
+
+package netsim
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-accounting tests skip under it (the race runtime allocates).
+const raceEnabled = false

@@ -269,24 +269,32 @@ func (t *Topology) Links() []Link {
 // Path returns the sequence of directed links from src to dst, choosing
 // among equal-cost next hops by the given flow hash (deterministic ECMP).
 func (t *Topology) Path(src, dst NodeID, hash uint64) ([]LinkID, error) {
+	return t.AppendPath(nil, src, dst, hash)
+}
+
+// AppendPath appends the src→dst path to buf and returns the extended
+// slice, so callers with a scratch buffer can route without allocating.
+// The route chosen is identical to Path's for the same hash. On error
+// the returned slice is buf truncated to its original length.
+func (t *Topology) AppendPath(buf []LinkID, src, dst NodeID, hash uint64) ([]LinkID, error) {
 	if src == dst {
-		return nil, nil
+		return buf, nil
 	}
-	var path []LinkID
+	base := len(buf)
 	cur := src
 	for cur != dst {
 		hops := t.nextHops[cur][dst]
 		if len(hops) == 0 {
-			return nil, fmt.Errorf("netsim: no route %s -> %s", t.names[src], t.names[dst])
+			return buf[:base], fmt.Errorf("netsim: no route %s -> %s", t.names[src], t.names[dst])
 		}
 		lid := hops[hash%uint64(len(hops))]
-		path = append(path, lid)
+		buf = append(buf, lid)
 		cur = t.links[lid].To
-		if len(path) > len(t.names) {
-			return nil, fmt.Errorf("netsim: routing loop %s -> %s", t.names[src], t.names[dst])
+		if len(buf)-base > len(t.names) {
+			return buf[:base], fmt.Errorf("netsim: routing loop %s -> %s", t.names[src], t.names[dst])
 		}
 	}
-	return path, nil
+	return buf, nil
 }
 
 // PathLatencyNs sums the propagation delay along a path.

@@ -9,14 +9,14 @@ import (
 
 // checkedNet starts nFlows flows on a small star fabric and settles the
 // first allocation so no reallocation is pending.
-func checkedNet(t *testing.T, nFlows int) (*Network, *sim.Engine) {
+func checkedNet(t *testing.T, nFlows int, cfg Config) (*Network, *sim.Engine) {
 	t.Helper()
 	topo, err := Star(5, Gbps)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := sim.New()
-	net := NewNetwork(eng, topo, Config{})
+	net := NewNetwork(eng, topo, cfg)
 	hosts := topo.Hosts()
 	for i := 0; i < nFlows; i++ {
 		if _, err := net.StartFlow(FlowSpec{
@@ -28,17 +28,18 @@ func checkedNet(t *testing.T, nFlows int) (*Network, *sim.Engine) {
 	}
 	// Flows join the active set after their SYN latency; settle until
 	// every flow is active and the coalesced reallocation has fired.
-	for len(net.flows) < nFlows || net.reallocPending {
+	for net.ActiveFlows() < nFlows || net.reallocPendingNow() {
 		if !eng.Step() {
 			t.Fatalf("queue drained with %d/%d flows active (realloc pending %v)",
-				len(net.flows), nFlows, net.reallocPending)
+				net.ActiveFlows(), nFlows, net.reallocPendingNow())
 		}
 	}
 	return net, eng
 }
 
 // TestVerifyStateCatchesCorruption drives each netsim checker over a
-// healthy allocation and over deliberate corruptions that must fire.
+// healthy allocation and over deliberate corruptions that must fire,
+// on both flow-storage cores.
 func TestVerifyStateCatchesCorruption(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -58,13 +59,13 @@ func TestVerifyStateCatchesCorruption(t *testing.T) {
 		},
 		{
 			name:    "negative residue",
-			corrupt: func(n *Network) { n.flows[0].remaining = -1 },
+			corrupt: func(n *Network) { testSetRemaining(n, -1) },
 			check:   (*Network).VerifyState,
 			want:    "remaining",
 		},
 		{
 			name:    "done flow in active set",
-			corrupt: func(n *Network) { n.flows[0].done = true },
+			corrupt: testMarkDone,
 			check:   (*Network).VerifyState,
 			want:    "done",
 		},
@@ -74,7 +75,7 @@ func TestVerifyStateCatchesCorruption(t *testing.T) {
 			// (Topology.SetLinkCapacityScale does not mark the network
 			// dirty): the installed rates now exceed the link.
 			corrupt: func(n *Network) {
-				if err := n.topo.SetLinkCapacityScale(n.flows[0].path[0], 0.01); err != nil {
+				if err := n.topo.SetLinkCapacityScale(testFirstLink(n), 0.01); err != nil {
 					panic(err)
 				}
 			},
@@ -82,33 +83,38 @@ func TestVerifyStateCatchesCorruption(t *testing.T) {
 		},
 		{
 			name:    "rate disagrees with max-min oracle",
-			corrupt: func(n *Network) { n.flows[0].rate *= 0.5 },
+			corrupt: func(n *Network) { testScaleRate(n, 0.5) },
 			check:   (*Network).CheckAllocatorOracle,
 			want:    "max-min",
 		},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			net, _ := checkedNet(t, 6)
-			healthy := tc.corrupt == nil
-			if !healthy {
+	for _, core := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"soa", Config{}},
+		{"ptr", Config{UsePointerFlows: true}},
+	} {
+		for _, tc := range cases {
+			t.Run(core.name+"/"+tc.name, func(t *testing.T) {
+				net, _ := checkedNet(t, 6, core.cfg)
 				tc.corrupt(net)
-			}
-			err := tc.check(net)
-			mustFire := tc.name != "healthy state" && tc.name != "healthy oracle"
-			if !mustFire {
-				if err != nil {
-					t.Fatalf("healthy network failed check: %v", err)
+				err := tc.check(net)
+				mustFire := tc.name != "healthy state" && tc.name != "healthy oracle"
+				if !mustFire {
+					if err != nil {
+						t.Fatalf("healthy network failed check: %v", err)
+					}
+					return
 				}
-				return
-			}
-			if err == nil {
-				t.Fatalf("corruption %q went undetected", tc.name)
-			}
-			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
-				t.Fatalf("error %q does not mention %q", err, tc.want)
-			}
-		})
+				if err == nil {
+					t.Fatalf("corruption %q went undetected", tc.name)
+				}
+				if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("error %q does not mention %q", err, tc.want)
+				}
+			})
+		}
 	}
 }
 
@@ -116,27 +122,37 @@ func TestVerifyStateCatchesCorruption(t *testing.T) {
 // and its coalesced reallocation event the installed rates are stale by
 // design; the checks must not fire inside that window.
 func TestVerifyStateSilentWhileReallocPending(t *testing.T) {
-	topo, err := Star(5, Gbps)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng := sim.New()
-	net := NewNetwork(eng, topo, Config{})
-	hosts := topo.Hosts()
-	if _, err := net.StartFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], SrcPort: 1, DstPort: 80, SizeBytes: 1 << 20}); err != nil {
-		t.Fatal(err)
-	}
-	// Step until the flow's arrival marks the allocation dirty, stopping
-	// before the coalesced reallocation event fires.
-	for !net.reallocPending {
-		if !eng.Step() {
-			t.Fatal("queue drained before the allocation went dirty")
-		}
-	}
-	if err := net.VerifyState(); err != nil {
-		t.Fatalf("VerifyState fired on a pending reallocation: %v", err)
-	}
-	if err := net.CheckAllocatorOracle(); err != nil {
-		t.Fatalf("oracle fired on a pending reallocation: %v", err)
+	for _, core := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"soa", Config{}},
+		{"ptr", Config{UsePointerFlows: true}},
+	} {
+		t.Run(core.name, func(t *testing.T) {
+			topo, err := Star(5, Gbps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := sim.New()
+			net := NewNetwork(eng, topo, core.cfg)
+			hosts := topo.Hosts()
+			if _, err := net.StartFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], SrcPort: 1, DstPort: 80, SizeBytes: 1 << 20}); err != nil {
+				t.Fatal(err)
+			}
+			// Step until the flow's arrival marks the allocation dirty,
+			// stopping before the coalesced reallocation event fires.
+			for !net.reallocPendingNow() {
+				if !eng.Step() {
+					t.Fatal("queue drained before the allocation went dirty")
+				}
+			}
+			if err := net.VerifyState(); err != nil {
+				t.Fatalf("VerifyState fired on a pending reallocation: %v", err)
+			}
+			if err := net.CheckAllocatorOracle(); err != nil {
+				t.Fatalf("oracle fired on a pending reallocation: %v", err)
+			}
+		})
 	}
 }

@@ -1,0 +1,49 @@
+package netsim
+
+import (
+	"testing"
+
+	"keddah/internal/sim"
+)
+
+// TestSteadyStateZeroAlloc is the tentpole's end-state guarantee: once a
+// pre-sized network has warmed up — slot slabs, per-slot completion
+// timers, the segment chunk pool, the path arena and allocator scratch
+// all populated — a full capture cycle (start flows by id, activate,
+// reallocate under max-min fairness, complete, recycle) performs zero
+// heap allocations.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under the race detector")
+	}
+	topo := mustStar(t, 9, Gbps)
+	eng := sim.New()
+	net := NewNetwork(eng, topo, Config{ExpectedFlows: 64})
+	hosts := topo.Hosts()
+
+	port := 1000
+	batch := func() {
+		for i := 0; i < 32; i++ {
+			src := hosts[i%len(hosts)]
+			dst := hosts[(i+1+i/len(hosts))%len(hosts)]
+			if _, err := net.StartFlowID(FlowSpec{
+				Src: src, Dst: dst, SrcPort: port + i, DstPort: 80, SizeBytes: 4 << 20,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		port += 32
+		if _, err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch() // warm-up: populate every slab and pool
+
+	avg := testing.AllocsPerRun(10, batch)
+	if avg != 0 {
+		t.Errorf("steady-state capture loop allocates %v times per batch, want 0", avg)
+	}
+	if err := net.VerifyState(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,10 +2,15 @@
 // simulation engine. All higher layers (network, HDFS, YARN, MapReduce)
 // schedule callbacks on one Engine so that an entire cluster run is a pure
 // function of its inputs and RNG seed.
+//
+// Events live in a per-engine slab and are addressed by int32 slot ids
+// ordered by an index heap, so the hot path never boxes through interfaces
+// or allocates per event. Slots are recycled through a free list and
+// generation-counted: a handle to a fired or cancelled event goes stale
+// instead of aliasing the slot's next occupant.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -21,62 +26,114 @@ type Time = time.Duration
 // MaxTime is the largest representable simulation instant.
 const MaxTime Time = math.MaxInt64
 
-// Event is a scheduled callback. Events with equal time fire in the order
-// they were scheduled (stable FIFO tie-break by sequence number), which is
-// what makes runs reproducible.
+// eventSlot is one slab entry. Exactly one of fn and cb is set: fn is the
+// closure form, cb+arg the closure-free form hot paths use so that
+// re-arming a pooled event allocates nothing.
+type eventSlot struct {
+	at  Time
+	seq uint64
+	fn  func()
+	cb  func(uint64)
+	arg uint64
+	// gen is bumped every time the slot is freed, invalidating handles.
+	gen uint32
+	// heapIdx is the slot's position in the engine heap, -1 when unqueued.
+	heapIdx int32
+	// used marks the slot as owned (queued one-shot or live timer).
+	used bool
+	// persistent slots (timers) survive firing and cancellation; their
+	// owner re-arms them with Schedule. One-shot slots are freed on fire.
+	persistent bool
+}
+
+// Event is a generation-counted handle to a scheduled callback. It is a
+// small value (copy freely); the zero value refers to no event and every
+// operation on it is a safe no-op or error. Handles to one-shot events go
+// stale once the event fires or is cancelled; handles to timers made with
+// NewTimer stay valid for the engine's lifetime.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	eng *Engine
+	id  int32
+	gen uint32
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+// Valid reports whether the handle was ever bound to an event. It does
+// not imply the event is still pending — see Pending.
+func (ev Event) Valid() bool { return ev.eng != nil }
+
+// live returns the slot if the handle still refers to its event.
+func (ev Event) live() *eventSlot {
+	if ev.eng == nil || int(ev.id) >= len(ev.eng.slots) {
+		return nil
+	}
+	s := &ev.eng.slots[ev.id]
+	if s.gen != ev.gen || !s.used {
+		return nil
+	}
+	return s
+}
+
+// Pending reports whether the event is queued to fire.
+func (ev Event) Pending() bool {
+	s := ev.live()
+	return s != nil && s.heapIdx >= 0
+}
+
+// At returns the simulated time the event is scheduled for, or zero if
+// the handle is stale.
+func (ev Event) At() Time {
+	if s := ev.live(); s != nil {
+		return s.at
+	}
+	return 0
+}
+
+// Cancel removes a pending event from the queue. A cancelled one-shot
+// event's slot is recycled immediately and its callback released, so
+// cancellation storms leave no tombstones in the heap and no reachable
+// closures. Cancelling a stale handle (already fired or cancelled) or the
+// zero Event is a no-op. A cancelled timer stays owned and can be
+// re-armed with Schedule.
+func (ev Event) Cancel() {
+	s := ev.live()
+	if s == nil {
+		return
+	}
+	if s.heapIdx >= 0 {
+		ev.eng.heapRemove(s.heapIdx)
+	}
+	if !s.persistent {
+		ev.eng.freeSlot(ev.id)
 	}
 }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e != nil && e.dead }
-
-// At returns the simulated time the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Schedule arms (or re-arms) the event to fire at absolute time t. A
+// pending event is moved in place; an idle timer is queued. The event is
+// given a fresh sequence number, so among same-time events it fires as if
+// newly scheduled. Scheduling into the past, on the zero Event, or on a
+// stale one-shot handle is an error (a fired one-shot's callback is gone —
+// use NewTimer for events that must be revivable).
+func (ev Event) Schedule(t Time) error {
+	if ev.eng == nil {
+		return errors.New("sim: Schedule on zero Event")
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+	e := ev.eng
+	s := ev.live()
+	if s == nil {
+		return errors.New("sim: Schedule on stale event handle")
+	}
+	if t < e.now {
+		return fmt.Errorf("sim: reschedule at %v before now %v", t, e.now)
+	}
+	s.at = t
+	s.seq = e.seq
+	e.seq++
+	if s.heapIdx >= 0 {
+		e.heapFix(s.heapIdx)
+	} else {
+		e.heapPush(ev.id)
+	}
+	return nil
 }
 
 // ErrHorizon is returned by Run when the event limit is exhausted before the
@@ -86,7 +143,9 @@ var ErrHorizon = errors.New("sim: event budget exhausted before queue drained")
 // Engine is the discrete-event core. The zero value is not usable; call New.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	slots   []eventSlot
+	free    []int32
+	heap    []int32
 	seq     uint64
 	running bool
 	// MaxEvents bounds a single Run; 0 means the default of 500 million.
@@ -104,62 +163,221 @@ func New() *Engine {
 	return &Engine{}
 }
 
+// Reserve pre-sizes the event slab and heap for at least n concurrent
+// events, so a capture whose peak is known up front performs no slab
+// growth on the hot path.
+func (e *Engine) Reserve(n int) {
+	if n <= cap(e.slots) {
+		return
+	}
+	slots := make([]eventSlot, len(e.slots), n)
+	copy(slots, e.slots)
+	e.slots = slots
+	heap := make([]int32, len(e.heap), n)
+	copy(heap, e.heap)
+	e.heap = heap
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently queued (including
-// cancelled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently queued. Cancelled events
+// leave the queue immediately, so the count is exact.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// allocSlot takes a slot from the free list or grows the slab.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.slots = append(e.slots, eventSlot{heapIdx: -1, gen: 1})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot recycles a slot: the generation bump invalidates every
+// outstanding handle and the callback references are dropped so cancelled
+// work is collectable.
+func (e *Engine) freeSlot(id int32) {
+	s := &e.slots[id]
+	s.gen++
+	s.fn = nil
+	s.cb = nil
+	s.arg = 0
+	s.used = false
+	s.persistent = false
+	s.heapIdx = -1
+	e.free = append(e.free, id)
+}
+
+// schedule books a slot and queues it.
+func (e *Engine) schedule(t Time, fn func(), cb func(uint64), arg uint64) Event {
+	id := e.allocSlot()
+	s := &e.slots[id]
+	s.at = t
+	s.seq = e.seq
+	e.seq++
+	s.fn = fn
+	s.cb = cb
+	s.arg = arg
+	s.used = true
+	e.heapPush(id)
+	return Event{eng: e, id: id, gen: s.gen}
+}
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is an error: the engine cannot rewind.
-func (e *Engine) At(t Time, fn func()) (*Event, error) {
+func (e *Engine) At(t Time, fn func()) (Event, error) {
 	if t < e.now {
-		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
+		return Event{}, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	e.metrics.HeapDepthMax.SetMax(float64(len(e.queue)))
-	return ev, nil
+	return e.schedule(t, fn, nil, 0), nil
 }
 
 // After schedules fn to run d after the current time. Negative delays
 // clamp to zero (fire "now", after currently-running event returns).
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
-	ev, _ := e.At(e.now+d, fn) // never in the past by construction
-	return ev
+	return e.schedule(e.now+d, fn, nil, 0)
 }
 
-// Reschedule moves an existing event to absolute time t, keeping its
-// callback. If the event is still queued it is sifted in place (no
-// dead-event tombstone accumulates, unlike Cancel-then-At); if it already
-// fired or was cancelled it is revived and re-queued. The event is given
-// a fresh sequence number, so among same-time events it fires as if newly
-// scheduled. Rescheduling into the past is an error.
-func (e *Engine) Reschedule(ev *Event, t Time) error {
-	if ev == nil {
-		return errors.New("sim: Reschedule of nil event")
-	}
+// AtCall is At for the closure-free callback form: cb(arg) runs at t.
+// Passing a long-lived func value (stored once by the caller) makes
+// scheduling allocation-free.
+func (e *Engine) AtCall(t Time, cb func(uint64), arg uint64) (Event, error) {
 	if t < e.now {
-		return fmt.Errorf("sim: reschedule at %v before now %v", t, e.now)
+		return Event{}, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
 	}
-	ev.dead = false
-	ev.at = t
-	ev.seq = e.seq
-	e.seq++
-	if ev.idx >= 0 && ev.idx < len(e.queue) && e.queue[ev.idx] == ev {
-		heap.Fix(&e.queue, ev.idx)
+	return e.schedule(t, nil, cb, arg), nil
+}
+
+// AfterCall is After for the closure-free callback form.
+func (e *Engine) AfterCall(d Time, cb func(uint64), arg uint64) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now+d, nil, cb, arg)
+}
+
+// NewTimer reserves a persistent event slot bound to cb(arg). The timer
+// starts unarmed; arm it with Schedule and disarm with Cancel, both any
+// number of times — the slot is never recycled, so one timer re-armed per
+// occurrence replaces an allocation-per-occurrence stream of one-shots.
+func (e *Engine) NewTimer(cb func(uint64), arg uint64) Event {
+	id := e.allocSlot()
+	s := &e.slots[id]
+	s.cb = cb
+	s.arg = arg
+	s.used = true
+	s.persistent = true
+	return Event{eng: e, id: id, gen: s.gen}
+}
+
+// less orders the heap by (time, sequence): equal-time events fire in the
+// order they were scheduled, which is what makes runs reproducible.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) heapPush(id int32) {
+	e.slots[id].heapIdx = int32(len(e.heap))
+	e.heap = append(e.heap, id)
+	e.siftUp(len(e.heap) - 1)
+	e.metrics.HeapDepthMax.SetMax(float64(len(e.heap)))
+}
+
+// heapRemove deletes the heap entry at position i.
+func (e *Engine) heapRemove(i int32) {
+	n := len(e.heap) - 1
+	id := e.heap[i]
+	if int(i) != n {
+		e.heap[i] = e.heap[n]
+		e.slots[e.heap[i]].heapIdx = i
+	}
+	e.heap = e.heap[:n]
+	if int(i) != n {
+		e.heapFix(i)
+	}
+	e.slots[id].heapIdx = -1
+}
+
+// heapFix restores heap order for the entry at position i after its key
+// changed in place.
+func (e *Engine) heapFix(i int32) {
+	if !e.siftDown(int(i)) {
+		e.siftUp(int(i))
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown returns true if the entry moved.
+func (e *Engine) siftDown(i int) bool {
+	moved := false
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+			least = right
+		}
+		if !e.less(e.heap[least], e.heap[i]) {
+			break
+		}
+		e.heapSwap(i, least)
+		i = least
+		moved = true
+	}
+	return moved
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.slots[e.heap[i]].heapIdx = int32(i)
+	e.slots[e.heap[j]].heapIdx = int32(j)
+}
+
+// fire pops and executes the heap minimum. The slot is released (or, for
+// timers, parked) before the callback runs, so callbacks can freely
+// schedule new events — including re-arming the very timer that fired.
+func (e *Engine) fire() {
+	id := e.heap[0]
+	e.heapRemove(0)
+	s := &e.slots[id]
+	e.processed++
+	e.metrics.Events.Inc()
+	e.now = s.at
+	fn, cb, arg := s.fn, s.cb, s.arg
+	if !s.persistent {
+		e.freeSlot(id)
+	}
+	if cb != nil {
+		cb(arg)
 	} else {
-		heap.Push(&e.queue, ev)
+		fn()
 	}
-	return nil
 }
 
 // Run processes events until the queue is empty or until simulated time
@@ -176,22 +394,14 @@ func (e *Engine) Run(until Time) (Time, error) {
 	if budget == 0 {
 		budget = 500_000_000
 	}
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > until {
+	for len(e.heap) > 0 {
+		if e.slots[e.heap[0]].at > until {
 			return e.now, nil
-		}
-		heap.Pop(&e.queue)
-		if next.dead {
-			continue
 		}
 		if e.processed >= budget {
 			return e.now, ErrHorizon
 		}
-		e.processed++
-		e.metrics.Events.Inc()
-		e.now = next.at
-		next.fn()
+		e.fire()
 	}
 	return e.now, nil
 }
@@ -199,8 +409,8 @@ func (e *Engine) Run(until Time) (Time, error) {
 // RunAll processes every queued event with no time bound.
 func (e *Engine) RunAll() (Time, error) { return e.Run(MaxTime) }
 
-// Step executes exactly one pending (non-cancelled) event and returns true,
-// or returns false if the queue is empty. Like Run, it refuses to execute
+// Step executes exactly one pending event and returns true, or returns
+// false if the queue is empty. Like Run, it refuses to execute
 // re-entrantly (from inside an event callback) and stops once the
 // MaxEvents budget is exhausted.
 func (e *Engine) Step() bool {
@@ -214,20 +424,9 @@ func (e *Engine) Step() bool {
 	if budget == 0 {
 		budget = 500_000_000
 	}
-	for len(e.queue) > 0 {
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if e.processed >= budget {
-			return false
-		}
-		next := heap.Pop(&e.queue).(*Event)
-		e.processed++
-		e.metrics.Events.Inc()
-		e.now = next.at
-		next.fn()
-		return true
+	if len(e.heap) == 0 || e.processed >= budget {
+		return false
 	}
-	return false
+	e.fire()
+	return true
 }

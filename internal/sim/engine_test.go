@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -47,6 +49,9 @@ func TestCancelPreventsFiring(t *testing.T) {
 	e := New()
 	fired := false
 	ev := e.After(time.Second, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("Pending() = false before Cancel")
+	}
 	ev.Cancel()
 	if _, err := e.RunAll(); err != nil {
 		t.Fatal(err)
@@ -54,13 +59,43 @@ func TestCancelPreventsFiring(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() = false after Cancel")
+	if ev.Pending() {
+		t.Error("Pending() = true after Cancel")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-value cancel are no-ops.
 	ev.Cancel()
-	var nilEv *Event
-	nilEv.Cancel()
+	var zero Event
+	zero.Cancel()
+	if zero.Pending() {
+		t.Error("zero Event reports pending")
+	}
+}
+
+// A cancelled one-shot's slot is recycled eagerly; the stale handle must
+// not cancel or move the slot's next occupant.
+func TestStaleHandleCannotTouchRecycledSlot(t *testing.T) {
+	e := New()
+	stale := e.After(time.Second, func() {})
+	stale.Cancel()
+
+	fired := false
+	fresh := e.After(2*time.Second, func() { fired = true })
+	if fresh.id != stale.id {
+		t.Fatalf("slot not recycled: fresh id %d, stale id %d", fresh.id, stale.id)
+	}
+	stale.Cancel() // must be a no-op against the new occupant
+	if err := stale.Schedule(5 * time.Second); err == nil {
+		t.Error("Schedule on stale handle succeeded")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("new occupant was disturbed by a stale handle")
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("clock = %v, want 2s (stale Schedule must not move the occupant)", e.Now())
+	}
 }
 
 func TestScheduleInPastRejected(t *testing.T) {
@@ -154,16 +189,16 @@ func TestReentrantRunRejected(t *testing.T) {
 	}
 }
 
-func TestRescheduleMovesEvent(t *testing.T) {
+func TestScheduleMovesEvent(t *testing.T) {
 	e := New()
 	var fired []string
 	ev := e.After(time.Second, func() { fired = append(fired, "moved") })
 	e.After(2*time.Second, func() { fired = append(fired, "fixed") })
 	// Push the first event past the second, then pull it back earlier.
-	if err := e.Reschedule(ev, 3*time.Second); err != nil {
+	if err := ev.Schedule(3 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Reschedule(ev, 1500*time.Millisecond); err != nil {
+	if err := ev.Schedule(1500 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := e.RunAll(); err != nil {
@@ -172,78 +207,112 @@ func TestRescheduleMovesEvent(t *testing.T) {
 	if len(fired) != 2 || fired[0] != "moved" || fired[1] != "fixed" {
 		t.Errorf("order = %v, want [moved fixed]", fired)
 	}
-	if ev.At() != 1500*time.Millisecond {
-		t.Errorf("At() = %v after reschedule", ev.At())
-	}
 }
 
-func TestRescheduleLeavesNoDeadEvents(t *testing.T) {
+func TestScheduleLeavesNoDeadEvents(t *testing.T) {
 	e := New()
 	ev := e.After(time.Second, func() {})
 	for i := 0; i < 100; i++ {
-		if err := e.Reschedule(ev, Time(i)*time.Millisecond+time.Second); err != nil {
+		if err := ev.Schedule(Time(i)*time.Millisecond + time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if e.Pending() != 1 {
 		t.Errorf("pending = %d after 100 reschedules, want 1 (no tombstones)", e.Pending())
 	}
-}
-
-func TestRescheduleRevivesFiredAndCancelled(t *testing.T) {
-	e := New()
-	n := 0
-	ev := e.After(time.Second, func() { n++ })
-	if _, err := e.RunAll(); err != nil {
-		t.Fatal(err)
-	}
-	if n != 1 {
-		t.Fatalf("event did not fire")
-	}
-	// Revive the already-fired event.
-	if err := e.Reschedule(ev, 2*time.Second); err != nil {
-		t.Fatal(err)
-	}
-	// Cancel and revive again.
-	ev.Cancel()
-	if err := e.Reschedule(ev, 3*time.Second); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.RunAll(); err != nil {
-		t.Fatal(err)
-	}
-	if n != 2 {
-		t.Errorf("revived event fired %d extra times, want 1", n-1)
-	}
-	if e.Now() != 3*time.Second {
-		t.Errorf("clock = %v, want 3s", e.Now())
+	if ev.At() != 99*time.Millisecond+time.Second {
+		t.Errorf("At() = %v after reschedules", ev.At())
 	}
 }
 
-func TestRescheduleRejectsPastAndNil(t *testing.T) {
+// A fired or cancelled one-shot cannot be revived — its slot is recycled
+// and its callback gone. Persistent timers are the revivable form.
+func TestScheduleRejectsStaleOneShot(t *testing.T) {
 	e := New()
-	ev := e.After(2*time.Second, func() {})
-	e.After(time.Second, func() {
-		if err := e.Reschedule(ev, 0); err == nil {
-			t.Error("reschedule into the past succeeded")
+	ev := e.After(time.Second, func() {})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Schedule(2 * time.Second); err == nil {
+		t.Error("Schedule on fired one-shot succeeded")
+	}
+	ev2 := e.After(time.Second, func() {})
+	ev2.Cancel()
+	if err := ev2.Schedule(2 * time.Second); err == nil {
+		t.Error("Schedule on cancelled one-shot succeeded")
+	}
+}
+
+func TestTimerReArmAndCancel(t *testing.T) {
+	e := New()
+	var fired []Time
+	var tm Event
+	tm = e.NewTimer(func(uint64) {
+		fired = append(fired, e.Now())
+		if len(fired) < 3 {
+			if err := tm.Schedule(e.Now() + time.Second); err != nil {
+				t.Error(err)
+			}
 		}
-	})
-	if err := e.Reschedule(nil, time.Second); err == nil {
-		t.Error("reschedule of nil event succeeded")
+	}, 0)
+	if tm.Pending() {
+		t.Fatal("fresh timer reports pending")
+	}
+	if err := tm.Schedule(time.Second); err != nil {
+		t.Fatal(err)
 	}
 	if _, err := e.RunAll(); err != nil {
 		t.Fatal(err)
 	}
+	if len(fired) != 3 || fired[2] != 3*time.Second {
+		t.Fatalf("timer fired at %v, want [1s 2s 3s]", fired)
+	}
+	// Cancel parks the timer but keeps it revivable.
+	if err := tm.Schedule(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tm.Cancel()
+	if tm.Pending() {
+		t.Error("cancelled timer reports pending")
+	}
+	if err := tm.Schedule(11 * time.Second); err != nil {
+		t.Fatalf("re-arm after cancel: %v", err)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 || fired[3] != 11*time.Second {
+		t.Fatalf("re-armed timer fired at %v", fired)
+	}
 }
 
-// TestRescheduleSameTimeFIFO: a rescheduled event lands at the back of
+func TestAtCallPassesArg(t *testing.T) {
+	e := New()
+	var got []uint64
+	cb := func(arg uint64) { got = append(got, arg) }
+	if _, err := e.AtCall(time.Second, cb, 7); err != nil {
+		t.Fatal(err)
+	}
+	e.AfterCall(2*time.Second, cb, 9)
+	if _, err := e.AtCall(0, cb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("args = %v, want [1 7 9]", got)
+	}
+}
+
+// TestScheduleSameTimeFIFO: a rescheduled event lands at the back of
 // the FIFO among events at the same instant, as if newly scheduled.
-func TestRescheduleSameTimeFIFO(t *testing.T) {
+func TestScheduleSameTimeFIFO(t *testing.T) {
 	e := New()
 	var order []int
 	ev := e.After(time.Second, func() { order = append(order, 1) })
 	e.After(2*time.Second, func() { order = append(order, 2) })
-	if err := e.Reschedule(ev, 2*time.Second); err != nil {
+	if err := ev.Schedule(2 * time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := e.RunAll(); err != nil {
@@ -252,6 +321,23 @@ func TestRescheduleSameTimeFIFO(t *testing.T) {
 	want := []int{2, 1}
 	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
 		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestScheduleRejectsPastAndZero(t *testing.T) {
+	e := New()
+	ev := e.After(2*time.Second, func() {})
+	e.After(time.Second, func() {
+		if err := ev.Schedule(0); err == nil {
+			t.Error("reschedule into the past succeeded")
+		}
+	})
+	var zero Event
+	if err := zero.Schedule(time.Second); err == nil {
+		t.Error("schedule of zero Event succeeded")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -311,5 +397,85 @@ func TestClockMonotonic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// waitCollected GCs until the finalizer-observed flag flips or the
+// attempt budget runs out. The flag is atomic because finalizers run on
+// their own goroutine.
+func waitCollected(collected *atomic.Bool) bool {
+	for i := 0; i < 20 && !collected.Load(); i++ {
+		runtime.GC()
+	}
+	return collected.Load()
+}
+
+// Regression test for event-heap churn: a cancelled event must not keep
+// its callback (and everything the closure captures) reachable through
+// the engine's internal storage.
+func TestCancelReleasesCallback(t *testing.T) {
+	e := New()
+	var collected atomic.Bool
+	func() {
+		payload := make([]byte, 1<<16)
+		runtime.SetFinalizer(&payload[0], func(*byte) { collected.Store(true) })
+		ev := e.After(time.Second, func() { _ = payload[0] })
+		ev.Cancel()
+	}()
+	if !waitCollected(&collected) {
+		t.Error("cancelled event still holds its callback closure")
+	}
+	_ = e.Pending()
+}
+
+// A fired event's callback must be released too, even when the heap's
+// backing array still has capacity covering its old slot.
+func TestFiredEventReleasesCallback(t *testing.T) {
+	e := New()
+	var collected atomic.Bool
+	func() {
+		payload := make([]byte, 1<<16)
+		runtime.SetFinalizer(&payload[0], func(*byte) { collected.Store(true) })
+		e.After(time.Second, func() { _ = payload[0] })
+	}()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !waitCollected(&collected) {
+		t.Error("fired event still holds its callback closure")
+	}
+}
+
+// Re-arming one persistent timer must not allocate: this is the engine
+// half of the zero-alloc steady-state guarantee.
+func TestTimerReArmZeroAlloc(t *testing.T) {
+	e := New()
+	tick := func(uint64) {}
+	tm := e.NewTimer(tick, 0)
+	if err := tm.Schedule(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := tm.Schedule(tm.At() + time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Schedule allocates %v times per re-arm, want 0", avg)
+	}
+}
+
+func TestReservePreservesQueue(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.Reserve(1024)
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
 	}
 }

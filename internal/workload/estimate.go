@@ -1,0 +1,51 @@
+package workload
+
+// shuffleParallelFetches mirrors the mapreduce default for
+// mapreduce.reduce.shuffle.parallelcopies: the per-reducer bound on
+// concurrent shuffle fetch flows.
+const shuffleParallelFetches = 5
+
+// EstimatePeakFlows predicts the peak number of concurrent network flows
+// a capture session over the given (sequentially executed) workload runs
+// can hold, from the profiles' traffic character and the cluster's task
+// concurrency. The estimate intentionally rounds up: it pre-sizes the
+// network's flow storage (Network.Reserve) so the steady-state capture
+// loop never grows a slab mid-run, and overshooting costs only a few
+// hundred bytes per slot.
+//
+// Per occupied task slot the flow fan-out is bounded by the larger of the
+// HDFS pipeline depth (a map or reduce commit drives `replication`
+// hop-flows; ingest does the same) and the reducer's parallel shuffle
+// fetches. On top sit the cluster-wide heartbeat flows (YARN node
+// managers and HDFS datanodes each keep roughly one in flight per worker)
+// plus fixed headroom for control traffic.
+func EstimatePeakFlows(specs []RunSpec, workers, slotsPerNode, replication int) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	if slotsPerNode <= 0 {
+		slotsPerNode = 4
+	}
+	if replication <= 0 {
+		replication = 3
+	}
+	slots := workers * slotsPerNode
+
+	perSlot := replication
+	for _, rs := range specs {
+		p, err := Get(rs.Profile)
+		if err != nil {
+			continue
+		}
+		if !p.MapOnly && shuffleParallelFetches > perSlot {
+			perSlot = shuffleParallelFetches
+		}
+		if p.OutputReplication > perSlot {
+			perSlot = p.OutputReplication
+		}
+	}
+	if perSlot < 2 {
+		perSlot = 2
+	}
+	return slots*perSlot + 2*workers + 16
+}
