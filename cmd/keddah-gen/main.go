@@ -38,7 +38,7 @@ func run() error {
 		background = flag.Bool("background", false, "include cluster heartbeat traffic")
 		seed       = flag.Int64("seed", 1, "generation seed")
 		out        = flag.String("out", "", "schedule output path (empty = skip)")
-		format     = flag.String("format", "json", "schedule format: json | csv | ns3")
+		format     = flag.String("format", "json", "schedule format: json | jsonl | csv | ns3")
 		replay     = flag.Bool("replay", false, "replay the schedule on the built-in simulator")
 		topology   = flag.String("topology", "star", "replay fabric: star | multirack | fattree")
 		racks      = flag.Int("racks", 2, "rack count (multirack)")
@@ -80,12 +80,14 @@ func run() error {
 		switch *format {
 		case "json":
 			err = json.NewEncoder(o).Encode(sched)
+		case "jsonl":
+			err = core.ExportJSONL(o, sched)
 		case "csv":
 			err = core.ExportCSV(o, sched)
 		case "ns3":
 			err = core.ExportNS3(o, sched, *workers)
 		default:
-			err = fmt.Errorf("unknown format %q (json | csv | ns3)", *format)
+			err = fmt.Errorf("unknown format %q (json | jsonl | csv | ns3)", *format)
 		}
 		if err != nil {
 			o.Close()

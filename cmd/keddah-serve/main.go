@@ -1,0 +1,130 @@
+// Command keddah-serve runs the streaming trace-generation daemon: it
+// loads fitted model libraries and serves synthetic flow schedules over
+// HTTP to many concurrent clients, with admission control, per-request
+// deadlines and graceful SIGTERM draining.
+//
+// Usage:
+//
+//	keddah-serve -addr :8080 -model bench=model.json \
+//	    -max-streams 64 -max-queue 256 -drain-timeout 30s
+//
+// Endpoints: /v1/generate, /v1/mix, /v1/models, /healthz, /readyz and
+// the telemetry surface (/metrics, /metrics.json, /debug/pprof/).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"keddah/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	if err := run(os.Args[1:], sig, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "keddah-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// onListen, when non-nil, receives the bound address before serving
+// begins — the test seam for ephemeral ports.
+var onListen func(addr string)
+
+// run is the testable daemon body: parse flags, serve until the first
+// signal, drain, exit.
+func run(args []string, sig <-chan os.Signal, logw io.Writer) error {
+	fs := flag.NewFlagSet("keddah-serve", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var cfg serve.Config
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		modelDir     = fs.String("models", "", "directory resolving <name>.json model files lazily")
+		defaultModel = fs.String("default-model", "", "model used when a request names none")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight streams")
+	)
+	fs.Func("model", "model source as name=path or a bare path (repeatable; bare paths use the file basename)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			path = v
+			name = strings.TrimSuffix(filepath.Base(v), ".json")
+		}
+		if name == "" || path == "" {
+			return fmt.Errorf("model %q: want name=path", v)
+		}
+		if cfg.Models == nil {
+			cfg.Models = make(map[string]string)
+		}
+		cfg.Models[name] = path
+		return nil
+	})
+	fs.IntVar(&cfg.MaxStreams, "max-streams", 0, "concurrent stream cap (0 = 4x GOMAXPROCS)")
+	fs.IntVar(&cfg.MaxQueue, "max-queue", 0, "wait-queue depth (0 = 4x max-streams, negative = no queue)")
+	fs.DurationVar(&cfg.QueueWait, "queue-wait", 0, "max time a request waits for a stream slot (0 = 2s)")
+	fs.DurationVar(&cfg.RequestTimeout, "request-timeout", 0, "per-request generation deadline (0 = 60s)")
+	fs.DurationVar(&cfg.WriteTimeout, "write-timeout", 0, "per-chunk client write deadline (0 = 15s)")
+	fs.DurationVar(&cfg.RetryAfter, "retry-after", 0, "Retry-After hint on 503 responses (0 = 1s)")
+	fs.DurationVar(&cfg.NegModelTTL, "neg-ttl", 0, "how long a failed model load is remembered (0 = 5s)")
+	fs.IntVar(&cfg.ChunkFlows, "chunk", 0, "flows per encoded chunk (0 = 2048)")
+	fs.Int64Var(&cfg.MaxFlows, "max-flows", 0, "per-request schedule size cap (0 = 8M flows)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg.ModelDir = *modelDir
+	cfg.DefaultModel = *defaultModel
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "keddah-serve: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(logw, "keddah-serve: %v: draining (up to %v)\n", got, *drainTimeout)
+	}
+
+	// Drain: stop admission, let in-flight streams finish, then force the
+	// stragglers. The HTTP server shuts down afterwards so streams keep
+	// their connections while draining.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintf(logw, "keddah-serve: drain deadline hit, streams aborted: %v\n", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		hs.Close()
+	}
+	<-serveErr // always http.ErrServerClosed after Shutdown/Close
+	fmt.Fprintln(logw, "keddah-serve: drained, exiting")
+	return nil
+}

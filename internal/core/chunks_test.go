@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateChunksMatchesBatch: the chunked path must deliver exactly
+// the flows Generate returns, in order, in bounded pieces.
+func TestGenerateChunksMatchesBatch(t *testing.T) {
+	model := mixModel(t)
+	spec := GenSpec{Workload: "terasort", Jobs: 3, Seed: 9}
+	want, err := model.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []SynthFlow
+	chunks := 0
+	err = model.GenerateChunks(context.Background(), spec, 7, func(c []SynthFlow) error {
+		if len(c) > 7 {
+			t.Fatalf("chunk of %d flows exceeds the requested size", len(c))
+		}
+		got = append(got, c...)
+		chunks++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chunked flows differ from batch: %d vs %d", len(got), len(want))
+	}
+	if chunks < 2 {
+		t.Fatalf("%d flows arrived in %d chunk(s); chunking did not happen", len(got), chunks)
+	}
+}
+
+// TestGenerateMixChunksMatchesBatch does the same for the mix path.
+func TestGenerateMixChunksMatchesBatch(t *testing.T) {
+	model := mixModel(t)
+	spec := MixSpec{
+		Weights:       map[string]float64{"terasort": 1, "wordcount": 1},
+		JobsPerMinute: 4,
+		WindowSecs:    300,
+		Workers:       8,
+		Seed:          3,
+	}
+	want, err := model.GenerateMix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []SynthFlow
+	err = model.GenerateMixChunks(context.Background(), spec, 11, func(c []SynthFlow) error {
+		got = append(got, c...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chunked mix differs from batch: %d vs %d flows", len(got), len(want))
+	}
+}
+
+// TestGenerateChunksCancellation: a cancelled context stops emission at
+// the next chunk boundary with the context's error.
+func TestGenerateChunksCancellation(t *testing.T) {
+	model := mixModel(t)
+	spec := GenSpec{Workload: "terasort", Jobs: 3, Seed: 9}
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		err := model.GenerateChunks(ctx, spec, 7, func([]SynthFlow) error {
+			t.Fatal("emit called with a dead context")
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	})
+	t.Run("mid-stream", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		calls := 0
+		err := model.GenerateChunks(ctx, spec, 7, func([]SynthFlow) error {
+			calls++
+			cancel()
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+		if calls != 1 {
+			t.Fatalf("%d emits after cancellation, want exactly 1", calls)
+		}
+	})
+}
+
+// TestGenerateChunksEmitError: an emit failure (a dead client in serve)
+// aborts generation and propagates.
+func TestGenerateChunksEmitError(t *testing.T) {
+	model := mixModel(t)
+	sink := errors.New("client hung up")
+	calls := 0
+	err := model.GenerateChunks(context.Background(), GenSpec{Workload: "terasort", Jobs: 3, Seed: 9}, 7,
+		func([]SynthFlow) error {
+			calls++
+			if calls == 2 {
+				return sink
+			}
+			return nil
+		})
+	if !errors.Is(err, sink) {
+		t.Fatalf("got %v, want the emit error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d emits after the failure, want exactly 2", calls)
+	}
+}
+
+// TestEstimateFlowsExact: the admission-control estimate must equal the
+// real schedule length — it gates requests, so an undercount would let
+// an oversized schedule through and an overcount would shed valid work.
+func TestEstimateFlowsExact(t *testing.T) {
+	model := mixModel(t)
+	specs := []GenSpec{
+		{Workload: "terasort"},
+		{Workload: "terasort", Jobs: 3, Seed: 5},
+		{Workload: "terasort", InputBytes: 1 << 30, Jobs: 2, Workers: 8},
+		{Workload: "wordcount", Jobs: 2, IncludeBackground: true},
+		{Workload: "wordcount", InputBytes: 2 << 30, Reducers: 12, Stagger: 0.25, Jobs: 4, IncludeBackground: true},
+	}
+	for _, spec := range specs {
+		n, err := model.EstimateFlows(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		sched, err := model.Generate(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if n != int64(len(sched)) {
+			t.Errorf("%+v: estimated %d flows, generated %d", spec, n, len(sched))
+		}
+	}
+	if _, err := model.EstimateFlows(GenSpec{Workload: "nosuch"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := model.EstimateFlows(GenSpec{Workload: "terasort", Jobs: -1}); !errors.Is(err, ErrBadSpec) {
+		t.Fatal("invalid spec accepted")
+	}
+}

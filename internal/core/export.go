@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,11 +14,14 @@ import (
 )
 
 // This file provides external-simulator exports of synthetic schedules —
-// the role the original toolchain's ns-3 module plays. Two formats:
+// the role the original toolchain's ns-3 module plays. Three formats:
 //
 //   - CSV: one flow per row (start_s, src, dst, src_port, dst_port,
 //     bytes, phase, job). Trivially consumed by pandas/gnuplot or a
 //     custom simulator application.
+//   - JSONL: one JSON-encoded SynthFlow per line — the streaming twin of
+//     keddah-gen's JSON array output, consumable record-by-record by a
+//     client that never holds the whole schedule.
 //   - NS3: a C++-ish command stream for a BulkSendApplication-style
 //     replay driver: one "flow" directive per line plus node-count
 //     metadata, matching the keddah-ns3 driver convention:
@@ -26,16 +30,86 @@ import (
 //     nodes <workers+1>
 //     flow <start_s> <srcNode> <dstNode> <dstPort> <bytes> <tag>
 //
-// Host numbering in both formats: workers are 0..N-1 and the master is
+// Host numbering in CSV and NS3: workers are 0..N-1 and the master is
 // node N (the last index), so a driver can allocate N+1 ns-3 nodes and
 // wire them to its chosen topology helper.
+//
+// Every format is implemented as a StreamEncoder, and the batch Export*
+// helpers are Begin+Flows+End in one call — so a chunked stream
+// (keddah-serve) and a batch export (keddah-gen) of the same schedule
+// produce byte-identical output, and every write error (a dead socket, a
+// full disk) is propagated promptly instead of truncating silently.
+
+// StreamEncoder writes a schedule incrementally: Begin writes the
+// format's header, Flows appends any number of flow batches (each batch
+// is flushed to the underlying writer before returning, so a streaming
+// caller never buffers more than one batch), and End flushes any
+// remaining state. Methods must not be called after an error.
+type StreamEncoder interface {
+	// ContentType is the MIME type of the encoded stream.
+	ContentType() string
+	Begin() error
+	Flows([]SynthFlow) error
+	End() error
+}
+
+// NewStreamEncoder returns the encoder for format — "csv", "jsonl" or
+// "ns3" — writing to w. workers is the worker host count the ns3 header
+// needs for its node count; the other formats ignore it.
+func NewStreamEncoder(format string, w io.Writer, workers int) (StreamEncoder, error) {
+	switch format {
+	case "csv":
+		return &csvEncoder{cw: csv.NewWriter(w)}, nil
+	case "jsonl":
+		return &jsonlEncoder{enc: json.NewEncoder(w)}, nil
+	case "ns3":
+		if workers <= 0 {
+			return nil, fmt.Errorf("core: ns3 export needs a positive worker count")
+		}
+		return &ns3Encoder{bw: bufio.NewWriter(w), workers: workers}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown schedule format %q (csv | jsonl | ns3)", format)
+	}
+}
+
+// exportAll is the batch path: one encoder, one Flows call.
+func exportAll(format string, w io.Writer, schedule []SynthFlow, workers int) error {
+	enc, err := NewStreamEncoder(format, w, workers)
+	if err != nil {
+		return err
+	}
+	if err := enc.Begin(); err != nil {
+		return err
+	}
+	if err := enc.Flows(schedule); err != nil {
+		return err
+	}
+	return enc.End()
+}
 
 // ExportCSV writes the schedule as CSV with a header row.
 func ExportCSV(w io.Writer, schedule []SynthFlow) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"start_s", "src_host", "dst_host", "src_port", "dst_port", "bytes", "phase", "job"}); err != nil {
+	return exportAll("csv", w, schedule, 0)
+}
+
+// ExportJSONL writes the schedule as one JSON object per line.
+func ExportJSONL(w io.Writer, schedule []SynthFlow) error {
+	return exportAll("jsonl", w, schedule, 0)
+}
+
+type csvEncoder struct{ cw *csv.Writer }
+
+func (e *csvEncoder) ContentType() string { return "text/csv" }
+
+func (e *csvEncoder) Begin() error {
+	if err := e.cw.Write([]string{"start_s", "src_host", "dst_host", "src_port", "dst_port", "bytes", "phase", "job"}); err != nil {
 		return fmt.Errorf("write csv header: %w", err)
 	}
+	e.cw.Flush()
+	return errWrap("write csv header", e.cw.Error())
+}
+
+func (e *csvEncoder) Flows(schedule []SynthFlow) error {
 	for _, sf := range schedule {
 		rec := []string{
 			strconv.FormatFloat(float64(sf.StartNs)/1e9, 'f', 9, 64),
@@ -47,12 +121,43 @@ func ExportCSV(w io.Writer, schedule []SynthFlow) error {
 			string(sf.Phase),
 			sf.Job,
 		}
-		if err := cw.Write(rec); err != nil {
+		if err := e.cw.Write(rec); err != nil {
 			return fmt.Errorf("write csv row: %w", err)
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	e.cw.Flush()
+	return errWrap("write csv rows", e.cw.Error())
+}
+
+func (e *csvEncoder) End() error {
+	e.cw.Flush()
+	return errWrap("flush csv export", e.cw.Error())
+}
+
+type jsonlEncoder struct{ enc *json.Encoder }
+
+func (e *jsonlEncoder) ContentType() string { return "application/x-ndjson" }
+
+func (e *jsonlEncoder) Begin() error { return nil }
+
+func (e *jsonlEncoder) Flows(schedule []SynthFlow) error {
+	for i := range schedule {
+		// Encode appends exactly one newline per value — the JSONL frame.
+		if err := e.enc.Encode(&schedule[i]); err != nil {
+			return fmt.Errorf("write jsonl row: %w", err)
+		}
+	}
+	return nil
+}
+
+func (e *jsonlEncoder) End() error { return nil }
+
+// errWrap contextualises a non-nil error and passes nil through.
+func errWrap(what string, err error) error {
+	if err != nil {
+		return fmt.Errorf("%s: %w", what, err)
+	}
+	return nil
 }
 
 // ImportCSV reads a schedule previously written by ExportCSV.
@@ -106,32 +211,53 @@ func ImportCSV(r io.Reader) ([]SynthFlow, error) {
 // ExportNS3 writes the schedule in the keddah-ns3 driver format for the
 // given worker count.
 func ExportNS3(w io.Writer, schedule []SynthFlow, workers int) error {
-	if workers <= 0 {
-		return fmt.Errorf("core: ns3 export needs a positive worker count")
+	return exportAll("ns3", w, schedule, workers)
+}
+
+type ns3Encoder struct {
+	bw      *bufio.Writer
+	workers int
+}
+
+func (e *ns3Encoder) ContentType() string { return "text/plain" }
+
+func (e *ns3Encoder) Begin() error {
+	if _, err := fmt.Fprintln(e.bw, "# keddah-ns3 v1"); err != nil {
+		return fmt.Errorf("write ns3 header: %w", err)
 	}
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "# keddah-ns3 v1")
-	fmt.Fprintf(bw, "nodes %d\n", workers+1)
-	master := workers
+	if _, err := fmt.Fprintf(e.bw, "nodes %d\n", e.workers+1); err != nil {
+		return fmt.Errorf("write ns3 header: %w", err)
+	}
+	return errWrap("write ns3 header", e.bw.Flush())
+}
+
+func (e *ns3Encoder) Flows(schedule []SynthFlow) error {
+	master := e.workers
 	node := func(h int) int {
 		if h < 0 {
 			return master
 		}
-		return h % workers
+		return h % e.workers
 	}
 	for _, sf := range schedule {
 		tag := string(sf.Phase)
 		if sf.Job != "" {
 			tag = sf.Job + ":" + tag
 		}
-		fmt.Fprintf(bw, "flow %.9f %d %d %d %d %s\n",
+		// bufio's error is sticky, so checking each write aborts the loop
+		// promptly once the sink dies instead of formatting the rest of
+		// the schedule into a dead buffer.
+		if _, err := fmt.Fprintf(e.bw, "flow %.9f %d %d %d %d %s\n",
 			float64(sf.StartNs)/1e9, node(sf.SrcHost), node(sf.DstHost),
-			sf.DstPort, sf.Bytes, sanitizeTag(tag))
+			sf.DstPort, sf.Bytes, sanitizeTag(tag)); err != nil {
+			return fmt.Errorf("write ns3 flow: %w", err)
+		}
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("flush ns3 export: %w", err)
-	}
-	return nil
+	return errWrap("write ns3 flows", e.bw.Flush())
+}
+
+func (e *ns3Encoder) End() error {
+	return errWrap("flush ns3 export", e.bw.Flush())
 }
 
 // sanitizeTag keeps driver lines single-token parseable.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -100,16 +101,37 @@ func phasePorts(ph flows.Phase, rng *stats.RNG) (int, int) {
 	}
 }
 
+// genCtxStride is how many flows are generated between context polls in
+// the inner sampling loops: coarse enough to stay off the hot path, fine
+// enough that a cancelled request stops within microseconds of work.
+const genCtxStride = 4096
+
 // Generate builds a synthetic flow schedule for spec from the fitted
 // model — the toolchain's reproduction stage. Structural counts scale
 // with the requested input size and reducer fan-in; sizes, phase offsets
 // and arrival spacing are drawn from the fitted laws.
 func (m *Model) Generate(spec GenSpec) ([]SynthFlow, error) {
+	return m.GenerateContext(context.Background(), spec)
+}
+
+// GenerateContext is Generate with validation and cancellation: the spec
+// is checked up front (errors wrap ErrBadSpec), and ctx is polled
+// between phases and every genCtxStride flows, so a caller whose client
+// vanished — or whose deadline passed — aborts the schedule mid-build
+// instead of completing work nobody will read. The output is identical
+// to Generate for any spec that runs to completion.
+func (m *Model) GenerateContext(ctx context.Context, spec GenSpec) ([]SynthFlow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	jm, ok := m.Jobs[spec.Workload]
 	if !ok {
 		return nil, fmt.Errorf("core: model has no workload %q", spec.Workload)
 	}
 	spec = spec.withDefaults(jm)
+	if err := spec.validateScaled(); err != nil {
+		return nil, err
+	}
 	rng := stats.NewRNG(spec.Seed)
 
 	maps := int((spec.InputBytes + spec.BlockSize - 1) / spec.BlockSize)
@@ -133,6 +155,9 @@ func (m *Model) Generate(spec GenSpec) ([]SynthFlow, error) {
 		redHost := func(i int) int { return (rot + 7*i + 3) % spec.Workers }
 
 		for _, ph := range flows.AllPhases {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: generate: %w", err)
+			}
 			pm, ok := jm.Phases[ph]
 			if !ok {
 				continue
@@ -175,6 +200,9 @@ func (m *Model) Generate(spec GenSpec) ([]SynthFlow, error) {
 
 			t := jobStart + math.Max(0, offLaw.Sample(rng))
 			for i := 0; i < count; i++ {
+				if i%genCtxStride == 0 && ctx.Err() != nil {
+					return nil, fmt.Errorf("core: generate: %w", ctx.Err())
+				}
 				if i > 0 {
 					t += math.Max(0, iaLaw.Sample(rng))
 				}
@@ -197,7 +225,7 @@ func (m *Model) Generate(spec GenSpec) ([]SynthFlow, error) {
 	}
 
 	if spec.IncludeBackground && m.Background != nil {
-		bg, err := m.generateBackground(spec, jobStart, rng)
+		bg, err := m.generateBackground(ctx, spec, jobStart, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -206,6 +234,89 @@ func (m *Model) Generate(spec GenSpec) ([]SynthFlow, error) {
 
 	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].StartNs < schedule[j].StartNs })
 	return schedule, nil
+}
+
+// GenerateChunks streams the schedule GenerateContext would return —
+// identical flows in identical time order — through emit in slices of at
+// most chunk flows (chunk <= 0 selects genCtxStride). ctx is honoured
+// both during generation and between emits, so a disconnected or
+// deadline-expired client aborts the stream mid-schedule. The compact
+// flow structs are materialised once (global time ordering requires the
+// full schedule before the first record can be emitted); what is never
+// materialised is the encoded output — each emitted slice can be encoded
+// and flushed to the client before the next is touched, which is what
+// keeps keddah-serve's per-stream memory flat regardless of schedule
+// length. A chunk slice is only valid during its emit call.
+func (m *Model) GenerateChunks(ctx context.Context, spec GenSpec, chunk int, emit func([]SynthFlow) error) error {
+	sched, err := m.GenerateContext(ctx, spec)
+	if err != nil {
+		return err
+	}
+	return emitChunks(ctx, sched, chunk, emit)
+}
+
+// emitChunks feeds a schedule to emit in bounded slices with a context
+// poll before each call.
+func emitChunks(ctx context.Context, sched []SynthFlow, chunk int, emit func([]SynthFlow) error) error {
+	if chunk <= 0 {
+		chunk = genCtxStride
+	}
+	for len(sched) > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: generate: %w", err)
+		}
+		n := chunk
+		if n > len(sched) {
+			n = len(sched)
+		}
+		if err := emit(sched[:n]); err != nil {
+			return err
+		}
+		sched = sched[n:]
+	}
+	return nil
+}
+
+// EstimateFlows predicts the exact schedule length Generate would
+// produce for spec without sampling a single law: phase counts are
+// structural (deterministic in maps, reducers and duration), and the
+// background count is a deterministic function of the job span. Callers
+// admitting untrusted specs (keddah-serve) use it to reject requests
+// whose schedules would not fit in memory before doing any work.
+func (m *Model) EstimateFlows(spec GenSpec) (int64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	jm, ok := m.Jobs[spec.Workload]
+	if !ok {
+		return 0, fmt.Errorf("core: model has no workload %q", spec.Workload)
+	}
+	spec = spec.withDefaults(jm)
+	if err := spec.validateScaled(); err != nil {
+		return 0, err
+	}
+	maps := int((spec.InputBytes + spec.BlockSize - 1) / spec.BlockSize)
+	if maps < 1 {
+		maps = 1
+	}
+	durSecs := jm.DurationAt(spec.InputBytes)
+	if durSecs <= 0 {
+		durSecs = jm.DurationSecs
+	}
+	var perJob int64
+	for _, ph := range flows.AllPhases {
+		pm, ok := jm.Phases[ph]
+		if !ok {
+			continue
+		}
+		perJob += int64(phaseCount(pm, maps, maps, spec.Reducers, durSecs))
+	}
+	total := perJob * int64(spec.Jobs)
+	if spec.IncludeBackground && m.Background != nil {
+		spanSecs := durSecs * spec.Stagger * float64(spec.Jobs)
+		total += int64(math.Round(m.Background.CountPerUnit * spanSecs * float64(spec.Workers)))
+	}
+	return total, nil
 }
 
 // winsorize clamps a sampled size to the model's empirical support so
@@ -275,7 +386,7 @@ func maxInt(a, b int) int {
 }
 
 // generateBackground emits heartbeat traffic over the job span.
-func (m *Model) generateBackground(spec GenSpec, spanSecs float64, rng *stats.RNG) ([]SynthFlow, error) {
+func (m *Model) generateBackground(ctx context.Context, spec GenSpec, spanSecs float64, rng *stats.RNG) ([]SynthFlow, error) {
 	pm := m.Background
 	sizeLaw, err := pm.Size.Build()
 	if err != nil {
@@ -284,6 +395,9 @@ func (m *Model) generateBackground(spec GenSpec, spanSecs float64, rng *stats.RN
 	count := int(math.Round(pm.CountPerUnit * spanSecs * float64(spec.Workers)))
 	out := make([]SynthFlow, 0, count)
 	for i := 0; i < count; i++ {
+		if i%genCtxStride == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("core: generate background: %w", ctx.Err())
+		}
 		t := rng.Float64() * spanSecs
 		sp, dp := phasePorts(flows.PhaseControl, rng)
 		size := sizeLaw.Sample(rng)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -55,17 +56,23 @@ func (m MixSpec) withDefaults() MixSpec {
 // arrival's traffic is one Generate(Jobs=1) instance shifted to its
 // arrival time.
 func (m *Model) GenerateMix(spec MixSpec) ([]SynthFlow, error) {
-	spec = spec.withDefaults()
-	if len(spec.Weights) == 0 {
-		return nil, fmt.Errorf("core: mix needs at least one weighted workload")
+	return m.GenerateMixContext(context.Background(), spec)
+}
+
+// GenerateMixContext is GenerateMix with validation and cancellation:
+// the spec is checked up front (errors wrap ErrBadSpec) and ctx is
+// polled before each arrival — plus inside each arrival's generation —
+// so a vanished client aborts the mix mid-window. Output is identical to
+// GenerateMix for any spec that runs to completion.
+func (m *Model) GenerateMixContext(ctx context.Context, spec MixSpec) ([]SynthFlow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
+	spec = spec.withDefaults()
 	// Deterministic weighted sampler over sorted names.
 	names := make([]string, 0, len(spec.Weights))
 	var total float64
 	for name, w := range spec.Weights {
-		if w < 0 {
-			return nil, fmt.Errorf("core: negative weight for %q", name)
-		}
 		if _, ok := m.Jobs[name]; !ok {
 			return nil, fmt.Errorf("core: model has no workload %q", name)
 		}
@@ -95,9 +102,12 @@ func (m *Model) GenerateMix(spec MixSpec) ([]SynthFlow, error) {
 	t := rng.ExpFloat64() * meanGapSecs
 	arrival := 0
 	for t < spec.WindowSecs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: generate mix: %w", err)
+		}
 		wl := pick()
 		jm := m.Jobs[wl]
-		job, err := m.Generate(GenSpec{
+		job, err := m.GenerateContext(ctx, GenSpec{
 			Workload:   wl,
 			InputBytes: int64(float64(jm.RefInputBytes) * spec.InputScale),
 			Workers:    spec.Workers,
@@ -126,7 +136,7 @@ func (m *Model) GenerateMix(spec MixSpec) ([]SynthFlow, error) {
 				span = end
 			}
 		}
-		bg, err := m.generateBackground(GenSpec{Workers: spec.Workers}, span, rng)
+		bg, err := m.generateBackground(ctx, GenSpec{Workers: spec.Workers}, span, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -135,6 +145,17 @@ func (m *Model) GenerateMix(spec MixSpec) ([]SynthFlow, error) {
 
 	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].StartNs < schedule[j].StartNs })
 	return schedule, nil
+}
+
+// GenerateMixChunks streams the schedule GenerateMixContext would return
+// through emit in slices of at most chunk flows, with the same
+// cancellation and memory contract as Model.GenerateChunks.
+func (m *Model) GenerateMixChunks(ctx context.Context, spec MixSpec, chunk int, emit func([]SynthFlow) error) error {
+	sched, err := m.GenerateMixContext(ctx, spec)
+	if err != nil {
+		return err
+	}
+	return emitChunks(ctx, sched, chunk, emit)
 }
 
 // MixSummary reports per-workload composition of a mix schedule.

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file validates generation specs up front, so malformed requests —
+// NaN rates smuggled in through JSON, negative sizes, worker counts that
+// would explode structural scaling — fail fast with a typed error instead
+// of surfacing as a deep generation failure (or an enormous allocation)
+// minutes later. keddah-serve maps ErrBadSpec to HTTP 400.
+
+// ErrBadSpec is the sentinel wrapped by every spec-validation failure.
+var ErrBadSpec = errors.New("core: invalid spec")
+
+// SpecError reports one invalid spec field. It wraps ErrBadSpec, so
+// errors.Is(err, ErrBadSpec) identifies validation failures without
+// string matching.
+type SpecError struct {
+	Spec   string // "GenSpec" or "MixSpec"
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("core: invalid spec: %s.%s %s", e.Spec, e.Field, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrBadSpec) true.
+func (e *SpecError) Unwrap() error { return ErrBadSpec }
+
+// Structural-scaling guards. Counts above these bounds cannot describe a
+// measured Hadoop deployment; they only arise from malformed or hostile
+// requests, and admitting them turns one request into an
+// out-of-memory-sized allocation.
+const (
+	maxSpecWorkers  = 1 << 20 // hosts traffic is spread over
+	maxSpecJobs     = 1 << 20 // job instances per request
+	maxSpecReducers = 1 << 20 // reduce fan-in
+	maxSpecMaps     = 1 << 26 // map tasks (input/block ratio)
+	maxMixArrivals  = 1 << 20 // expected arrivals in a mix window
+)
+
+func badFloat(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+func genErr(field, reason string) error {
+	return &SpecError{Spec: "GenSpec", Field: field, Reason: reason}
+}
+
+func mixErr(field, reason string) error {
+	return &SpecError{Spec: "MixSpec", Field: field, Reason: reason}
+}
+
+// Validate rejects malformed GenSpec fields. Zero values are legal
+// (withDefaults fills them in); what is rejected is anything no default
+// can repair: negative counts and sizes, non-finite stagger, and
+// magnitudes whose structural scaling would overflow or exhaust memory.
+// Generate calls this first, so every path — CLI, API, library — fails
+// fast with an error wrapping ErrBadSpec.
+func (g GenSpec) Validate() error {
+	switch {
+	case g.InputBytes < 0:
+		return genErr("inputBytes", "is negative")
+	case g.BlockSize < 0:
+		return genErr("blockSize", "is negative")
+	case g.Reducers < 0:
+		return genErr("reducers", "is negative")
+	case g.Reducers > maxSpecReducers:
+		return genErr("reducers", fmt.Sprintf("%d exceeds the %d limit", g.Reducers, maxSpecReducers))
+	case g.Workers < 0:
+		return genErr("workers", "is negative")
+	case g.Workers > maxSpecWorkers:
+		return genErr("workers", fmt.Sprintf("%d exceeds the %d limit", g.Workers, maxSpecWorkers))
+	case g.Jobs < 0:
+		return genErr("jobs", "is negative")
+	case g.Jobs > maxSpecJobs:
+		return genErr("jobs", fmt.Sprintf("%d exceeds the %d limit", g.Jobs, maxSpecJobs))
+	case badFloat(g.Stagger):
+		return genErr("stagger", "is not finite")
+	}
+	if g.InputBytes > 0 && g.BlockSize > 0 {
+		if g.InputBytes > math.MaxInt64-g.BlockSize {
+			return genErr("inputBytes", "overflows the map count")
+		}
+		if maps := (g.InputBytes + g.BlockSize - 1) / g.BlockSize; maps > maxSpecMaps {
+			return genErr("inputBytes", fmt.Sprintf("implies %d maps, above the %d limit", maps, maxSpecMaps))
+		}
+	}
+	return nil
+}
+
+// validateScaled re-checks the structural bounds after model defaults
+// were substituted (a request may omit BlockSize and still imply an
+// absurd map count against the model's reference block size).
+func (g GenSpec) validateScaled() error {
+	if g.BlockSize > 0 {
+		if maps := (g.InputBytes + g.BlockSize - 1) / g.BlockSize; maps > maxSpecMaps {
+			return genErr("inputBytes", fmt.Sprintf("implies %d maps at block size %d, above the %d limit", maps, g.BlockSize, maxSpecMaps))
+		}
+	}
+	if g.Reducers > maxSpecReducers {
+		return genErr("reducers", fmt.Sprintf("scales to %d, above the %d limit", g.Reducers, maxSpecReducers))
+	}
+	return nil
+}
+
+// Validate rejects malformed MixSpec fields: non-finite or negative
+// rates, windows and scales, weight values that are not finite or are
+// negative, and rate×window products that would schedule an unbounded
+// number of arrivals. GenerateMix calls this first.
+func (m MixSpec) Validate() error {
+	switch {
+	case badFloat(m.JobsPerMinute):
+		return mixErr("jobsPerMinute", "is not finite")
+	case m.JobsPerMinute < 0:
+		return mixErr("jobsPerMinute", "is negative")
+	case badFloat(m.WindowSecs):
+		return mixErr("windowSecs", "is not finite")
+	case m.WindowSecs < 0:
+		return mixErr("windowSecs", "is negative")
+	case badFloat(m.InputScale):
+		return mixErr("inputScale", "is not finite")
+	case m.InputScale < 0:
+		return mixErr("inputScale", "is negative")
+	case m.Workers < 0:
+		return mixErr("workers", "is negative")
+	case m.Workers > maxSpecWorkers:
+		return mixErr("workers", fmt.Sprintf("%d exceeds the %d limit", m.Workers, maxSpecWorkers))
+	case len(m.Weights) == 0:
+		return mixErr("weights", "needs at least one workload")
+	}
+	for name, w := range m.Weights {
+		if badFloat(w) {
+			return mixErr("weights", fmt.Sprintf("%q is not finite", name))
+		}
+		if w < 0 {
+			return mixErr("weights", fmt.Sprintf("%q is negative", name))
+		}
+	}
+	// Expected arrivals with defaults applied; a malformed rate must not
+	// schedule millions of jobs.
+	d := m.withDefaults()
+	if arrivals := d.JobsPerMinute / 60 * d.WindowSecs; arrivals > maxMixArrivals {
+		return mixErr("jobsPerMinute", fmt.Sprintf("implies ~%.0f arrivals over the window, above the %d limit", arrivals, maxMixArrivals))
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenSpecValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  GenSpec
+		field string // "" = valid
+	}{
+		{"zero value is legal", GenSpec{}, ""},
+		{"fully specified", GenSpec{Workload: "terasort", InputBytes: 1 << 30, BlockSize: 128 << 20, Reducers: 8, Workers: 16, Jobs: 4, Stagger: 0.5}, ""},
+		{"negative input", GenSpec{InputBytes: -1}, "inputBytes"},
+		{"negative block", GenSpec{BlockSize: -1}, "blockSize"},
+		{"negative reducers", GenSpec{Reducers: -1}, "reducers"},
+		{"reducers over limit", GenSpec{Reducers: maxSpecReducers + 1}, "reducers"},
+		{"negative workers", GenSpec{Workers: -1}, "workers"},
+		{"workers over limit", GenSpec{Workers: maxSpecWorkers + 1}, "workers"},
+		{"negative jobs", GenSpec{Jobs: -1}, "jobs"},
+		{"jobs over limit", GenSpec{Jobs: maxSpecJobs + 1}, "jobs"},
+		{"NaN stagger", GenSpec{Stagger: math.NaN()}, "stagger"},
+		{"infinite stagger", GenSpec{Stagger: math.Inf(1)}, "stagger"},
+		{"negative stagger is legal (clamped)", GenSpec{Stagger: -2}, ""},
+		{"map-count overflow", GenSpec{InputBytes: math.MaxInt64 - 1, BlockSize: 2}, "inputBytes"},
+		{"absurd map count", GenSpec{InputBytes: math.MaxInt64 / 2, BlockSize: 1}, "inputBytes"},
+		{"huge input at sane block size", GenSpec{InputBytes: 1 << 50, BlockSize: 128 << 20, Workload: "t"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			checkSpecErr(t, err, tc.field, "GenSpec")
+		})
+	}
+}
+
+func TestMixSpecValidate(t *testing.T) {
+	w := map[string]float64{"terasort": 1}
+	cases := []struct {
+		name  string
+		spec  MixSpec
+		field string
+	}{
+		{"minimal valid", MixSpec{Weights: w}, ""},
+		{"NaN rate", MixSpec{Weights: w, JobsPerMinute: math.NaN()}, "jobsPerMinute"},
+		{"negative rate", MixSpec{Weights: w, JobsPerMinute: -1}, "jobsPerMinute"},
+		{"infinite window", MixSpec{Weights: w, WindowSecs: math.Inf(1)}, "windowSecs"},
+		{"negative window", MixSpec{Weights: w, WindowSecs: -1}, "windowSecs"},
+		{"NaN scale", MixSpec{Weights: w, InputScale: math.NaN()}, "inputScale"},
+		{"negative scale", MixSpec{Weights: w, InputScale: -0.5}, "inputScale"},
+		{"negative workers", MixSpec{Weights: w, Workers: -1}, "workers"},
+		{"workers over limit", MixSpec{Weights: w, Workers: maxSpecWorkers + 1}, "workers"},
+		{"no weights", MixSpec{}, "weights"},
+		{"NaN weight", MixSpec{Weights: map[string]float64{"t": math.NaN()}}, "weights"},
+		{"negative weight", MixSpec{Weights: map[string]float64{"t": -1}}, "weights"},
+		{"unbounded arrivals", MixSpec{Weights: w, JobsPerMinute: 1e12, WindowSecs: 1e6}, "jobsPerMinute"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			checkSpecErr(t, err, tc.field, "MixSpec")
+		})
+	}
+}
+
+func checkSpecErr(t *testing.T, err error, field, spec string) {
+	t.Helper()
+	if field == "" {
+		if err != nil {
+			t.Fatalf("unexpected rejection: %v", err)
+		}
+		return
+	}
+	if err == nil {
+		t.Fatalf("accepted; want a %s.%s rejection", spec, field)
+	}
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("%v does not wrap ErrBadSpec", err)
+	}
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("%v is not a *SpecError", err)
+	}
+	if se.Spec != spec || se.Field != field {
+		t.Fatalf("rejected %s.%s, want %s.%s (%v)", se.Spec, se.Field, spec, field, err)
+	}
+	if !strings.Contains(err.Error(), field) {
+		t.Fatalf("message %q does not name the field", err)
+	}
+}
+
+// TestGenerateRejectsBadSpec: validation runs inside Generate itself, so
+// no caller can bypass it.
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	model := mixModel(t)
+	if _, err := model.Generate(GenSpec{Workload: "terasort", InputBytes: -1}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("Generate: %v, want ErrBadSpec", err)
+	}
+	if _, err := model.GenerateMix(MixSpec{Weights: map[string]float64{"terasort": math.NaN()}}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("GenerateMix: %v, want ErrBadSpec", err)
+	}
+	// Scaled re-validation: a legal-looking spec whose defaults imply an
+	// absurd map count is still rejected.
+	if _, err := model.Generate(GenSpec{Workload: "terasort", InputBytes: 1 << 40, BlockSize: 16}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("scaled validation: %v, want ErrBadSpec", err)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRunAllContextCancellation: a cancelled suite stops starting
+// experiments, marks everything unstarted with the context error, and
+// leaks no worker goroutines.
+func TestRunAllContextCancellation(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 3 {
+		t.Skip("registry too small to observe cancellation")
+	}
+	base := runtime.NumGoroutine()
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		results := RunAllContext(ctx, ids, quickCfg(), 2)
+		if len(results) != len(ids) {
+			t.Fatalf("%d results for %d ids", len(results), len(ids))
+		}
+		for _, r := range results {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("%s: err = %v, want context.Canceled", r.ID, r.Err)
+			}
+			if r.Tables != nil {
+				t.Fatalf("%s ran under a dead context", r.ID)
+			}
+		}
+	})
+
+	t.Run("mid-run", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		done := make(chan []Result, 1)
+		go func() { done <- RunAllContext(ctx, ids, quickCfg(), 1) }()
+		cancel() // one worker: at most a couple of experiments started
+		var results []Result
+		select {
+		case results = <-done:
+		case <-time.After(2 * time.Minute):
+			t.Fatal("cancelled suite never returned")
+		}
+		cancelled := 0
+		for _, r := range results {
+			if errors.Is(r.Err, context.Canceled) {
+				cancelled++
+			} else if r.Err != nil {
+				t.Errorf("%s: unexpected error %v", r.ID, r.Err)
+			}
+		}
+		if cancelled == 0 {
+			t.Error("no experiment observed the cancellation")
+		}
+	})
+
+	// The pool must have drained completely: no worker survives its run.
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > base+2 {
+		t.Errorf("goroutine leak after cancelled runs: %d before, %d after", base, n)
+	}
+}

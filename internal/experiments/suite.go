@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -156,6 +157,15 @@ type Result struct {
 // (runners would interleave on a shared writer); per-experiment output
 // belongs in the returned tables.
 func RunAll(ids []string, cfg Config, workers int) []Result {
+	return RunAllContext(context.Background(), ids, cfg, workers)
+}
+
+// RunAllContext is RunAll with cancellation: once ctx is cancelled no
+// further experiment is started — runners already executing finish
+// normally — and every unstarted id's Result carries ctx.Err(). The
+// worker pool always drains and exits, so a cancelled run leaks no
+// goroutines.
+func RunAllContext(ctx context.Context, ids []string, cfg Config, workers int) []Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -167,23 +177,30 @@ func RunAll(ids []string, cfg Config, workers int) []Result {
 	cfg.Verbose = false
 
 	results := make([]Result, len(ids))
-	next := make(chan int)
+	// Pre-buffering every index means no feeding goroutine can block on a
+	// cancelled pool: workers drain the closed channel unconditionally,
+	// checking ctx per item.
+	next := make(chan int, len(ids))
+	for i := range ids {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{ID: ids[i], Err: err}
+					continue
+				}
 				start := time.Now()
 				tables, err := Run(ids[i], cfg)
 				results[i] = Result{ID: ids[i], Tables: tables, Err: err, Elapsed: time.Since(start)}
 			}
 		}()
 	}
-	for i := range ids {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return results
 }

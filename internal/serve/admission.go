@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"keddah/internal/telemetry"
+)
+
+// Admission control: a fixed pool of worker slots plus a bounded wait
+// queue, both plain buffered channels. A request either takes a free
+// slot immediately, waits in the queue (bounded in both depth and time),
+// or is shed. Nothing here can grow with offered load — that is the
+// point: under overload the daemon's memory stays constant and clients
+// get a fast, honest 503 instead of a timeout from a queue they can
+// never clear.
+
+// errSaturated reports a full pool and full queue: shed immediately.
+var errSaturated = errors.New("serve: worker pool and wait queue full")
+
+// errQueueTimeout reports a waiter that outlived QueueWait: shed late.
+var errQueueTimeout = errors.New("serve: timed out waiting for a worker slot")
+
+type admission struct {
+	slots  chan struct{} // a buffered token per free worker slot
+	queued chan struct{} // a buffered token per occupied queue position
+	m      *telemetry.ServeMetrics
+}
+
+func newAdmission(workers, queue int, m *telemetry.ServeMetrics) *admission {
+	a := &admission{
+		slots:  make(chan struct{}, workers),
+		queued: make(chan struct{}, queue),
+		m:      m,
+	}
+	for i := 0; i < workers; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains a worker slot, waiting in the bounded queue for at
+// most maxWait. On success the returned release function (idempotent)
+// returns the slot. Failure is errSaturated (queue full), errQueueTimeout
+// (waited maxWait), or ctx.Err() (caller gone while waiting).
+func (a *admission) acquire(ctx context.Context, maxWait time.Duration) (func(), error) {
+	select {
+	case <-a.slots:
+		return a.releaseFunc(), nil
+	default:
+	}
+	// Pool busy: claim a queue position or shed. A zero-capacity queue
+	// makes this send always fail — immediate shedding.
+	select {
+	case a.queued <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	a.m.QueueDepth.Add(1)
+	a.m.QueueDepthMax.SetMax(a.m.QueueDepth.Value())
+	defer func() {
+		<-a.queued
+		a.m.QueueDepth.Add(-1)
+	}()
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case <-a.slots:
+		return a.releaseFunc(), nil
+	case <-timer.C:
+		return nil, errQueueTimeout
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() { a.slots <- struct{}{} })
+	}
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"keddah/internal/telemetry"
+)
+
+func newTestAdmission(workers, queue int) (*admission, *telemetry.ServeMetrics) {
+	tel := telemetry.New()
+	return newAdmission(workers, queue, &tel.Serve), &tel.Serve
+}
+
+func TestAdmissionImmediateSlot(t *testing.T) {
+	a, _ := newTestAdmission(2, 0)
+	rel1, err := a.acquire(context.Background(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.acquire(context.Background(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool full, no queue: immediate shed.
+	if _, err := a.acquire(context.Background(), time.Second); !errors.Is(err, errSaturated) {
+		t.Fatalf("full pool with zero queue: %v, want errSaturated", err)
+	}
+	rel1()
+	rel1() // idempotent: must not return the slot twice
+	if _, err := a.acquire(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if _, err := a.acquire(context.Background(), time.Millisecond); !errors.Is(err, errSaturated) {
+		t.Fatal("double release handed out an extra slot")
+	}
+	rel2()
+}
+
+func TestAdmissionQueueHandoff(t *testing.T) {
+	a, m := newTestAdmission(1, 2)
+	rel, err := a.acquire(context.Background(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := a.acquire(context.Background(), 5*time.Second)
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	// Wait until the waiter occupies the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.QueueDepth.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued waiter after release: %v", err)
+	}
+	if m.QueueDepthMax.Value() < 1 {
+		t.Error("queue depth high-water mark not recorded")
+	}
+	if m.QueueDepth.Value() != 0 {
+		t.Errorf("queue depth %v after handoff, want 0", m.QueueDepth.Value())
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a, _ := newTestAdmission(1, 1)
+	rel, err := a.acquire(context.Background(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := a.acquire(context.Background(), 30*time.Millisecond); !errors.Is(err, errQueueTimeout) {
+		t.Fatalf("queued past maxWait: %v, want errQueueTimeout", err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("timed out before maxWait elapsed")
+	}
+}
+
+func TestAdmissionQueueSaturation(t *testing.T) {
+	a, m := newTestAdmission(1, 1)
+	rel, err := a.acquire(context.Background(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.acquire(context.Background(), time.Second)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.QueueDepth.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Slot held, queue position held: the next caller is shed at once.
+	if _, err := a.acquire(context.Background(), time.Second); !errors.Is(err, errSaturated) {
+		t.Fatalf("saturated: %v, want errSaturated", err)
+	}
+	<-done
+}
+
+func TestAdmissionCallerGone(t *testing.T) {
+	a, _ := newTestAdmission(1, 1)
+	rel, err := a.acquire(context.Background(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := a.acquire(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v, want context.Canceled", err)
+	}
+}

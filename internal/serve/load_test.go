@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// loadReport is the machine-readable artifact the CI smoke job uploads.
+type loadReport struct {
+	Streams       int   `json:"streams"`
+	Completed     int64 `json:"completed"`
+	Shed          int64 `json:"shed"`
+	Bytes         int64 `json:"bytesStreamed"`
+	Flows         int64 `json:"flowsStreamed"`
+	MaxActive     int64 `json:"maxActive"`
+	MaxQueueDepth int64 `json:"maxQueueDepth"`
+	GoroutineBase int   `json:"goroutineBase"`
+	GoroutineEnd  int   `json:"goroutineEnd"`
+	ElapsedMs     int64 `json:"elapsedMs"`
+}
+
+// runWave fires n concurrent streams and returns how many completed with
+// a 200 and a clean full read vs were shed with a 503.
+func runWave(t *testing.T, client *http.Client, base string, n int) (completed, shed int64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var ok, sh atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/generate?workload=terasort&seed=%d", base, seed)
+			resp, err := client.Get(url)
+			if err != nil {
+				t.Errorf("stream %d: %v", seed, err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("stream %d truncated: %v", seed, err)
+					return
+				}
+				ok.Add(1)
+			case http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("stream %d: 503 without Retry-After", seed)
+				}
+				sh.Add(1)
+			default:
+				body, _ := io.ReadAll(resp.Body)
+				t.Errorf("stream %d: status %d: %s", seed, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return ok.Load(), sh.Load()
+}
+
+// waitGoroutines polls until the goroutine count settles near base.
+func waitGoroutines(t *testing.T, base int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base+10 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestServeLoadSmoke is the CI load job: a couple hundred concurrent
+// streams through a modest pool, every one either completed in full or
+// honestly shed, no goroutines left behind, telemetry non-empty. A JSON
+// report lands wherever KEDDAH_LOADTEST_REPORT points.
+func TestServeLoadSmoke(t *testing.T) {
+	goroutineBase := runtime.NumGoroutine()
+	s, hs := newTestServer(t, func(c *Config) {
+		c.MaxStreams = 32
+		c.MaxQueue = 256
+		c.QueueWait = 30 * time.Second
+		c.ChunkFlows = 256
+	})
+	const n = 200
+	start := time.Now()
+	completed, shed := runWave(t, hs.Client(), hs.URL, n)
+	elapsed := time.Since(start)
+
+	if completed+shed != n {
+		t.Fatalf("%d completed + %d shed != %d launched", completed, shed, n)
+	}
+	if completed == 0 {
+		t.Fatal("no stream completed")
+	}
+	if got := s.tel.Serve.Streams.Value(); got != completed {
+		t.Errorf("streams counter = %d, client saw %d completions", got, completed)
+	}
+	if s.tel.Serve.FlowsStreamed.Value() == 0 || s.tel.Serve.BytesStreamed.Value() == 0 {
+		t.Error("flow/byte counters empty after load")
+	}
+
+	// Telemetry snapshot must be non-empty and carry the serve metrics.
+	var snap bytes.Buffer
+	if err := s.tel.WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(snap.Bytes(), []byte("keddah_serve_requests_total")) {
+		t.Errorf("telemetry snapshot missing serve metrics: %.200s", snap.String())
+	}
+
+	hs.Close() // idempotent with the cleanup; frees client conns now
+	goroutineEnd := waitGoroutines(t, goroutineBase)
+	if goroutineEnd > goroutineBase+10 {
+		t.Errorf("goroutine leak: %d before load, %d after", goroutineBase, goroutineEnd)
+	}
+
+	if path := os.Getenv("KEDDAH_LOADTEST_REPORT"); path != "" {
+		report := loadReport{
+			Streams:       n,
+			Completed:     completed,
+			Shed:          shed,
+			Bytes:         s.tel.Serve.BytesStreamed.Value(),
+			Flows:         s.tel.Serve.FlowsStreamed.Value(),
+			MaxActive:     int64(s.tel.Serve.ActiveMax.Value()),
+			MaxQueueDepth: int64(s.tel.Serve.QueueDepthMax.Value()),
+			GoroutineBase: goroutineBase,
+			GoroutineEnd:  goroutineEnd,
+			ElapsedMs:     elapsed.Milliseconds(),
+		}
+		data, _ := json.MarshalIndent(report, "", "  ")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Errorf("write load report: %v", err)
+		}
+	}
+}
+
+// TestServeLoad1kFlatRSS drives 1k streams in waves and checks heap use
+// does not grow wave over wave: chunked generation plus streaming encode
+// means serving the 1000th stream costs what the 1st did.
+func TestServeLoad1kFlatRSS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-stream load test skipped in -short")
+	}
+	_, hs := newTestServer(t, func(c *Config) {
+		c.MaxStreams = 64
+		c.MaxQueue = 512
+		c.QueueWait = 60 * time.Second
+		c.RequestTimeout = 120 * time.Second
+		c.ChunkFlows = 512
+	})
+	client := hs.Client()
+	client.Timeout = 120 * time.Second
+
+	heapAfter := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	const wave = 250
+	if c, sh := runWave(t, client, hs.URL, wave); c+sh != wave {
+		t.Fatalf("warm-up wave lost streams: %d + %d", c, sh)
+	}
+	h1 := heapAfter()
+	for i := 0; i < 3; i++ { // 750 more streams → 1000 total
+		if c, sh := runWave(t, client, hs.URL, wave); c+sh != wave {
+			t.Fatalf("wave %d lost streams: %d + %d", i+2, c, sh)
+		}
+	}
+	h2 := heapAfter()
+
+	// Flat means no per-stream residue: allow generous slack for GC
+	// timing, but 1k streams must not trend the heap upward.
+	limit := h1*2 + 64<<20
+	if h2 > limit {
+		t.Fatalf("heap grew across waves: %d B after wave 1, %d B after wave 4 (limit %d)", h1, h2, limit)
+	}
+	t.Logf("heap after wave 1: %.1f MiB, after 1k streams: %.1f MiB",
+		float64(h1)/(1<<20), float64(h2)/(1<<20))
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"keddah/internal/core"
+	"keddah/internal/telemetry"
+	"sync"
+)
+
+// The model-handle cache. Fitted model JSON is immutable once loaded, so
+// a handle is cached forever on success; the interesting engineering is
+// the failure path. Loads are single-flight — N concurrent requests for
+// a cold model trigger one disk read, the rest wait on the same entry —
+// and a failed load is negative-cached with a TTL, so a corrupt or
+// missing file answers instantly (no disk hammering) but heals without a
+// restart once the file is fixed. A panicking loader is converted into a
+// load error: one hostile model file cannot take the daemon down, and it
+// poisons only its own cache key.
+
+type modelCache struct {
+	mu      sync.Mutex
+	entries map[string]*modelEntry
+	load    func(name string) (*core.Model, error)
+	negTTL  time.Duration
+	now     func() time.Time
+	m       *telemetry.ServeMetrics
+}
+
+type modelEntry struct {
+	ready chan struct{} // closed once model/err are final
+	model *core.Model
+	err   error
+	retry time.Time // negative entries: earliest reload time
+}
+
+func newModelCache(load func(string) (*core.Model, error), negTTL time.Duration, now func() time.Time, m *telemetry.ServeMetrics) *modelCache {
+	return &modelCache{
+		entries: make(map[string]*modelEntry),
+		load:    load,
+		negTTL:  negTTL,
+		now:     now,
+		m:       m,
+	}
+}
+
+// get returns the cached handle for name, loading at most once
+// concurrently. Waiting on someone else's in-flight load respects ctx;
+// the load itself is never cancelled (the next caller would only have to
+// redo it).
+func (c *modelCache) get(ctx context.Context, name string) (*core.Model, error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[name]
+		if !ok {
+			e = &modelEntry{ready: make(chan struct{})}
+			c.entries[name] = e
+			c.mu.Unlock()
+			c.resolve(e, name)
+			return e.model, e.err
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err == nil {
+			return e.model, nil
+		}
+		// Negative entry: answer from cache inside the TTL, retry after.
+		c.mu.Lock()
+		if c.entries[name] == e {
+			if c.now().Before(e.retry) {
+				c.mu.Unlock()
+				return nil, e.err
+			}
+			delete(c.entries, name)
+		}
+		c.mu.Unlock()
+		// Loop: the next iteration creates (or joins) a fresh entry.
+	}
+}
+
+// resolve runs the loader and publishes the outcome exactly once.
+func (c *modelCache) resolve(e *modelEntry, name string) {
+	defer close(e.ready)
+	defer func() {
+		if r := recover(); r != nil {
+			e.model = nil
+			e.err = fmt.Errorf("serve: model %q load panicked: %v", name, r)
+			e.retry = c.now().Add(c.negTTL)
+			c.m.ModelErrors.Inc()
+		}
+	}()
+	m, err := c.load(name)
+	if err != nil {
+		e.err = err
+		e.retry = c.now().Add(c.negTTL)
+		c.m.ModelErrors.Inc()
+		return
+	}
+	e.model = m
+	c.m.ModelLoads.Inc()
+}
+
+// cacheState is one entry's externally visible condition.
+type cacheState struct {
+	Name  string `json:"name"`
+	State string `json:"state"` // "loading", "loaded" or "failed"
+	Error string `json:"error,omitempty"`
+}
+
+// states snapshots the cache for /v1/models, sorted by name.
+func (c *modelCache) states() []cacheState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheState, 0, len(c.entries))
+	for name, e := range c.entries {
+		st := cacheState{Name: name}
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				st.State = "failed"
+				st.Error = e.err.Error()
+			} else {
+				st.State = "loaded"
+			}
+		default:
+			st.State = "loading"
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"keddah/internal/core"
+	"keddah/internal/telemetry"
+)
+
+// TestModelCacheSingleFlight: N concurrent requests for a cold model
+// must trigger exactly one load, and all callers get the same handle.
+func TestModelCacheSingleFlight(t *testing.T) {
+	var loads atomic.Int32
+	gate := make(chan struct{})
+	shared := &core.Model{}
+	tel := telemetry.New()
+	c := newModelCache(func(string) (*core.Model, error) {
+		loads.Add(1)
+		<-gate
+		return shared, nil
+	}, time.Second, time.Now, &tel.Serve)
+
+	const n = 16
+	models := make([]*core.Model, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.get(context.Background(), "bench")
+			if err != nil {
+				t.Error(err)
+			}
+			models[i] = m
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let everyone pile onto the entry
+	close(gate)
+	wg.Wait()
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("%d loads for one model, want 1 (single-flight)", got)
+	}
+	for i, m := range models {
+		if m != shared {
+			t.Fatalf("caller %d got a different handle", i)
+		}
+	}
+	if tel.Serve.ModelLoads.Value() != 1 {
+		t.Errorf("model load counter = %d, want 1", tel.Serve.ModelLoads.Value())
+	}
+}
+
+// TestModelCacheNegativeTTL: a failed load is answered from cache inside
+// the TTL (no disk hammering) and retried after it expires (heals
+// without a restart).
+func TestModelCacheNegativeTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var loads int
+	fail := true
+	tel := telemetry.New()
+	c := newModelCache(func(string) (*core.Model, error) {
+		loads++
+		if fail {
+			return nil, errors.New("disk says no")
+		}
+		return &core.Model{}, nil
+	}, 5*time.Second, func() time.Time { return now }, &tel.Serve)
+
+	if _, err := c.get(context.Background(), "m"); err == nil {
+		t.Fatal("expected the load failure")
+	}
+	now = now.Add(2 * time.Second) // inside the TTL
+	if _, err := c.get(context.Background(), "m"); err == nil || !strings.Contains(err.Error(), "disk says no") {
+		t.Fatalf("inside TTL: %v, want the cached failure", err)
+	}
+	if loads != 1 {
+		t.Fatalf("%d loads inside the TTL, want 1", loads)
+	}
+	now = now.Add(4 * time.Second) // past the TTL
+	fail = false
+	m, err := c.get(context.Background(), "m")
+	if err != nil || m == nil {
+		t.Fatalf("after TTL: %v", err)
+	}
+	if loads != 2 {
+		t.Fatalf("%d loads total, want 2 (one retry after TTL)", loads)
+	}
+	// The healed entry is now permanent.
+	if _, err := c.get(context.Background(), "m"); err != nil || loads != 2 {
+		t.Fatalf("healed entry reloaded: %v, loads=%d", err, loads)
+	}
+	if tel.Serve.ModelErrors.Value() != 1 {
+		t.Errorf("model error counter = %d, want 1", tel.Serve.ModelErrors.Value())
+	}
+}
+
+// TestModelCachePanickingLoader: a loader panic becomes a load error on
+// one key; it never unwinds into the caller.
+func TestModelCachePanickingLoader(t *testing.T) {
+	tel := telemetry.New()
+	c := newModelCache(func(name string) (*core.Model, error) {
+		if name == "hostile" {
+			panic("corrupt beyond parsing")
+		}
+		return &core.Model{}, nil
+	}, time.Minute, time.Now, &tel.Serve)
+
+	_, err := c.get(context.Background(), "hostile")
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking loader: %v, want a panic-wrapping error", err)
+	}
+	// Other keys are unaffected.
+	if _, err := c.get(context.Background(), "fine"); err != nil {
+		t.Fatalf("healthy key after hostile one: %v", err)
+	}
+}
+
+// TestModelCacheWaiterCancellation: waiting on someone else's load
+// respects the waiter's context.
+func TestModelCacheWaiterCancellation(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	tel := telemetry.New()
+	c := newModelCache(func(string) (*core.Model, error) {
+		<-gate
+		return &core.Model{}, nil
+	}, time.Second, time.Now, &tel.Serve)
+
+	go c.get(context.Background(), "slow") // the loading owner
+	time.Sleep(10 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.get(ctx, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled waiter: %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("waiter did not respect its context")
+	}
+}

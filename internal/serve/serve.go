@@ -1,0 +1,342 @@
+// Package serve implements keddah-serve: a long-running HTTP daemon that
+// loads fitted model libraries and streams synthetic flow schedules
+// (JSONL, CSV or keddah-ns3 format) to many concurrent clients with
+// per-request seeds. The batch toolchain produces correct traffic; this
+// package makes producing it survivable as infrastructure other
+// experiments depend on. It is engineered robustness-first:
+//
+//   - Admission control: a bounded worker pool with a bounded wait
+//     queue. When both are full the daemon sheds load with 503 +
+//     Retry-After instead of queueing unboundedly; queue depth and shed
+//     counts are exported through the telemetry registry.
+//   - Deadlines and cancellation: every stream runs under a per-request
+//     deadline, the request context is threaded into generation
+//     (core.GenerateChunks polls it mid-schedule), and each chunk write
+//     carries a write deadline so a slow-loris reader cannot pin a
+//     worker slot forever.
+//   - Bounded memory: schedules are generated once as compact structs
+//     (capped by MaxFlows, estimated before any work) and encoded chunk
+//     by chunk straight onto the wire — the encoded trace is never
+//     materialised, so per-stream memory is flat regardless of schedule
+//     length.
+//   - Graceful degradation: a generation panic is recovered per-request
+//     (500 before the first byte, a hard connection abort mid-stream)
+//     without killing the daemon; model handles load through a
+//     single-flight cache with a negative-entry TTL, so one corrupt
+//     model file poisons only its own key, and only briefly.
+//   - Graceful shutdown: BeginDrain stops admission (readyz flips to
+//     503), Drain waits for in-flight streams up to a deadline, then
+//     HardStop cancels whatever remains.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"regexp"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"keddah/internal/core"
+	"keddah/internal/telemetry"
+)
+
+// Config parameterises a Server. The zero value of every limit selects a
+// production-shaped default; model sources are the only required fields.
+type Config struct {
+	// Models maps model names to fitted-model JSON paths, preconfigured.
+	Models map[string]string
+	// ModelDir, when set, resolves model names not present in Models
+	// lazily as <ModelDir>/<name>.json. Names are restricted to
+	// [A-Za-z0-9._-] (no separators), so requests cannot traverse paths.
+	ModelDir string
+	// DefaultModel is used when a request names no model. Empty with
+	// exactly one entry in Models selects that entry.
+	DefaultModel string
+
+	// MaxStreams bounds concurrently generating/encoding streams
+	// (default 4×GOMAXPROCS).
+	MaxStreams int
+	// MaxQueue bounds requests waiting for a stream slot (default
+	// 4×MaxStreams). 0 queue + full pool sheds immediately. Negative
+	// disables queueing explicitly.
+	MaxQueue int
+	// QueueWait caps how long an admitted waiter holds a queue slot
+	// before being shed (default 2s).
+	QueueWait time.Duration
+	// RetryAfter is the hint returned with every 503 (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+
+	// RequestTimeout is the per-request generation+stream deadline
+	// (default 60s). Requests may ask for less, never for more.
+	RequestTimeout time.Duration
+	// WriteTimeout is the per-chunk client write deadline (default 15s);
+	// it is what defeats slow-loris readers.
+	WriteTimeout time.Duration
+
+	// ChunkFlows is the encode/flush granularity in flows (default 2048).
+	ChunkFlows int
+	// MaxFlows rejects any request whose predicted schedule exceeds this
+	// many flows (default 8M) before generation starts.
+	MaxFlows int64
+
+	// NegModelTTL is how long a failed model load is remembered before
+	// the next request retries it (default 5s).
+	NegModelTTL time.Duration
+
+	// Telemetry receives server metrics; nil builds a private session.
+	Telemetry *telemetry.Telemetry
+
+	// now is the cache clock, overridable in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxStreams
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 15 * time.Second
+	}
+	if c.ChunkFlows <= 0 {
+		c.ChunkFlows = 2048
+	}
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = 8 << 20
+	}
+	if c.NegModelTTL <= 0 {
+		c.NegModelTTL = 5 * time.Second
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.New()
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// ErrUnknownModel reports a model name no configured source resolves.
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// modelNameRe is the safe lazy-resolution alphabet: no path separators,
+// no dot-dot, nothing a filesystem interprets.
+var modelNameRe = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// Server is one keddah-serve instance. Create with New, expose with
+// Handler, shut down with Drain.
+type Server struct {
+	cfg   Config
+	tel   *telemetry.Telemetry
+	adm   *admission
+	cache *modelCache
+
+	draining atomic.Bool
+
+	// mu guards the stream registry. Registering a stream and flipping
+	// draining are mutually exclusive, so once BeginDrain returns no new
+	// stream can slip past the drain unobserved.
+	mu      sync.Mutex
+	active  int
+	allDone *sync.Cond // broadcast when active drops to zero
+
+	// hardCtx is cancelled by HardStop; every stream's context descends
+	// from it, so cancelling it aborts all in-flight generation.
+	hardCtx  context.Context
+	hardStop context.CancelFunc
+
+	// hook, when non-nil, is called at named stages of a stream — the
+	// test seam for fault injection (panics, stalls). Always nil in
+	// production.
+	hook func(stage string)
+}
+
+// New builds a Server from cfg. At least one model source (Models or
+// ModelDir) is required.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Models) == 0 && cfg.ModelDir == "" {
+		return nil, fmt.Errorf("serve: no model source configured (Models or ModelDir)")
+	}
+	if cfg.DefaultModel == "" && len(cfg.Models) == 1 {
+		for name := range cfg.Models {
+			cfg.DefaultModel = name
+		}
+	}
+	for name := range cfg.Models {
+		if !modelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("serve: invalid model name %q", name)
+		}
+	}
+	s := &Server{
+		cfg: cfg,
+		tel: cfg.Telemetry,
+		adm: newAdmission(cfg.MaxStreams, cfg.MaxQueue, &cfg.Telemetry.Serve),
+	}
+	s.cache = newModelCache(s.loadModel, cfg.NegModelTTL, cfg.now, &cfg.Telemetry.Serve)
+	s.allDone = sync.NewCond(&s.mu)
+	s.hardCtx, s.hardStop = context.WithCancel(context.Background())
+	return s, nil
+}
+
+// registerStream claims a place in the stream registry, or reports that
+// the server is draining and the stream must be shed instead.
+func (s *Server) registerStream() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) unregisterStream() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.allDone.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// resolveModel maps a request's model name to a file path.
+func (s *Server) resolveModel(name string) (string, error) {
+	if path, ok := s.cfg.Models[name]; ok {
+		return path, nil
+	}
+	if s.cfg.ModelDir != "" && modelNameRe.MatchString(name) {
+		return s.cfg.ModelDir + "/" + name + ".json", nil
+	}
+	return "", fmt.Errorf("%w: %q", ErrUnknownModel, name)
+}
+
+// loadModel is the cache's loader: resolve, open, decode.
+func (s *Server) loadModel(name string) (*core.Model, error) {
+	path, err := s.resolveModel(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q (%s)", ErrUnknownModel, name, path)
+		}
+		return nil, fmt.Errorf("serve: open model %q: %w", name, err)
+	}
+	defer f.Close()
+	m, err := core.ReadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	return m, nil
+}
+
+// Draining reports whether admission has been stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain stops admission: /readyz flips to 503 and every new
+// generation request is shed with 503 + Retry-After. In-flight streams
+// are untouched. Safe to call more than once.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	flipped := s.draining.CompareAndSwap(false, true)
+	s.mu.Unlock()
+	if flipped {
+		s.tel.Serve.Draining.Set(1)
+	}
+}
+
+// Drain is the graceful-shutdown sequence: stop admission, wait for
+// in-flight streams until ctx expires, then HardStop the rest. It
+// returns nil when every stream finished on its own, otherwise
+// ctx.Err() after the stragglers have been aborted.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.active > 0 {
+			s.allDone.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.HardStop()
+		// Aborted streams unwind within a write deadline at most.
+		<-done
+		return ctx.Err()
+	}
+}
+
+// HardStop cancels every in-flight stream's context immediately.
+func (s *Server) HardStop() { s.hardStop() }
+
+// Handler returns the daemon's full HTTP surface:
+//
+//	POST|GET /v1/generate  stream one workload's synthetic schedule
+//	POST     /v1/mix       stream a multi-tenant Poisson job mix
+//	GET      /v1/models    model source and cache states
+//	GET      /healthz      liveness (200 while the process serves)
+//	GET      /readyz       readiness (503 once draining)
+//	         /metrics, /metrics.json, /trace.csv, /debug/pprof/...
+//	                       the telemetry ops surface
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		if s.Draining() {
+			w.Header().Set("Retry-After", s.retryAfterSecs())
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/v1/mix", s.handleMix)
+	tel := s.tel.Handler()
+	mux.Handle("/metrics", tel)
+	mux.Handle("/metrics.json", tel)
+	mux.Handle("/trace.csv", tel)
+	mux.Handle("/debug/pprof/", tel)
+	return mux
+}
+
+func (s *Server) retryAfterSecs() string {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

@@ -53,7 +53,7 @@ func (f *Flags) Telemetry() *Telemetry {
 	}
 	if f.PprofAddr != "" {
 		go func() {
-			if err := t.Serve(f.PprofAddr); err != nil {
+			if err := t.ListenAndServe(f.PprofAddr); err != nil {
 				fmt.Fprintln(os.Stderr, "telemetry: pprof server:", err)
 			}
 		}()

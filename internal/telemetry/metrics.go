@@ -82,6 +82,30 @@ func (m FaultMetrics) Injected(kind string) *Counter { return m.injected[kind] }
 // Healed returns the healed-faults counter for kind.
 func (m FaultMetrics) Healed(kind string) *Counter { return m.healed[kind] }
 
+// ServeMetrics instruments the keddah-serve streaming daemon: request
+// admission, load shedding, stream lifecycle and model-cache traffic.
+// Queue/active gauges are live values; the *Max gauges are monotone
+// high-water marks (SetMax) so a post-run snapshot still shows peaks.
+type ServeMetrics struct {
+	Requests      *Counter // generation requests received (any outcome)
+	Streams       *Counter // streams that ran to completion
+	Shed          *Counter // requests shed with 503 (queue full or drain)
+	QueueTimeouts *Counter // requests shed after waiting out the queue
+	Deadlines     *Counter // streams aborted by per-request deadline
+	ClientAborts  *Counter // streams aborted by client disconnect
+	Panics        *Counter // generation panics recovered per-request
+	BadRequests   *Counter // malformed or invalid specs rejected (400)
+	ModelLoads    *Counter // model files loaded into the handle cache
+	ModelErrors   *Counter // model loads that failed (negative-cached)
+	FlowsStreamed *Counter // synthetic flows written to clients
+	BytesStreamed *Counter // encoded bytes written to clients
+	QueueDepth    *Gauge   // requests currently waiting for a worker slot
+	QueueDepthMax *Gauge   // wait-queue high-water mark
+	Active        *Gauge   // streams currently generating/encoding
+	ActiveMax     *Gauge   // concurrent-stream high-water mark
+	Draining      *Gauge   // 1 while the daemon is draining, else 0
+}
+
 // CoreMetrics instruments the capture→fit→generate→validate toolchain.
 // The *WallMs gauges are volatile (wall-clock): Prometheus-only, never
 // in the deterministic JSON snapshot.
@@ -119,6 +143,7 @@ type Telemetry struct {
 	MR    MRMetrics
 	Fault FaultMetrics
 	Core  CoreMetrics
+	Serve ServeMetrics
 }
 
 // FaultKinds are the fault kinds pre-registered by New. Kept as strings
@@ -212,6 +237,26 @@ func New() *Telemetry {
 		GenerateWallMs: r.VolatileGauge("keddah_core_generate_wall_ms", "Wall-clock time spent generating (ms, cumulative)."),
 		ValidateWallMs: r.VolatileGauge("keddah_core_validate_wall_ms", "Wall-clock time spent validating (ms, cumulative)."),
 		ReplayWallMs:   r.VolatileGauge("keddah_core_replay_wall_ms", "Wall-clock time spent replaying (ms, cumulative)."),
+	}
+
+	t.Serve = ServeMetrics{
+		Requests:      r.Counter("keddah_serve_requests_total", "Generation requests received."),
+		Streams:       r.Counter("keddah_serve_streams_total", "Generation streams completed."),
+		Shed:          r.Counter("keddah_serve_shed_total", "Requests shed with 503 (queue full or draining)."),
+		QueueTimeouts: r.Counter("keddah_serve_queue_timeouts_total", "Requests shed after waiting out the admission queue."),
+		Deadlines:     r.Counter("keddah_serve_deadlines_total", "Streams aborted by the per-request deadline."),
+		ClientAborts:  r.Counter("keddah_serve_client_aborts_total", "Streams aborted by client disconnect."),
+		Panics:        r.Counter("keddah_serve_panics_total", "Generation panics recovered per-request."),
+		BadRequests:   r.Counter("keddah_serve_bad_requests_total", "Malformed or invalid generation requests rejected."),
+		ModelLoads:    r.Counter("keddah_serve_model_loads_total", "Model files loaded into the handle cache."),
+		ModelErrors:   r.Counter("keddah_serve_model_errors_total", "Model loads that failed (negative-cached)."),
+		FlowsStreamed: r.Counter("keddah_serve_flows_streamed_total", "Synthetic flows written to clients."),
+		BytesStreamed: r.Counter("keddah_serve_bytes_streamed_total", "Encoded bytes written to clients."),
+		QueueDepth:    r.Gauge("keddah_serve_queue_depth", "Requests currently waiting for a worker slot."),
+		QueueDepthMax: r.Gauge("keddah_serve_queue_depth_max", "Admission wait-queue high-water mark."),
+		Active:        r.Gauge("keddah_serve_active_streams", "Streams currently generating or encoding."),
+		ActiveMax:     r.Gauge("keddah_serve_active_streams_max", "Concurrent-stream high-water mark."),
+		Draining:      r.Gauge("keddah_serve_draining", "1 while the daemon is draining, else 0."),
 	}
 	return t
 }

@@ -33,8 +33,8 @@ func (t *Telemetry) Handler() http.Handler {
 	return mux
 }
 
-// Serve blocks serving Handler on addr — run it in a goroutine alongside
-// a long capture to watch metrics live and grab pprof profiles.
-func (t *Telemetry) Serve(addr string) error {
+// ListenAndServe blocks serving Handler on addr — run it in a goroutine
+// alongside a long capture to watch metrics live and grab pprof profiles.
+func (t *Telemetry) ListenAndServe(addr string) error {
 	return http.ListenAndServe(addr, t.Handler())
 }
