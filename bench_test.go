@@ -63,10 +63,18 @@ func BenchmarkAblationA3FamilyLibrary(b *testing.B) { benchExperiment(b, "A3") }
 // identical workload.
 func BenchmarkCaptureTerasort(b *testing.B) { benchcases.CaptureTerasort(b) }
 
+// BenchmarkCaptureTerasortTCP is the same capture under the flow-level
+// TCP transport (body shared via internal/benchcases).
+func BenchmarkCaptureTerasortTCP(b *testing.B) { benchcases.CaptureTerasortTCP(b) }
+
 // BenchmarkNetsimFanIn measures flow-level simulation throughput: 512
 // flows converging on 16 hosts with max-min reallocation at every
 // arrival and departure (body shared via internal/benchcases).
 func BenchmarkNetsimFanIn(b *testing.B) { benchcases.NetsimFanIn(b) }
+
+// BenchmarkNetsimFanInTCP is the same fan-in paced by the TCP window
+// state machine (body shared via internal/benchcases).
+func BenchmarkNetsimFanInTCP(b *testing.B) { benchcases.NetsimFanInTCP(b) }
 
 // BenchmarkFitSelection measures distribution model selection over a
 // 100k-sample flow-size population (E10's fitting-cost claim).

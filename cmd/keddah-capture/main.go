@@ -16,6 +16,7 @@ import (
 
 	"keddah/internal/core"
 	"keddah/internal/flows"
+	"keddah/internal/netsim"
 	"keddah/internal/pcap"
 	"keddah/internal/telemetry"
 	"keddah/internal/workload"
@@ -40,6 +41,7 @@ func run() error {
 		fatTreeK   = flag.Int("fattree-k", 4, "fat-tree arity (fattree)")
 		blockMB    = flag.Int64("block-mb", 128, "HDFS block size in MiB")
 		repl       = flag.Int("replication", 3, "HDFS replication factor")
+		transport  = flag.String("transport", "fluid", "network transport model: fluid | tcp")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		out        = flag.String("out", "traces.json", "trace-set output path")
 		pcapOut    = flag.String("pcap", "", "optional packet trace output path")
@@ -59,7 +61,11 @@ func run() error {
 		FatTreeK:    *fatTreeK,
 		BlockSize:   *blockMB << 20,
 		Replication: *repl,
+		Transport:   *transport,
 		Seed:        *seed,
+	}
+	if _, err := netsim.ParseTransport(*transport); err != nil {
+		return err
 	}
 	var runSpecs []workload.RunSpec
 	for _, prof := range strings.Split(*workloads, ",") {

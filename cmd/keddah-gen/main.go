@@ -17,6 +17,7 @@ import (
 
 	"keddah/internal/core"
 	"keddah/internal/flows"
+	"keddah/internal/netsim"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run() error {
 		format     = flag.String("format", "json", "schedule format: json | jsonl | csv | ns3")
 		replay     = flag.Bool("replay", false, "replay the schedule on the built-in simulator")
 		topology   = flag.String("topology", "star", "replay fabric: star | multirack | fattree")
+		transport  = flag.String("transport", "fluid", "replay transport model: fluid | tcp")
 		racks      = flag.Int("racks", 2, "rack count (multirack)")
 		uplinkGbps = flag.Float64("uplink-gbps", 10, "rack uplink capacity (multirack)")
 		fatTreeK   = flag.Int("fattree-k", 4, "fat-tree arity (fattree)")
@@ -102,12 +104,16 @@ func run() error {
 	if !*replay {
 		return nil
 	}
+	if _, err := netsim.ParseTransport(*transport); err != nil {
+		return err
+	}
 	spec := core.ClusterSpec{
 		Topology:   *topology,
 		Workers:    *workers,
 		Racks:      *racks,
 		UplinkGbps: *uplinkGbps,
 		FatTreeK:   *fatTreeK,
+		Transport:  *transport,
 		Seed:       *seed,
 	}
 	recs, makespan, err := core.Replay(sched, spec)

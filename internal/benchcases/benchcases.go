@@ -27,9 +27,11 @@ type Case struct {
 func Cases() []Case {
 	return []Case{
 		{"NetsimFanIn", NetsimFanIn},
+		{"NetsimFanInTCP", NetsimFanInTCP},
 		{"ReplayFatTree", ReplayFatTree},
 		{"ReplayFatTreeTelemetry", ReplayFatTreeTelemetry},
 		{"CaptureTerasort", CaptureTerasort},
+		{"CaptureTerasortTCP", CaptureTerasortTCP},
 		{"FitTerasort", FitTerasort},
 		{"ClassifyDataset", ClassifyDataset},
 	}
@@ -127,6 +129,41 @@ func NetsimFanIn(b *testing.B) {
 	}
 }
 
+// NetsimFanInTCP is NetsimFanIn under the flow-level TCP transport: the
+// same 512-flow fan-in now pays per-flow window bookkeeping, millisecond
+// tick settlement and loss recovery. Comparing its ns/op against
+// NetsimFanIn in BENCH_netsim.json bounds the TCP-mode overhead.
+func NetsimFanInTCP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo, err := netsim.Star(17, netsim.Gbps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.New()
+		net := netsim.NewNetwork(eng, topo, netsim.Config{Transport: "tcp"})
+		h := topo.Hosts()
+		for f := 0; f < 512; f++ {
+			src, dst := h[f%16], h[(f+1)%16+1]
+			delay := sim.Time(f) * 1_000_000
+			fl := f
+			eng.After(delay, func() {
+				if _, err := net.StartFlow(netsim.FlowSpec{
+					Src: src, Dst: dst, SrcPort: fl, DstPort: 80, SizeBytes: 10 << 20,
+				}); err != nil {
+					b.Error(err)
+				}
+			})
+		}
+		if _, err := eng.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+		if net.Completed() != 512 {
+			b.Fatalf("completed %d flows", net.Completed())
+		}
+	}
+}
+
 // ReplayFatTree measures schedule replay on a k=4 fat-tree (toolchain
 // stage 4). The one-off capture+fit+generate setup runs outside the timer.
 func ReplayFatTree(b *testing.B) {
@@ -194,6 +231,23 @@ func CaptureTerasort(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: int64(i + 1)},
+			[]workload.RunSpec{{Profile: "terasort", InputBytes: 256 << 20}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts.Runs) != 1 {
+			b.Fatal("lost the run")
+		}
+	}
+}
+
+// CaptureTerasortTCP is CaptureTerasort with the TCP transport selected:
+// the full cluster-simulation capture with every shuffle and HDFS flow
+// paced by the window state machine instead of the fluid allocator.
+func CaptureTerasortTCP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts, _, err := core.Capture(core.ClusterSpec{Workers: 16, Seed: int64(i + 1), Transport: "tcp"},
 			[]workload.RunSpec{{Profile: "terasort", InputBytes: 256 << 20}})
 		if err != nil {
 			b.Fatal(err)

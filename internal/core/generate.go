@@ -473,8 +473,11 @@ func ReplayWith(schedule []SynthFlow, cluster ClusterSpec, tel *telemetry.Teleme
 	if err != nil {
 		return nil, 0, err
 	}
+	if _, err := netsim.ParseTransport(cluster.Transport); err != nil {
+		return nil, 0, fmt.Errorf("core: %w", err)
+	}
 	eng := sim.New()
-	net := netsim.NewNetwork(eng, topo, netsim.Config{})
+	net := netsim.NewNetwork(eng, topo, netsim.Config{Transport: cluster.Transport})
 	if tel != nil {
 		eng.SetMetrics(tel.Sim)
 		net.SetMetrics(tel.Net)

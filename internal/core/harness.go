@@ -54,6 +54,11 @@ type ClusterSpec struct {
 	// reference core, kept for lockstep equivalence testing). The two are
 	// trajectory-identical; only memory behaviour differs.
 	NetImpl string `json:"netImpl"`
+	// Transport selects the network rate model: "" or "fluid" (default
+	// max-min fluid sharing) or "tcp" (per-flow TCP state machine with
+	// slow start, AIMD, fast retransmit and RTO over droptail queues).
+	// "tcp" requires the struct-of-arrays core.
+	Transport string `json:"transport"`
 	// Seed fixes all randomness.
 	Seed int64 `json:"seed"`
 }
@@ -125,10 +130,20 @@ func (s ClusterSpec) BuildCluster() (*hadoop.Cluster, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown net impl %q", s.NetImpl)
 	}
+	transport, err := netsim.ParseTransport(s.Transport)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if transport == netsim.TransportTCP && pointer {
+		return nil, fmt.Errorf("core: transport %q requires the struct-of-arrays net impl, not %q", s.Transport, s.NetImpl)
+	}
 	return hadoop.New(topo, hadoop.Config{
 		HDFS: hdfs.Config{BlockSize: s.BlockSize, Replication: s.Replication},
 		YARN: yarn.Config{SlotsPerNode: s.SlotsPerNode, LocalityWait: sim.Time(s.LocalityWaitNs)},
-		Net:  netsim.Config{Allocator: alloc, UseReferenceAllocator: reference, UsePointerFlows: pointer},
+		Net: netsim.Config{
+			Allocator: alloc, UseReferenceAllocator: reference,
+			UsePointerFlows: pointer, Transport: s.Transport,
+		},
 		Seed: s.Seed,
 	})
 }
@@ -161,6 +176,10 @@ type CaptureOpts struct {
 	// captured traffic is byte-identical either way. Binaries built with
 	// the keddah_checks tag force this on for every capture.
 	StrictChecks bool
+	// Transport, when non-empty, overrides the spec's network transport
+	// for this session ("fluid" or "tcp") — experiments comparing the two
+	// models on one cluster spec thread the choice through here.
+	Transport string
 }
 
 // Capture runs the given workloads sequentially on a fresh cluster built
@@ -174,6 +193,9 @@ func Capture(spec ClusterSpec, runSpecs []workload.RunSpec) (*TraceSet, []worklo
 // CaptureWith is Capture with failure injection and other session options.
 func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts) (*TraceSet, []workload.RunResult, error) {
 	spec = spec.withDefaults()
+	if opts.Transport != "" {
+		spec.Transport = opts.Transport
+	}
 	wallStart := time.Now()
 	cluster, err := spec.BuildCluster()
 	if err != nil {

@@ -48,7 +48,7 @@ func cell(t *testing.T, tab Table, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v, want %v", got, want)
@@ -182,6 +182,50 @@ func TestA3LibraryBeatsExpOnly(t *testing.T) {
 func TestSmokeRemainingExperiments(t *testing.T) {
 	for _, id := range []string{"E3", "E5", "E10", "E13", "A2"} {
 		runOne(t, id)
+	}
+}
+
+// TestE17IncastCollapse checks the tentpole behaviour at experiment level:
+// TCP goodput collapses relative to fluid as fan-in grows, driven by RTO
+// stalls that the fluid model cannot express.
+func TestE17IncastCollapse(t *testing.T) {
+	tabs := runOne(t, "E17")
+	if len(tabs) != 2 {
+		t.Fatalf("E17 tables = %d, want 2", len(tabs))
+	}
+	sweep := tabs[0]
+	last := len(sweep.Rows) - 1
+	// Columns: 0 fan-in, 3 tcp/fluid ratio, 7 RTO fired.
+	ratioSmall := cell(t, sweep, 0, 3)
+	ratioBig := cell(t, sweep, last, 3)
+	if ratioSmall < 0.5 {
+		t.Errorf("fan-in 2 tcp/fluid ratio = %v, want ≥ 0.5 (no collapse at small fan-in)", ratioSmall)
+	}
+	if ratioBig >= 0.2 {
+		t.Errorf("fan-in 64 tcp/fluid ratio = %v, want < 0.2 (incast collapse)", ratioBig)
+	}
+	if rto := cell(t, sweep, last, 7); rto == 0 {
+		t.Error("fan-in 64 fired no RTOs — collapse without timeout stalls is not incast")
+	}
+	if rto := cell(t, sweep, 0, 7); rto != 0 {
+		t.Errorf("fan-in 2 fired %v RTOs, want fast-retransmit-only recovery", rto)
+	}
+	// TCP tail FCT must dominate fluid's at the big fan-in.
+	if fp99, tp99 := cell(t, sweep, last, 4), cell(t, sweep, last, 5); tp99 <= fp99 {
+		t.Errorf("fan-in 64 tcp p99 FCT %v ms not above fluid %v ms", tp99, fp99)
+	}
+	// The capture table has all four transport x scenario cells.
+	capTab := tabs[1]
+	if len(capTab.Rows) != 4 {
+		t.Fatalf("E17b rows = %d, want 4", len(capTab.Rows))
+	}
+	if capTab.Rows[0][0] != "fluid" || capTab.Rows[0][1] != "healthy" {
+		t.Errorf("E17b row 0 = %v, want fluid healthy anchor", capTab.Rows[0][:2])
+	}
+	for i := range capTab.Rows {
+		if d := cell(t, capTab, i, 2); d <= 0 {
+			t.Errorf("E17b row %d duration %v not positive", i, d)
+		}
 	}
 }
 

@@ -28,6 +28,11 @@ func (n *Network) VerifyState() error {
 		if err := n.soa.verifyState(); err != nil {
 			return err
 		}
+		if n.soa.tcp != nil {
+			if err := n.soa.tcp.verify(); err != nil {
+				return err
+			}
+		}
 	}
 	if n.reallocPendingNow() {
 		// Rates are stale until the coalesced dirty event fires at this
@@ -138,6 +143,11 @@ func (c *ptrCore) verifyState() error {
 // within rateTolerance.
 func (n *Network) CheckAllocatorOracle() error {
 	if n.cfg.Allocator != AllocMaxMin || n.reallocPendingNow() || n.ActiveFlows() == 0 {
+		return nil
+	}
+	if n.soa != nil && n.soa.tcp != nil {
+		// TCP rates are demand-limited; the unconstrained max-min oracle
+		// does not apply. tcpCore.verify covers the TCP-mode invariants.
 		return nil
 	}
 	// Assemble the oracle inputs from the active core's view.

@@ -216,6 +216,15 @@ type Config struct {
 	// concurrent flows, so a capture whose concurrency is predicted from
 	// its workload profile allocates nothing on the steady-state path.
 	ExpectedFlows int
+	// Transport selects the rate model: "" or "fluid" for instantaneous
+	// max-min sharing (the default), "tcp" for the per-flow TCP state
+	// machine (slow start, AIMD, fast retransmit, RTO) over droptail
+	// queues. Validate user input with ParseTransport before building a
+	// Network — NewNetwork panics on names ParseTransport rejects.
+	Transport string
+	// TCP tunes the TCP transport; ignored unless Transport is "tcp".
+	// The zero value selects the documented defaults.
+	TCP TCPConfig
 }
 
 // Network runs flows over a Topology on a shared simulation engine. It is
@@ -247,6 +256,13 @@ func NewNetwork(eng *sim.Engine, topo *Topology, cfg Config) *Network {
 	if cfg.LoopbackBps == 0 {
 		cfg.LoopbackBps = 20 * Gbps
 	}
+	tr, err := ParseTransport(cfg.Transport)
+	if err != nil {
+		panic(err)
+	}
+	if tr == TransportTCP && cfg.UsePointerFlows {
+		panic("netsim: transport \"tcp\" requires the struct-of-arrays core")
+	}
 	n := &Network{eng: eng, topo: topo, cfg: cfg}
 	if cfg.UsePointerFlows {
 		n.ptr = newPtrCore(n)
@@ -271,7 +287,31 @@ func (n *Network) Reserve(peakFlows int) {
 	if n.soa != nil {
 		n.soa.reserve(peakFlows)
 	}
-	n.eng.Reserve(2*peakFlows + 16)
+	// TCP mode holds one more persistent timer per flow (the RTO timer)
+	// on top of completion + activation/coalescing headroom.
+	mult := 2
+	if n.soa != nil && n.soa.tcp != nil {
+		mult = 3
+	}
+	n.eng.Reserve(mult*peakFlows + 16)
+}
+
+// Transport returns the rate model the network runs flows under.
+func (n *Network) Transport() Transport {
+	if n.soa != nil && n.soa.tcp != nil {
+		return TransportTCP
+	}
+	return TransportFluid
+}
+
+// TCPStats returns the cumulative TCP event counts (fast retransmits and
+// retransmission timeouts fired). Both are zero in fluid mode. Available
+// without a telemetry sink so experiments and tests can read them directly.
+func (n *Network) TCPStats() (fastRetransmits, timeouts uint64) {
+	if n.soa != nil && n.soa.tcp != nil {
+		return n.soa.tcp.fastRtx, n.soa.tcp.rtoFired
+	}
+	return 0, 0
 }
 
 // Topology returns the network's topology.
@@ -553,6 +593,33 @@ func (n *Network) CheckInvariants() error {
 		if used > capBps*(1+relTol) {
 			return fmt.Errorf("netsim: link %d over capacity: %.3g > %.3g bps", lid, used, capBps)
 		}
+	}
+	if n.soa != nil && n.soa.tcp != nil {
+		// TCP mode: allocation is demand-limited water-filling, so the
+		// fluid bottleneck condition only binds flows whose window demand
+		// exceeds their allocation. A flow at (or below) its demand is
+		// window-limited; anything in between must cross a saturated link.
+		c, tc := n.soa, n.soa.tcp
+		for _, s := range c.active {
+			rate, d := c.rate[s], tc.demand[s]
+			if rate > d*(1+relTol)+1e-6 {
+				return fmt.Errorf("netsim: flow %d rate %.3g exceeds TCP demand %.3g bps", c.fid[s], rate, d)
+			}
+			if rate <= 0 || rate >= d*(1-relTol) {
+				continue // stalled, or demand-limited at its window
+			}
+			sat := false
+			for _, lid := range c.path(s) {
+				if rates[lid] >= n.topo.links[lid].CapacityBps*(1-relTol) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				return fmt.Errorf("netsim: flow %d (rate %.3g of demand %.3g bps) crosses no saturated link", c.fid[s], rate, d)
+			}
+		}
+		return nil
 	}
 	if n.cfg.Allocator != AllocMaxMin {
 		return nil

@@ -72,6 +72,11 @@ type soaCore struct {
 	reallocPending bool
 	dirtyE         sim.Event
 
+	// tcp carries the per-flow TCP state machine when Config.Transport is
+	// "tcp"; nil in fluid mode, and every hook below nil-checks it so the
+	// fluid trajectory is bit-identical to a build without the subsystem.
+	tcp *tcpCore
+
 	// Allocation scratch, reused across reallocations. remCap/cnt are
 	// indexed by LinkID; rates/frozen by active-list position; freezeBuf
 	// holds one round's bottleneck candidates; pathScratch is the route
@@ -121,6 +126,9 @@ func newSoaCore(nw *Network) *soaCore {
 	c.abortCb = c.abortByArg
 	c.finishCb = c.finishByArg
 	c.dirtyE = c.eng.NewTimer(c.dirty, 0)
+	if tr, err := ParseTransport(nw.cfg.Transport); err == nil && tr == TransportTCP {
+		c.tcp = newTCPCore(c)
+	}
 	return c
 }
 
@@ -171,6 +179,9 @@ func (c *soaCore) reserve(peak int) {
 	c.frozen = growCap(c.frozen, peak)
 	c.freezeBuf = growCap(c.freezeBuf, peak)
 	c.segChunks = growCap(c.segChunks, peak)
+	if c.tcp != nil {
+		c.tcp.reserve(peak)
+	}
 	// Per-link index lists: flows × mean path length spread over links,
 	// with a floor so small fabrics start usable.
 	if nl := len(c.linkFlows); nl > 0 {
@@ -212,6 +223,9 @@ func (c *soaCore) allocSlot() int32 {
 	need := (int(s) + 1) * c.pathStride
 	c.pathArena = growLen(c.pathArena, need)
 	c.posArena = growLen(c.posArena, need)
+	if c.tcp != nil {
+		c.tcp.appendSlot()
+	}
 	return s
 }
 
@@ -385,7 +399,9 @@ func (c *soaCore) startFlow(spec FlowSpec, wantHandle bool) (FlowID, *Flow) {
 			return id, h
 		}
 		latency = c.topo.PathLatencyNs(c.path(s))
-		if c.cfg.ModelSlowStart {
+		// The TCP transport models slow start natively; the analytic
+		// startup penalty belongs to the fluid model only.
+		if c.cfg.ModelSlowStart && c.tcp == nil {
 			latency += slowStartPenaltyNs(spec.SizeBytes, latency)
 		}
 	} else {
@@ -433,6 +449,9 @@ func (c *soaCore) activate(arg uint64) {
 	c.listIdx[s] = int32(len(c.active))
 	c.active = append(c.active, s)
 	c.linkInsert(s)
+	if c.tcp != nil {
+		c.tcp.onActivate(s)
+	}
 	c.markDirty()
 }
 
@@ -496,17 +515,27 @@ func (c *soaCore) dirty(uint64) {
 	c.reallocate()
 }
 
-// settle charges elapsed transfer progress to every active flow.
+// settle charges elapsed transfer progress to every active flow. In TCP
+// mode the same charge feeds the per-tick acked-byte accumulator (window
+// growth tracks delivered bytes exactly, independent of tick cadence) and
+// the link queues integrate over the elapsed interval.
 func (c *soaCore) settle() {
 	now := c.eng.Now()
 	for _, s := range c.active {
 		if dt := now - c.last[s]; dt > 0 && c.rate[s] > 0 {
-			c.remaining[s] -= c.rate[s] * dt.Seconds() / 8
+			d := c.rate[s] * dt.Seconds() / 8
+			c.remaining[s] -= d
 			if c.remaining[s] < 0 {
 				c.remaining[s] = 0
 			}
+			if c.tcp != nil {
+				c.tcp.acked[s] += d
+			}
 		}
 		c.last[s] = now
+	}
+	if c.tcp != nil {
+		c.tcp.settleQueues(now)
 	}
 }
 
@@ -518,6 +547,9 @@ func (c *soaCore) reallocate() {
 
 	nf := len(c.active)
 	if nf == 0 {
+		if c.tcp != nil {
+			c.tcp.clearOffered() // let queues drain across idle gaps
+		}
 		return
 	}
 	c.resetScratch(nf)
@@ -525,6 +557,9 @@ func (c *soaCore) reallocate() {
 	c.nw.metrics.ActiveFlowsMax.SetMax(float64(nf))
 
 	switch {
+	case c.tcp != nil:
+		c.tcp.updateOffered()
+		c.tcp.rates()
 	case c.cfg.Allocator == AllocEqualSplit:
 		c.equalSplitRates()
 	case c.cfg.UseReferenceAllocator:
@@ -635,6 +670,9 @@ func (c *soaCore) removeActive(s int32) {
 		c.listIdx[c.active[j]] = int32(j)
 	}
 	c.linkRemove(s)
+	if c.tcp != nil {
+		c.tcp.onRemove(s)
+	}
 }
 
 // abortSlot tears a flow down before completion: it leaves the active
@@ -732,6 +770,9 @@ func (c *soaCore) rerouteOrAbort(s int32) {
 	c.linkRemove(s) // uses the old path/positions
 	c.storePath(s, p)
 	c.linkInsert(s)
+	if c.tcp != nil {
+		c.tcp.onReroute(s)
+	}
 	c.nw.metrics.Reroutes.Inc()
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -16,29 +17,39 @@ import (
 
 // loadReport is the machine-readable artifact the CI smoke job uploads.
 type loadReport struct {
-	Streams       int   `json:"streams"`
-	Completed     int64 `json:"completed"`
-	Shed          int64 `json:"shed"`
-	Bytes         int64 `json:"bytesStreamed"`
-	Flows         int64 `json:"flowsStreamed"`
-	MaxActive     int64 `json:"maxActive"`
-	MaxQueueDepth int64 `json:"maxQueueDepth"`
-	GoroutineBase int   `json:"goroutineBase"`
-	GoroutineEnd  int   `json:"goroutineEnd"`
-	ElapsedMs     int64 `json:"elapsedMs"`
+	Streams       int     `json:"streams"`
+	Completed     int64   `json:"completed"`
+	Shed          int64   `json:"shed"`
+	Bytes         int64   `json:"bytesStreamed"`
+	Flows         int64   `json:"flowsStreamed"`
+	MaxActive     int64   `json:"maxActive"`
+	MaxQueueDepth int64   `json:"maxQueueDepth"`
+	GoroutineBase int     `json:"goroutineBase"`
+	GoroutineEnd  int     `json:"goroutineEnd"`
+	ElapsedMs     int64   `json:"elapsedMs"`
+	P50TTFBMs     float64 `json:"p50TTFBMs"`
+	P99TTFBMs     float64 `json:"p99TTFBMs"`
 }
 
 // runWave fires n concurrent streams and returns how many completed with
-// a 200 and a clean full read vs were shed with a 503.
-func runWave(t *testing.T, client *http.Client, base string, n int) (completed, shed int64) {
+// a 200 and a clean full read vs were shed with a 503, plus the sorted
+// client-side time-to-first-byte (ms) of every completed stream. TTFB
+// covers queue wait plus the first generation chunk, so its tail is the
+// latency a caller actually experiences under admission control.
+func runWave(t *testing.T, client *http.Client, base string, n int) (completed, shed int64, ttfbMs []float64) {
 	t.Helper()
 	var wg sync.WaitGroup
 	var ok, sh atomic.Int64
+	// One pre-sized slot per stream: -1 marks shed/failed streams so the
+	// goroutines never contend on an append.
+	ttfbs := make([]float64, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(seed int) {
 			defer wg.Done()
+			ttfbs[seed] = -1
 			url := fmt.Sprintf("%s/v1/generate?workload=terasort&seed=%d", base, seed)
+			start := time.Now()
 			resp, err := client.Get(url)
 			if err != nil {
 				t.Errorf("stream %d: %v", seed, err)
@@ -47,6 +58,12 @@ func runWave(t *testing.T, client *http.Client, base string, n int) (completed, 
 			defer resp.Body.Close()
 			switch resp.StatusCode {
 			case http.StatusOK:
+				var first [1]byte
+				if _, err := io.ReadFull(resp.Body, first[:]); err != nil {
+					t.Errorf("stream %d: first byte: %v", seed, err)
+					return
+				}
+				ttfbs[seed] = float64(time.Since(start)) / float64(time.Millisecond)
 				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 					t.Errorf("stream %d truncated: %v", seed, err)
 					return
@@ -64,7 +81,28 @@ func runWave(t *testing.T, client *http.Client, base string, n int) (completed, 
 		}(i)
 	}
 	wg.Wait()
-	return ok.Load(), sh.Load()
+	for _, v := range ttfbs {
+		if v >= 0 {
+			ttfbMs = append(ttfbMs, v)
+		}
+	}
+	sort.Float64s(ttfbMs)
+	return ok.Load(), sh.Load(), ttfbMs
+}
+
+// pct returns the p-th percentile (nearest-rank) of an ascending slice.
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // waitGoroutines polls until the goroutine count settles near base.
@@ -93,7 +131,7 @@ func TestServeLoadSmoke(t *testing.T) {
 	})
 	const n = 200
 	start := time.Now()
-	completed, shed := runWave(t, hs.Client(), hs.URL, n)
+	completed, shed, ttfbs := runWave(t, hs.Client(), hs.URL, n)
 	elapsed := time.Since(start)
 
 	if completed+shed != n {
@@ -101,6 +139,16 @@ func TestServeLoadSmoke(t *testing.T) {
 	}
 	if completed == 0 {
 		t.Fatal("no stream completed")
+	}
+	// Tail-latency gate: every admitted stream must see its first byte
+	// well inside the 30 s queue-wait budget. A p99 TTFB regression here
+	// fails the CI serve-smoke job before users would feel it.
+	p50TTFB, p99TTFB := pct(ttfbs, 50), pct(ttfbs, 99)
+	if p99TTFB <= 0 {
+		t.Error("p99 TTFB not measured")
+	}
+	if limit := 15_000.0; p99TTFB >= limit {
+		t.Errorf("p99 TTFB %.0f ms breaches the %0.f ms gate (queue wait budget %v)", p99TTFB, limit, 30*time.Second)
 	}
 	if got := s.tel.Serve.Streams.Value(); got != completed {
 		t.Errorf("streams counter = %d, client saw %d completions", got, completed)
@@ -136,6 +184,8 @@ func TestServeLoadSmoke(t *testing.T) {
 			GoroutineBase: goroutineBase,
 			GoroutineEnd:  goroutineEnd,
 			ElapsedMs:     elapsed.Milliseconds(),
+			P50TTFBMs:     p50TTFB,
+			P99TTFBMs:     p99TTFB,
 		}
 		data, _ := json.MarshalIndent(report, "", "  ")
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
@@ -169,12 +219,12 @@ func TestServeLoad1kFlatRSS(t *testing.T) {
 	}
 
 	const wave = 250
-	if c, sh := runWave(t, client, hs.URL, wave); c+sh != wave {
+	if c, sh, _ := runWave(t, client, hs.URL, wave); c+sh != wave {
 		t.Fatalf("warm-up wave lost streams: %d + %d", c, sh)
 	}
 	h1 := heapAfter()
 	for i := 0; i < 3; i++ { // 750 more streams → 1000 total
-		if c, sh := runWave(t, client, hs.URL, wave); c+sh != wave {
+		if c, sh, _ := runWave(t, client, hs.URL, wave); c+sh != wave {
 			t.Fatalf("wave %d lost streams: %d + %d", i+2, c, sh)
 		}
 	}

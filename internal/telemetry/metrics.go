@@ -22,6 +22,12 @@ type NetMetrics struct {
 	LinkTransitions *Counter // SetLinkState up/down changes
 	ActiveFlowsMax  *Gauge
 	FlowBytes       *Histogram
+
+	// TCP transport instruments; only move when Config.Transport is "tcp".
+	TCPFastRetransmits *Counter // loss recoveries without an RTO stall
+	TCPTimeouts        *Counter // retransmission timeouts fired
+	TCPCwndMaxBytes    *Gauge   // congestion-window high-water mark
+	TCPQueueMaxBytes   *Gauge   // droptail queue-depth high-water mark
 }
 
 // HDFSMetrics instruments the simulated DFS.
@@ -175,6 +181,11 @@ func New() *Telemetry {
 		LinkTransitions: r.Counter("keddah_net_link_transitions_total", "Link up/down state changes."),
 		ActiveFlowsMax:  r.Gauge("keddah_net_active_flows_max", "Concurrent flow high-water mark."),
 		FlowBytes:       r.Histogram("keddah_net_flow_bytes", "Completed flow sizes in bytes.", flowBounds),
+
+		TCPFastRetransmits: r.Counter("keddah_net_tcp_fast_retransmits_total", "TCP loss recoveries via fast retransmit."),
+		TCPTimeouts:        r.Counter("keddah_net_tcp_rto_fired_total", "TCP retransmission timeouts fired."),
+		TCPCwndMaxBytes:    r.Gauge("keddah_net_tcp_cwnd_max_bytes", "TCP congestion-window high-water mark."),
+		TCPQueueMaxBytes:   r.Gauge("keddah_net_tcp_queue_depth_max_bytes", "Droptail queue-depth high-water mark."),
 	}
 
 	t.HDFS = HDFSMetrics{
