@@ -26,18 +26,23 @@ import (
 )
 
 // gatedBenchmarks are the cases the CI regression gate enforces: the
-// netsim hot path, the replay pipeline with and without telemetry, and
-// the modelling stage (fit + dataset classification), whose sort-once
-// sample pipeline this gate keeps honest. The TCP-transport variants are
-// gated too, so per-flow window bookkeeping stays within its budget.
+// netsim hot path, the replay pipeline with and without telemetry, the
+// modelling stage (fit + dataset classification), whose sort-once
+// sample pipeline this gate keeps honest, and the multi-pod sharded
+// capture, so the window scheduler's capture-path overhead stays within
+// its budget. The TCP-transport variants are gated too, so per-flow
+// window bookkeeping stays within its budget.
 // CaptureTerasort/CaptureTerasortTCP are reported but not gated (their
 // ns/op is dominated by one-off model fitting and too noisy for a 15%
-// bound).
+// bound); NetsimFanInSharded is reported for the window-vs-RunAll
+// comparison but gated through CaptureMultiPodSharded, which covers the
+// same scheduler on the path users run.
 var gatedBenchmarks = []string{
 	"NetsimFanIn",
 	"NetsimFanInTCP",
 	"ReplayFatTree",
 	"ReplayFatTreeTelemetry",
+	"CaptureMultiPodSharded",
 	"FitTerasort",
 	"ClassifyDataset",
 }
@@ -116,7 +121,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (E1..E17, A1..A3) or 'all'")
+		exp       = flag.String("exp", "all", "experiment id (E1..E18, A1..A3) or 'all'")
 		scale     = flag.Float64("scale", 1, "input-size multiplier (1 = paper scale)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		list      = flag.Bool("list", false, "list experiments and exit")
@@ -126,6 +131,7 @@ func run() error {
 		benchBase = flag.String("benchbaseline", "", "compare the micro-benchmarks against this committed baseline JSON and fail on >15% ns/op or >10% allocs/op regression, then exit")
 		benchDiff = flag.String("benchdiff", "", "with -benchbaseline, write the per-benchmark comparison as JSON to this path")
 		strict    = flag.Bool("strict-checks", false, "run every capture with the invariants layer enabled (read-only cross-layer checks; identical results, more wall time)")
+		shardsFlg = flag.Int("shards", -2, "override the engine layout of every multi-pod capture: 0 = serial, -1 = one engine per pod, 1..pods explicit (-2 = leave each experiment's default; output is byte-identical at every setting)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
 		memProf   = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof format)")
 	)
@@ -179,6 +185,9 @@ func run() error {
 	}
 	tel := tf.Telemetry()
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Telemetry: tel, StrictChecks: *strict}
+	if *shardsFlg != -2 {
+		cfg.Shards = shardsFlg
+	}
 	start := time.Now()
 	results := experiments.RunAll(ids, cfg, *workers)
 	// Results come back in id order whatever the completion order, so the

@@ -42,9 +42,13 @@ func run() error {
 		blockMB    = flag.Int64("block-mb", 128, "HDFS block size in MiB")
 		repl       = flag.Int("replication", 3, "HDFS replication factor")
 		transport  = flag.String("transport", "fluid", "network transport model: fluid | tcp")
+		pods       = flag.Int("pods", 1, "federated pod count (each pod is its own cluster; runs stripe across pods)")
+		shards     = flag.Int("shards", 0, "engine layout for multi-pod captures: 0 = serial, -1 = one engine per pod, 1..pods explicit (output is byte-identical at every setting)")
+		crossPod   = flag.String("crosspod", "", "cross-pod copy pattern after each pod's last run: ring | fanin | none (multi-pod only)")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		out        = flag.String("out", "traces.json", "trace-set output path")
-		pcapOut    = flag.String("pcap", "", "optional packet trace output path")
+		flowsCSV   = flag.String("flows-csv", "", "optional flow-records CSV output path (the shard-determinism CI job byte-diffs this)")
+		pcapOut    = flag.String("pcap", "", "optional packet trace output path (single-pod only)")
 		failWorker = flag.Int("fail-worker", -1, "worker index to kill mid-session (-1 = none)")
 		failAt     = flag.Float64("fail-at", 30, "failure time in seconds (with -fail-worker)")
 		strict     = flag.Bool("strict-checks", false, "run the capture with the invariants layer enabled (read-only cross-layer checks; identical trace, more wall time)")
@@ -62,10 +66,16 @@ func run() error {
 		BlockSize:   *blockMB << 20,
 		Replication: *repl,
 		Transport:   *transport,
+		Pods:        *pods,
+		Shards:      *shards,
+		CrossPod:    *crossPod,
 		Seed:        *seed,
 	}
 	if _, err := netsim.ParseTransport(*transport); err != nil {
 		return err
+	}
+	if *pods > 1 && *pcapOut != "" {
+		return fmt.Errorf("-pcap is single-pod only (the streaming packet sink has no multi-pod merge yet)")
 	}
 	var runSpecs []workload.RunSpec
 	for _, prof := range strings.Split(*workloads, ",") {
@@ -113,6 +123,20 @@ func run() error {
 	}
 	if err := f.Close(); err != nil {
 		return err
+	}
+
+	if *flowsCSV != "" {
+		cf, err := os.Create(*flowsCSV)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteFlowCSV(cf, ts); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
 	}
 
 	if *pcapOut != "" {

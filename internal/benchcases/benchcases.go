@@ -28,10 +28,12 @@ func Cases() []Case {
 	return []Case{
 		{"NetsimFanIn", NetsimFanIn},
 		{"NetsimFanInTCP", NetsimFanInTCP},
+		{"NetsimFanInSharded", NetsimFanInSharded},
 		{"ReplayFatTree", ReplayFatTree},
 		{"ReplayFatTreeTelemetry", ReplayFatTreeTelemetry},
 		{"CaptureTerasort", CaptureTerasort},
 		{"CaptureTerasortTCP", CaptureTerasortTCP},
+		{"CaptureMultiPodSharded", CaptureMultiPodSharded},
 		{"FitTerasort", FitTerasort},
 		{"ClassifyDataset", ClassifyDataset},
 	}
@@ -164,6 +166,56 @@ func NetsimFanInTCP(b *testing.B) {
 	}
 }
 
+// NetsimFanInSharded is the NetsimFanIn workload split across a 4-pod
+// sharded scheduler: each pod owns its own Star(17) topology, network and
+// 128 of the 512 flows, and the windowed drain replaces RunAll. Comparing
+// its ns/op against NetsimFanIn in BENCH_netsim.json bounds the window
+// protocol's overhead (barriers, boundary peeks, worker handoff) on the
+// netsim hot path.
+func NetsimFanInSharded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		const pods = 4
+		sched, err := sim.NewSharded(pods, pods, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets := make([]*netsim.Network, pods)
+		for p := 0; p < pods; p++ {
+			topo, err := netsim.Star(17, netsim.Gbps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := sched.PodEngine(p)
+			net := netsim.NewNetwork(eng, topo, netsim.Config{})
+			nets[p] = net
+			h := topo.Hosts()
+			for f := 0; f < 128; f++ {
+				src, dst := h[f%16], h[(f+1)%16+1]
+				delay := sim.Time(f) * 1_000_000
+				fl := f
+				eng.After(delay, func() {
+					if _, err := net.StartFlow(netsim.FlowSpec{
+						Src: src, Dst: dst, SrcPort: fl, DstPort: 80, SizeBytes: 10 << 20,
+					}); err != nil {
+						b.Error(err)
+					}
+				})
+			}
+		}
+		if _, err := sched.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		var total uint64
+		for _, net := range nets {
+			total += net.Completed()
+		}
+		if total != 512 {
+			b.Fatalf("completed %d flows", total)
+		}
+	}
+}
+
 // ReplayFatTree measures schedule replay on a k=4 fat-tree (toolchain
 // stage 4). The one-off capture+fit+generate setup runs outside the timer.
 func ReplayFatTree(b *testing.B) {
@@ -237,6 +289,31 @@ func CaptureTerasort(b *testing.B) {
 		}
 		if len(ts.Runs) != 1 {
 			b.Fatal("lost the run")
+		}
+	}
+}
+
+// CaptureMultiPodSharded measures the multi-pod capture path end to end:
+// a 4-pod × 16-worker federation on the auto shard layout, one terasort
+// per pod plus the ring of cross-pod distcp copies. This is the gated
+// guard on the sharded scheduler's capture-path overhead (windows,
+// barriers, inter-pod fabric, merge).
+func CaptureMultiPodSharded(b *testing.B) {
+	b.ReportAllocs()
+	shards := -1
+	for i := 0; i < b.N; i++ {
+		runs := make([]workload.RunSpec, 4)
+		for p := range runs {
+			runs[p] = workload.RunSpec{Profile: "terasort", InputBytes: 128 << 20}
+		}
+		ts, _, err := core.CaptureWith(core.ClusterSpec{
+			Workers: 16, Pods: 4, CrossPod: "ring", Seed: int64(i + 1),
+		}, runs, core.CaptureOpts{Shards: &shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts.Runs) != 4 {
+			b.Fatal("lost a run")
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"keddah/internal/flows"
+	"keddah/internal/pcap"
 )
 
 // This file provides external-simulator exports of synthetic schedules —
@@ -271,4 +272,38 @@ func sanitizeTag(s string) string {
 			return '_'
 		}
 	}, s)
+}
+
+// WriteFlowCSV exports a TraceSet's ground-truth flow records — every
+// run plus background — as CSV, one flow per row in a fixed column
+// order. The output is a pure function of the TraceSet, so the CI
+// shard-determinism job byte-diffs it across engine layouts.
+func WriteFlowCSV(w io.Writer, ts *TraceSet) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scope", "label", "src", "dst", "src_port", "dst_port", "first_ns", "last_ns", "bytes"}); err != nil {
+		return fmt.Errorf("write flow csv header: %w", err)
+	}
+	row := func(scope string, r pcap.FlowRecord) error {
+		return cw.Write([]string{
+			scope, r.Label,
+			r.Key.Src.String(), r.Key.Dst.String(),
+			strconv.Itoa(int(r.Key.SrcPort)), strconv.Itoa(int(r.Key.DstPort)),
+			strconv.FormatInt(r.FirstNs, 10), strconv.FormatInt(r.LastNs, 10),
+			strconv.FormatInt(r.Bytes, 10),
+		})
+	}
+	for _, r := range ts.Background {
+		if err := row("background", r); err != nil {
+			return fmt.Errorf("write flow csv: %w", err)
+		}
+	}
+	for _, run := range ts.Runs {
+		for _, r := range run.Records {
+			if err := row(run.JobName, r); err != nil {
+				return fmt.Errorf("write flow csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return errWrap("flush flow csv", cw.Error())
 }

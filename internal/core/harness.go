@@ -61,6 +61,27 @@ type ClusterSpec struct {
 	Transport string `json:"transport"`
 	// Seed fixes all randomness.
 	Seed int64 `json:"seed"`
+	// Pods is the pod count of a multi-pod capture. 0 or 1 runs the
+	// classic single-pod session; above 1, each pod is a full cluster
+	// of Workers hosts (own master, own network) and pods exchange
+	// traffic through the store-and-forward inter-pod fabric.
+	Pods int `json:"pods,omitempty"`
+	// Shards selects the engine layout of a multi-pod capture:
+	// 0 = serial (one event engine hosting every pod, still advancing
+	// through the same conservative windows), -1 = auto (one engine per
+	// pod), or an explicit count in [1, Pods]. Output is byte-identical
+	// at every setting; only wall-clock changes. Single-pod captures
+	// ignore it.
+	Shards int `json:"shards,omitempty"`
+	// CrossPod selects the inter-pod copy traffic each pod emits after
+	// its last run: "" or "ring" (pod p distcps its final output to pod
+	// p+1), "fanin" (every pod sends to pod 0 — the skewed-reducer
+	// shape), or "none".
+	CrossPod string `json:"crossPod,omitempty"`
+	// InterPodLatencyNs is the one-way gateway-to-gateway latency of
+	// the inter-pod fabric (default 1ms). It is also the scheduler
+	// lookahead the conservative windows are derived from.
+	InterPodLatencyNs int64 `json:"interPodLatencyNs,omitempty"`
 }
 
 func (s ClusterSpec) withDefaults() ClusterSpec {
@@ -104,6 +125,13 @@ func (s ClusterSpec) BuildTopology() (*netsim.Topology, error) {
 
 // BuildCluster assembles a Hadoop cluster on the spec's fabric.
 func (s ClusterSpec) BuildCluster() (*hadoop.Cluster, error) {
+	return s.buildClusterOn(nil)
+}
+
+// buildClusterOn is BuildCluster with the event engine chosen by the
+// caller — multi-pod captures place each pod's cluster on its shard's
+// engine. A nil engine gives the cluster a fresh private one.
+func (s ClusterSpec) buildClusterOn(eng *sim.Engine) (*hadoop.Cluster, error) {
 	topo, err := s.BuildTopology()
 	if err != nil {
 		return nil, err
@@ -144,7 +172,8 @@ func (s ClusterSpec) BuildCluster() (*hadoop.Cluster, error) {
 			Allocator: alloc, UseReferenceAllocator: reference,
 			UsePointerFlows: pointer, Transport: s.Transport,
 		},
-		Seed: s.Seed,
+		Engine: eng,
+		Seed:   s.Seed,
 	})
 }
 
@@ -180,6 +209,23 @@ type CaptureOpts struct {
 	// for this session ("fluid" or "tcp") — experiments comparing the two
 	// models on one cluster spec thread the choice through here.
 	Transport string
+	// Shards, when non-nil, overrides spec.Shards for this session
+	// (0 = serial, -1 = auto, 1..Pods explicit). The CLI -shards flag
+	// and the lockstep experiments thread the engine layout here.
+	Shards *int
+	// InterPodFaults marks pod-pair fabric outages in a multi-pod
+	// capture: transfers between a down pair detour through a relay pod
+	// or abort. Ignored (with an error) outside multi-pod sessions.
+	InterPodFaults []InterPodFault
+}
+
+// InterPodFault takes the (SrcPod, DstPod) fabric pair down at AtNs for
+// DurationNs (0 = permanently).
+type InterPodFault struct {
+	SrcPod     int   `json:"srcPod"`
+	DstPod     int   `json:"dstPod"`
+	AtNs       int64 `json:"atNs"`
+	DurationNs int64 `json:"durationNs"`
 }
 
 // Capture runs the given workloads sequentially on a fresh cluster built
@@ -195,6 +241,12 @@ func CaptureWith(spec ClusterSpec, runSpecs []workload.RunSpec, opts CaptureOpts
 	spec = spec.withDefaults()
 	if opts.Transport != "" {
 		spec.Transport = opts.Transport
+	}
+	if spec.Pods > 1 {
+		return captureMultiPod(spec, runSpecs, opts)
+	}
+	if len(opts.InterPodFaults) > 0 {
+		return nil, nil, fmt.Errorf("core: inter-pod faults need a multi-pod capture (pods=%d)", spec.Pods)
 	}
 	wallStart := time.Now()
 	cluster, err := spec.BuildCluster()
@@ -299,8 +351,9 @@ func reduceCapture(spec ClusterSpec, records []pcap.FlowRecord, results []worklo
 	groups := flows.GroupByJob(records)
 	ts := &TraceSet{BackgroundHosts: spec.Workers}
 
-	// Background: cluster-wide heartbeats (yarn/*, hdfs/*).
-	for _, key := range []string{"yarn", "hdfs"} {
+	// Background: cluster-wide heartbeats (yarn/*, hdfs/*) plus the
+	// inter-pod copy traffic of multi-pod sessions (distcp/*).
+	for _, key := range []string{"yarn", "hdfs", "distcp"} {
 		if g, ok := groups[key]; ok {
 			ts.Background = append(ts.Background, g.Records...)
 		}

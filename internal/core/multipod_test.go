@@ -1,0 +1,302 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"keddah/internal/faults"
+	"keddah/internal/telemetry"
+	"keddah/internal/workload"
+)
+
+// multiPodOutput runs one multi-pod capture at the given engine layout
+// and GOMAXPROCS and returns every deterministic artifact concatenated:
+// the TraceSet JSON, the flow CSV, and the telemetry snapshot JSON.
+// Byte-equality of this string across layouts is the lockstep criterion.
+func multiPodOutput(t *testing.T, spec ClusterSpec, runs []workload.RunSpec, opts CaptureOpts, shards, procs int) (string, *TraceSet) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	tel := telemetry.New()
+	o := opts
+	o.Telemetry = tel
+	o.Shards = &shards
+	ts, results, err := CaptureWith(spec, runs, o)
+	if err != nil {
+		t.Fatalf("capture (shards=%d procs=%d): %v", shards, procs, err)
+	}
+	if len(results) != len(runs) {
+		t.Fatalf("capture returned %d results for %d runs", len(results), len(runs))
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFlowCSV(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := json.Marshal(tel.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(snap)
+	return buf.String(), ts
+}
+
+// lockstep compares a serial-layout reference against sharded layouts at
+// several GOMAXPROCS settings.
+func lockstep(t *testing.T, spec ClusterSpec, runs []workload.RunSpec, opts CaptureOpts, layouts []int, procs []int) *TraceSet {
+	t.Helper()
+	ref, ts := multiPodOutput(t, spec, runs, opts, 0, 1)
+	for _, shards := range layouts {
+		for _, p := range procs {
+			if got, _ := multiPodOutput(t, spec, runs, opts, shards, p); got != ref {
+				t.Errorf("shards=%d GOMAXPROCS=%d diverged from serial layout (ref %d bytes, got %d bytes)",
+					shards, p, len(ref), len(got))
+			}
+		}
+	}
+	return ts
+}
+
+// TestMultiPodLockstep256 is the acceptance-criteria run: a 256-worker
+// (8 pods × 32 workers) capture, byte-identical TraceSet, flow CSV and
+// telemetry snapshot between the serial layout and the fully sharded
+// layout at GOMAXPROCS ∈ {1, 2, 8}.
+func TestMultiPodLockstep256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-worker capture in -short mode")
+	}
+	spec := ClusterSpec{
+		Topology: "star", Workers: 32, Pods: 8,
+		CrossPod: "ring", Seed: 7,
+	}
+	runs := make([]workload.RunSpec, 8)
+	for i := range runs {
+		runs[i] = workload.RunSpec{Profile: "terasort", InputBytes: 32 << 20}
+	}
+	ts := lockstep(t, spec, runs, CaptureOpts{}, []int{-1}, []int{1, 2, 8})
+	if len(ts.Runs) != 8 {
+		t.Fatalf("got %d runs, want 8", len(ts.Runs))
+	}
+	if ts.BackgroundHosts != 256 {
+		t.Fatalf("background hosts %d, want 256", ts.BackgroundHosts)
+	}
+	if ts.Stats.InterPodTransfers != 8 {
+		t.Fatalf("ring cross-pod transfers %d, want 8", ts.Stats.InterPodTransfers)
+	}
+	if ts.Stats.InterPodBytes <= 0 {
+		t.Fatal("no inter-pod bytes crossed the fabric")
+	}
+}
+
+// TestMultiPodLockstepChaos covers the fault paths on both transports:
+// a permanent worker failure, a transient node crash, and an inter-pod
+// pair outage forcing a relay — still byte-identical across layouts.
+func TestMultiPodLockstepChaos(t *testing.T) {
+	for _, transport := range []string{"fluid", "tcp"} {
+		spec := ClusterSpec{
+			Topology: "star", Workers: 8, Pods: 4,
+			CrossPod: "ring", Transport: transport, Seed: 11,
+		}
+		runs := []workload.RunSpec{
+			{Profile: "terasort", InputBytes: 16 << 20},
+			{Profile: "wordcount", InputBytes: 16 << 20},
+			{Profile: "terasort", InputBytes: 8 << 20},
+			{Profile: "wordcount", InputBytes: 8 << 20},
+		}
+		opts := CaptureOpts{
+			StrictChecks: true,
+			// Worker 9 = pod 1 / local 1; crash worker 20 = pod 2 / local 4.
+			Failures: []FailureSpec{{WorkerIndex: 9, AtNs: 3e9}},
+			Faults: faults.Schedule{Faults: []faults.Fault{
+				{Kind: faults.NodeCrash, Worker: 20, AtNs: 2e9, DurationNs: 40e9},
+			}},
+			InterPodFaults: []InterPodFault{
+				{SrcPod: 0, DstPod: 1, AtNs: 1, DurationNs: 0}, // permanent: relays via pod 2 or 3
+			},
+		}
+		ts := lockstep(t, spec, runs, opts, []int{-1, 2}, []int{2})
+		if ts.Stats.InterPodRelayed == 0 {
+			t.Errorf("%s: pair 0-1 down but no transfer relayed", transport)
+		}
+	}
+}
+
+// TestMultiPodRelayReroute: the inter-pod pair carrying the ring copy
+// goes down permanently; the transfer must detour through the third pod
+// and still complete.
+func TestMultiPodRelayReroute(t *testing.T) {
+	spec := ClusterSpec{
+		Topology: "star", Workers: 4, Pods: 3,
+		CrossPod: "ring", Seed: 3,
+	}
+	runs := []workload.RunSpec{
+		{Profile: "terasort", InputBytes: 8 << 20},
+		{Profile: "terasort", InputBytes: 8 << 20},
+		{Profile: "terasort", InputBytes: 8 << 20},
+	}
+	opts := CaptureOpts{
+		StrictChecks:   true,
+		InterPodFaults: []InterPodFault{{SrcPod: 0, DstPod: 1, AtNs: 1}},
+	}
+	ts := lockstep(t, spec, runs, opts, []int{-1}, []int{2})
+	if ts.Stats.InterPodTransfers != 3 {
+		t.Fatalf("transfers %d, want 3 (ring of 3 pods)", ts.Stats.InterPodTransfers)
+	}
+	if ts.Stats.InterPodRelayed != 1 {
+		t.Fatalf("relayed %d, want exactly the 0→1 copy", ts.Stats.InterPodRelayed)
+	}
+	if ts.Stats.InterPodAborted != 0 {
+		t.Fatalf("aborted %d, want 0", ts.Stats.InterPodAborted)
+	}
+}
+
+// TestMultiPodAbortedTransfer: two pods, the only pair down, no relay
+// exists — the cross-pod copy aborts mid-capture and the session still
+// converges with the abort on the books.
+func TestMultiPodAbortedTransfer(t *testing.T) {
+	spec := ClusterSpec{
+		Topology: "star", Workers: 4, Pods: 2,
+		CrossPod: "ring", Seed: 5,
+	}
+	runs := []workload.RunSpec{
+		{Profile: "terasort", InputBytes: 8 << 20},
+		{Profile: "terasort", InputBytes: 8 << 20},
+	}
+	opts := CaptureOpts{
+		StrictChecks:   true,
+		InterPodFaults: []InterPodFault{{SrcPod: 0, DstPod: 1, AtNs: 1}},
+	}
+	ts := lockstep(t, spec, runs, opts, []int{-1}, []int{2})
+	if ts.Stats.InterPodAborted != 2 {
+		t.Fatalf("aborted %d, want both ring copies", ts.Stats.InterPodAborted)
+	}
+	if ts.Stats.InterPodTransfers != 0 || ts.Stats.InterPodBytes != 0 {
+		t.Fatalf("transfers %d bytes %d, want none to complete", ts.Stats.InterPodTransfers, ts.Stats.InterPodBytes)
+	}
+}
+
+// TestMultiPodSkewedFanIn: every pod's copy lands in pod 0 — the
+// skewed-reducer shape the per-pod Reserve sizing must absorb (strict
+// checks verify flow-state invariants while pod 0 holds the full fan-in).
+func TestMultiPodSkewedFanIn(t *testing.T) {
+	spec := ClusterSpec{
+		Topology: "star", Workers: 4, Pods: 4,
+		CrossPod: "fanin", Seed: 9,
+	}
+	runs := []workload.RunSpec{
+		{Profile: "terasort", InputBytes: 8 << 20},
+		{Profile: "terasort", InputBytes: 8 << 20},
+		{Profile: "terasort", InputBytes: 8 << 20},
+		{Profile: "terasort", InputBytes: 8 << 20},
+	}
+	ts := lockstep(t, spec, runs, CaptureOpts{StrictChecks: true}, []int{-1}, []int{2})
+	if ts.Stats.InterPodTransfers != 3 {
+		t.Fatalf("fan-in transfers %d, want 3 (pods 1..3 → pod 0)", ts.Stats.InterPodTransfers)
+	}
+	// All fabric ingress lands in pod 0's capture: its truth must hold
+	// three distcp ingress legs.
+	ingress := 0
+	for _, r := range ts.Background {
+		if len(r.Label) >= 6 && r.Label[:6] == "distcp" {
+			ingress++
+		}
+	}
+	if ingress != 6 { // 3 egress + 3 ingress legs
+		t.Fatalf("distcp background flows %d, want 6", ingress)
+	}
+}
+
+// TestMultiPodValidation exercises the option/spec error paths.
+func TestMultiPodValidation(t *testing.T) {
+	base := ClusterSpec{Topology: "star", Workers: 4, Pods: 2, Seed: 1}
+	runs := []workload.RunSpec{{Profile: "terasort", InputBytes: 4 << 20}}
+
+	bad := base
+	bad.Shards = 3 // > pods
+	if _, _, err := Capture(bad, runs); err == nil {
+		t.Error("shards > pods accepted")
+	}
+	bad = base
+	bad.CrossPod = "mesh"
+	if _, _, err := Capture(bad, runs); err == nil {
+		t.Error("unknown cross-pod mode accepted")
+	}
+	if _, _, err := CaptureWith(base, runs, CaptureOpts{
+		Faults: faults.Schedule{Faults: []faults.Fault{{Kind: faults.LinkDown, Link: 1, AtNs: 1, DurationNs: 10}}},
+	}); err == nil {
+		t.Error("link fault accepted in multi-pod capture")
+	}
+	if _, _, err := CaptureWith(base, runs, CaptureOpts{
+		Failures: []FailureSpec{{WorkerIndex: 8, AtNs: 1}},
+	}); err == nil {
+		t.Error("out-of-range global worker index accepted")
+	}
+	if _, _, err := CaptureWith(base, runs, CaptureOpts{
+		InterPodFaults: []InterPodFault{{SrcPod: 0, DstPod: 2, AtNs: 1}},
+	}); err == nil {
+		t.Error("out-of-range inter-pod fault accepted")
+	}
+	single := base
+	single.Pods = 1
+	if _, _, err := CaptureWith(single, runs, CaptureOpts{
+		InterPodFaults: []InterPodFault{{SrcPod: 0, DstPod: 1, AtNs: 1}},
+	}); err == nil {
+		t.Error("inter-pod faults accepted on a single-pod capture")
+	}
+}
+
+func TestResolveShards(t *testing.T) {
+	cases := []struct {
+		pods, shards, want int
+		ok                 bool
+	}{
+		{4, 0, 1, true},
+		{4, -1, 4, true},
+		{4, 2, 2, true},
+		{4, 4, 4, true},
+		{4, 5, 0, false},
+		{4, -2, 0, false},
+	}
+	for _, c := range cases {
+		got, err := resolveShards(c.pods, c.shards)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("resolveShards(%d, %d) = %d, %v; want %d, ok=%v", c.pods, c.shards, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// TestReplayShardedLockstep: a replay routed through the windowed
+// scheduler (Shards != 0) reproduces the plain engine's records exactly.
+func TestReplayShardedLockstep(t *testing.T) {
+	schedule := []SynthFlow{
+		{StartNs: 0, SrcHost: 0, DstHost: 1, SrcPort: 40001, DstPort: 50010, Bytes: 1 << 20, Job: "j0", Phase: "shuffle"},
+		{StartNs: 5e6, SrcHost: 2, DstHost: 1, SrcPort: 40002, DstPort: 50010, Bytes: 2 << 20, Job: "j0", Phase: "shuffle"},
+		{StartNs: 9e6, SrcHost: 1, DstHost: 3, SrcPort: 40003, DstPort: 50020, Bytes: 512 << 10, Job: "j1", Phase: "output"},
+	}
+	cluster := ClusterSpec{Topology: "star", Workers: 4, Seed: 1}
+	refRecs, refEnd, err := Replay(schedule, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := cluster
+	sharded.Shards = -1
+	recs, end, err := Replay(schedule, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != refEnd {
+		t.Fatalf("sharded replay end %v, serial %v", end, refEnd)
+	}
+	if len(recs) != len(refRecs) {
+		t.Fatalf("sharded replay captured %d records, serial %d", len(recs), len(refRecs))
+	}
+	for i := range recs {
+		if recs[i] != refRecs[i] {
+			t.Fatalf("record %d diverged:\nserial:  %+v\nsharded: %+v", i, refRecs[i], recs[i])
+		}
+	}
+}

@@ -23,6 +23,11 @@ type Config struct {
 	YARN yarn.Config
 	// Net tunes the underlying network simulator.
 	Net netsim.Config
+	// Engine, when non-nil, hosts the cluster's events instead of a
+	// fresh private engine. Multi-pod captures place several clusters on
+	// the shards of one sim.ShardedEngine this way; everything the
+	// cluster schedules stays on the given engine.
+	Engine *sim.Engine
 	// Seed drives every stochastic choice in the cluster; equal seeds
 	// give byte-identical traffic.
 	Seed int64
@@ -84,7 +89,10 @@ func New(topo *netsim.Topology, cfg Config) (*Cluster, error) {
 	if len(hosts) < 2 {
 		return nil, errors.New("hadoop: need a master and at least one worker host")
 	}
-	eng := sim.New()
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.New()
+	}
 	net := netsim.NewNetwork(eng, topo, cfg.Net)
 	rng := stats.NewRNG(cfg.Seed)
 
@@ -122,6 +130,16 @@ func (c *Cluster) Workers() []netsim.NodeID {
 
 // RNG returns a fresh child RNG stream for callers that need one.
 func (c *Cluster) RNG() *stats.RNG { return c.rng.Fork() }
+
+// Pending returns how many submitted ingests and jobs have not completed
+// yet. The multi-pod window scheduler polls it at barriers, where the
+// serial loop below would have checked it per event.
+func (c *Cluster) Pending() int { return c.pending }
+
+// Start launches the heartbeat machinery without entering the serial run
+// loop — multi-pod captures start every pod, then advance all of them
+// together through the sharded scheduler's windows.
+func (c *Cluster) Start() { c.start() }
 
 // start launches the periodic heartbeat machinery exactly once.
 func (c *Cluster) start() {

@@ -75,6 +75,16 @@ func (ck *Checker) step() error {
 // Steps returns how many engine steps the checker has observed.
 func (ck *Checker) Steps() int { return ck.steps }
 
+// Sweep runs one layer sweep on demand, keeping the checker's oracle
+// cadence. Multi-pod captures call it from the sharded scheduler's
+// barrier hook — paced by processed-event deltas rather than per-event
+// steps — where no shard goroutine is in flight, so the read-only checks
+// stay race-free.
+func (ck *Checker) Sweep() error {
+	ck.sweeps++
+	return ck.sweep(ck.sweeps%ck.opts.OracleEvery == 0)
+}
+
 // sweep runs every layer's invariant check once, optionally including
 // the max-min allocator oracle.
 func (ck *Checker) sweep(withOracle bool) error {

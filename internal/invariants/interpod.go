@@ -1,0 +1,20 @@
+package invariants
+
+import (
+	"keddah/internal/netsim"
+	"keddah/internal/telemetry"
+)
+
+// CheckInterPod runs the inter-pod fabric's conservation check (transfer
+// accounting, egress/ingress byte ordering) and wraps any failure as an
+// interpod-layer violation. Call it at window barriers or after a drain,
+// where the fabric's cross-shard counters are exact.
+func CheckInterPod(ip *netsim.InterPod, nowNs int64, tracer *telemetry.Tracer) error {
+	if ip == nil {
+		return nil
+	}
+	if err := ip.CheckInvariants(); err != nil {
+		return violation("interpod", "conservation", nowNs, tracer, err)
+	}
+	return nil
+}

@@ -39,6 +39,10 @@ type Capture struct {
 	err  error
 	// train is the per-flow synthesis scratch buffer, reused across flows.
 	train []Packet
+	// offset shifts this capture's node ids before address synthesis.
+	// Multi-pod captures give each pod's tap a disjoint range so merged
+	// traces keep globally unique 5-tuples.
+	offset int
 }
 
 var _ netsim.Tap = (*Capture)(nil)
@@ -52,6 +56,16 @@ func NewCapture() *Capture {
 // in-memory buffer (ground truth is still buffered).
 func NewStreamingCapture(sink func(Packet) error) *Capture {
 	return &Capture{maxPkts: DefaultMaxPacketsPerFlow, sink: sink}
+}
+
+// SetHostOffset shifts every node id seen by this capture by n before it
+// becomes a synthetic address: pod p of a multi-pod capture uses
+// n = p × hostsPerPod so the merged trace's 5-tuples stay globally
+// unique. Set before any flow completes.
+func (c *Capture) SetHostOffset(n int) {
+	if n >= 0 {
+		c.offset = n
+	}
 }
 
 // SetMaxPacketsPerFlow overrides the synthesis bound (≥ 2).
@@ -73,8 +87,8 @@ func (c *Capture) FlowStarted(*netsim.Flow) {}
 func (c *Capture) FlowCompleted(f *netsim.Flow) {
 	spec := f.Spec()
 	base := Packet{
-		Src:     HostAddr(int(spec.Src)),
-		Dst:     HostAddr(int(spec.Dst)),
+		Src:     HostAddr(c.offset + int(spec.Src)),
+		Dst:     HostAddr(c.offset + int(spec.Dst)),
 		SrcPort: uint16(spec.SrcPort),
 		DstPort: uint16(spec.DstPort),
 		Proto:   ProtoTCP,
@@ -101,7 +115,7 @@ func (c *Capture) FlowCompleted(f *netsim.Flow) {
 // sink or the in-memory buffer. The train itself is built by appendTrain
 // into a reused scratch buffer.
 func (c *Capture) synthesize(f *netsim.Flow) {
-	c.train = appendTrain(c.train[:0], f, c.maxPkts)
+	c.train = appendTrain(c.train[:0], f, c.maxPkts, c.offset)
 	for _, p := range c.train {
 		if c.err != nil {
 			return
@@ -121,11 +135,11 @@ func (c *Capture) synthesize(f *netsim.Flow) {
 // (at most maxPkts records in total), and a FIN — or RST for an aborted
 // flow — at flow end. It is pure over the flow's observable state, so
 // invariant checks can rebuild a train without touching the capture.
-func appendTrain(dst []Packet, f *netsim.Flow, maxPkts int) []Packet {
+func appendTrain(dst []Packet, f *netsim.Flow, maxPkts, offset int) []Packet {
 	spec := f.Spec()
 	base := Packet{
-		Src:     HostAddr(int(spec.Src)),
-		Dst:     HostAddr(int(spec.Dst)),
+		Src:     HostAddr(offset + int(spec.Src)),
+		Dst:     HostAddr(offset + int(spec.Dst)),
 		SrcPort: uint16(spec.SrcPort),
 		DstPort: uint16(spec.DstPort),
 		Proto:   ProtoTCP,
@@ -275,7 +289,7 @@ func CheckTrain(train []Packet) error {
 // coherent truth-record time bounds.
 func (c *Capture) VerifyTrains() error {
 	for _, f := range c.pending {
-		train := appendTrain(nil, f, c.maxPkts)
+		train := appendTrain(nil, f, c.maxPkts, c.offset)
 		if err := CheckTrain(train); err != nil {
 			return fmt.Errorf("flow %d (%s): %w", f.ID(), f.Spec().Label, err)
 		}

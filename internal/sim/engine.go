@@ -409,6 +409,44 @@ func (e *Engine) Run(until Time) (Time, error) {
 // RunAll processes every queued event with no time bound.
 func (e *Engine) RunAll() (Time, error) { return e.Run(MaxTime) }
 
+// NextEventAt returns the time of the earliest queued event, or false if
+// the queue is empty. The sharded window scheduler peeks every shard's
+// queue to derive the next conservative window boundary.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slots[e.heap[0]].at, true
+}
+
+// RunBefore processes events strictly before bound: an event scheduled
+// exactly at bound does not fire. This is the half-open window the
+// sharded scheduler needs — a window [t, B) must leave boundary events
+// for the next window, where cross-shard deliveries merged at the
+// barrier can still be ordered ahead of them.
+func (e *Engine) RunBefore(bound Time) (Time, error) {
+	if e.running {
+		return e.now, errors.New("sim: RunBefore called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	budget := e.MaxEvents
+	if budget == 0 {
+		budget = 500_000_000
+	}
+	for len(e.heap) > 0 {
+		if e.slots[e.heap[0]].at >= bound {
+			return e.now, nil
+		}
+		if e.processed >= budget {
+			return e.now, ErrHorizon
+		}
+		e.fire()
+	}
+	return e.now, nil
+}
+
 // Step executes exactly one pending event and returns true, or returns
 // false if the queue is empty. Like Run, it refuses to execute
 // re-entrantly (from inside an event callback) and stops once the

@@ -1,5 +1,7 @@
 package telemetry
 
+import "strconv"
+
 // The metric catalog: one value struct per instrumented layer. The zero
 // value of each struct holds nil instruments, so a layer that was never
 // attached pays only a nil check per hook — that is the disabled path.
@@ -10,6 +12,23 @@ type SimMetrics struct {
 	Events *Counter
 	// HeapDepthMax tracks the event queue's high-water mark.
 	HeapDepthMax *Gauge
+}
+
+// ShardMetrics instruments the sharded window scheduler multi-pod
+// captures run on. Windows and BoundaryEvents are deterministic — by
+// construction identical at any shard count and any GOMAXPROCS — so they
+// live in the deterministic snapshot. StallMs and the per-shard
+// ShardEvents/ShardBusyMs gauges depend on wall clock and shard layout
+// and are volatile: Prometheus-only, never in the JSON snapshot, so a
+// sharded capture's exported telemetry stays byte-identical to the
+// serial engine's.
+type ShardMetrics struct {
+	Windows        *Counter // conservative windows executed
+	BoundaryEvents *Counter // cross-shard events merged at barriers
+	StallMs        *Gauge   // volatile: cumulative barrier wait across shards
+	CritPathMs     *Gauge   // volatile: per-window max shard busy time, summed (parallel critical path)
+	ShardEvents    []*Gauge // volatile, labeled shard=i: events processed per shard
+	ShardBusyMs    []*Gauge // volatile, labeled shard=i: wall time inside windows per shard
 }
 
 // NetMetrics instruments the flow-level network simulator.
@@ -143,6 +162,7 @@ type Telemetry struct {
 	Links *LinkTimeline
 
 	Sim   SimMetrics
+	Shard ShardMetrics
 	Net   NetMetrics
 	HDFS  HDFSMetrics
 	Yarn  YarnMetrics
@@ -166,6 +186,13 @@ func New() *Telemetry {
 	t.Sim = SimMetrics{
 		Events:       r.Counter("keddah_sim_events_total", "Discrete events processed."),
 		HeapDepthMax: r.Gauge("keddah_sim_heap_depth_max", "Event queue high-water mark."),
+	}
+
+	t.Shard = ShardMetrics{
+		Windows:        r.Counter("keddah_sim_shard_windows_total", "Conservative windows executed by the sharded scheduler."),
+		BoundaryEvents: r.Counter("keddah_sim_shard_boundary_events_total", "Cross-shard events merged at window barriers."),
+		StallMs:        r.VolatileGauge("keddah_sim_shard_stall_ms", "Cumulative barrier wait across shards (ms)."),
+		CritPathMs:     r.VolatileGauge("keddah_sim_shard_crit_ms", "Parallel critical path: per-window max shard busy time, summed (ms)."),
 	}
 
 	var flowBounds []float64
@@ -270,6 +297,22 @@ func New() *Telemetry {
 		Draining:      r.Gauge("keddah_serve_draining", "1 while the daemon is draining, else 0."),
 	}
 	return t
+}
+
+// ShardSet returns the catalog's shard metrics extended with per-shard
+// volatile utilisation gauges for n shards (labels shard="0".."n-1").
+// The registry deduplicates instruments, so repeated calls — several
+// captures sharing one session — reuse the same gauges.
+func (t *Telemetry) ShardSet(n int) ShardMetrics {
+	m := t.Shard
+	for i := 0; i < n; i++ {
+		k := strconv.Itoa(i)
+		m.ShardEvents = append(m.ShardEvents,
+			t.Reg.VolatileGauge("keddah_sim_shard_events", "Events processed by this shard.", "shard", k))
+		m.ShardBusyMs = append(m.ShardBusyMs,
+			t.Reg.VolatileGauge("keddah_sim_shard_busy_ms", "Wall time this shard spent inside windows (ms).", "shard", k))
+	}
+	return m
 }
 
 // EnableLinkTimeline attaches a per-link utilisation timeline sampled

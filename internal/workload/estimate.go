@@ -49,3 +49,19 @@ func EstimatePeakFlows(specs []RunSpec, workers, slotsPerNode, replication int) 
 	}
 	return slots*perSlot + 2*workers + 16
 }
+
+// EstimatePeakFlowsMultiPod sizes one pod's flow storage for a multi-pod
+// capture: the pod's own workload peak plus headroom for inter-pod
+// fabric traffic funnelling through its gateway. inbound is the worst-
+// case number of concurrent inter-pod transfers targeting or leaving
+// this pod — under skewed placement (every reducer in one pod) that is
+// the full transfer fan-in, so callers pass the pessimistic bound rather
+// than the mean. Each transfer holds at most two flows inside a pod (an
+// egress and an ingress leg never coexist for one transfer, but relay
+// traffic can add a second), hence the factor of two.
+func EstimatePeakFlowsMultiPod(specs []RunSpec, podWorkers, slotsPerNode, replication, inbound int) int {
+	if inbound < 1 {
+		inbound = 1
+	}
+	return EstimatePeakFlows(specs, podWorkers, slotsPerNode, replication) + 2*inbound + 8
+}

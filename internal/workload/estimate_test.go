@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+func TestEstimatePeakFlows(t *testing.T) {
+	specs := []RunSpec{{Profile: "terasort", InputBytes: 1 << 30}}
+	got := EstimatePeakFlows(specs, 16, 4, 3)
+	// 16 workers × 4 slots × 5 parallel shuffle fetches + 2×16 heartbeats + 16.
+	if want := 16*4*5 + 2*16 + 16; got != want {
+		t.Fatalf("EstimatePeakFlows = %d, want %d", got, want)
+	}
+	// Defaults kick in for non-positive cluster parameters.
+	if got := EstimatePeakFlows(nil, 0, 0, 0); got <= 0 {
+		t.Fatalf("EstimatePeakFlows with defaults = %d, want positive", got)
+	}
+	// A map-only profile drops the shuffle bound to the replication depth.
+	mapOnly := []RunSpec{{Profile: "dfsio-write", InputBytes: 1 << 30}}
+	if s, m := EstimatePeakFlows(specs, 16, 4, 3), EstimatePeakFlows(mapOnly, 16, 4, 3); m >= s {
+		t.Fatalf("map-only estimate %d should be below shuffle estimate %d", m, s)
+	}
+}
+
+func TestEstimatePeakFlowsMultiPod(t *testing.T) {
+	specs := []RunSpec{{Profile: "terasort", InputBytes: 1 << 30}}
+	base := EstimatePeakFlows(specs, 32, 4, 3)
+
+	// Skewed fan-in: in an 8-pod federation where every transfer targets
+	// one pod, that pod must be sized for all 7 inbound transfers — two
+	// flow slots each (ingress plus possible relay leg) on top of its own
+	// workload peak.
+	skewed := EstimatePeakFlowsMultiPod(specs, 32, 4, 3, 7)
+	if want := base + 2*7 + 8; skewed != want {
+		t.Fatalf("skewed fan-in estimate = %d, want %d", skewed, want)
+	}
+
+	// The bound is monotone in the fan-in: more concurrent inbound
+	// transfers can never shrink the reservation.
+	prev := 0
+	for inbound := 1; inbound <= 16; inbound++ {
+		got := EstimatePeakFlowsMultiPod(specs, 32, 4, 3, inbound)
+		if got <= prev {
+			t.Fatalf("estimate not monotone: inbound=%d gave %d after %d", inbound, got, prev)
+		}
+		if got < base {
+			t.Fatalf("multi-pod estimate %d below single-pod base %d", got, base)
+		}
+		prev = got
+	}
+
+	// inbound below one clamps rather than under-sizing the gateway.
+	if got, min := EstimatePeakFlowsMultiPod(specs, 32, 4, 3, 0), base+2+8; got != min {
+		t.Fatalf("clamped estimate = %d, want %d", got, min)
+	}
+}
